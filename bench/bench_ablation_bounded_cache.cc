@@ -1,0 +1,85 @@
+// Ablation (paper's future work, §VI): memory-bounded NSCaching.
+// The conclusion flags cache memory as the obstacle for millions-scale KGs;
+// this harness measures what an LRU bound on the number of cache keys costs:
+// MRR and cache-memory footprint for caps of 100% / 50% / 25% / 10% of the
+// keys an unbounded run materialises, TransD on synth-WN18.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/nscaching_sampler.h"
+#include "kg/kg_index.h"
+#include "train/link_prediction.h"
+#include "train/trainer.h"
+#include "util/text_table.h"
+
+int main() {
+  using namespace nsc;
+  const bench::Settings s = bench::GetSettings();
+  const Dataset dataset = bench::GetDataset("wn18", s);
+  const KgIndex train_index(dataset.train);
+  const KgIndex filter_index(std::vector<const TripleStore*>{
+      &dataset.train, &dataset.valid, &dataset.test});
+
+  auto run = [&](size_t max_entries, size_t* keys, size_t* evictions,
+                 double* mrr, double* hits10) {
+    KgeModel model(dataset.num_entities(), dataset.num_relations(), s.dim,
+                   MakeScoringFunction("transd"));
+    Rng rng(s.seed ^ 0xB0B);
+    model.InitXavier(&rng);
+    NSCachingConfig ns;
+    ns.n1 = s.n1;
+    ns.n2 = s.n2;
+    ns.max_cache_entries = max_entries;
+    NSCachingSampler sampler(&model, &train_index, ns);
+    TrainConfig config;
+    config.dim = s.dim;
+    config.learning_rate = 0.003;
+    config.margin = 4.0;
+    config.seed = s.seed;
+    Trainer trainer(&model, &dataset.train, &sampler, config);
+    for (int e = 0; e < s.epochs; ++e) trainer.RunEpoch();
+    *keys = sampler.head_cache().num_entries() +
+            sampler.tail_cache().num_entries();
+    *evictions =
+        sampler.head_cache().evictions() + sampler.tail_cache().evictions();
+    const RankingMetrics m =
+        EvaluateLinkPrediction(model, dataset.test, filter_index);
+    *mrr = m.mrr();
+    *hits10 = m.hits_at(10);
+  };
+
+  std::printf(
+      "=== Ablation: LRU-bounded cache (future work of §VI), TransD %s ===\n\n",
+      dataset.name.c_str());
+
+  // First pass unbounded to learn how many keys a full run materialises.
+  size_t full_keys = 0, evictions = 0;
+  double mrr = 0.0, hits10 = 0.0;
+  run(0, &full_keys, &evictions, &mrr, &hits10);
+
+  TextTable table;
+  table.SetHeader({"cap (keys/cache)", "live keys", "evictions", "cached ids",
+                   "MRR", "Hit@10"});
+  table.AddRow({"unbounded", TextTable::Int(static_cast<long long>(full_keys)),
+                "0",
+                TextTable::Int(static_cast<long long>(full_keys * s.n1)),
+                TextTable::Fixed(mrr, 4), TextTable::Fixed(hits10, 2)});
+  for (double fraction : {0.5, 0.25, 0.1}) {
+    const size_t cap =
+        static_cast<size_t>(fraction * static_cast<double>(full_keys) / 2.0);
+    size_t keys = 0;
+    run(cap, &keys, &evictions, &mrr, &hits10);
+    table.AddRow({TextTable::Int(static_cast<long long>(cap)),
+                  TextTable::Int(static_cast<long long>(keys)),
+                  TextTable::Int(static_cast<long long>(evictions)),
+                  TextTable::Int(static_cast<long long>(keys * s.n1)),
+                  TextTable::Fixed(mrr, 4), TextTable::Fixed(hits10, 2)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "expected shape: a generous bound is nearly free (evicted keys just\n"
+      "restart their random warm-up), and quality degrades gracefully as\n"
+      "the bound tightens — supporting the paper's claim that cache memory\n"
+      "can be traded for modest quality loss at large scale.\n");
+  return 0;
+}

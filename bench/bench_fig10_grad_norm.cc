@@ -1,0 +1,43 @@
+// Figure 10 reproduction: mini-batch average l2-norm of parameter
+// gradients per epoch for Bernoulli vs NSCaching, on synth-WN18RR, with
+// TransD (a) and ComplEx (b). The norms shrink for both but NSCaching's
+// stay strictly above Bernoulli's — direct evidence that the cache avoids
+// the vanishing-gradient problem of fixed sampling schemes.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace nsc;
+  const bench::Settings s = bench::GetSettings();
+  const Dataset dataset = bench::GetDataset("wn18rr", s);
+
+  std::printf(
+      "=== Figure 10: mean gradient l2-norm per epoch (%s) ===\n\n",
+      dataset.name.c_str());
+
+  for (const std::string& scorer : {"transd", "complex"}) {
+    std::printf("--- %s ---\n", scorer.c_str());
+    std::printf("  %-7s %-12s %-12s\n", "epoch", "Bernoulli", "NSCaching");
+
+    auto run = [&](SamplerKind kind) {
+      PipelineConfig config = bench::BasePipeline(scorer, kind, s);
+      config.train.track_grad_norm = true;
+      return RunPipeline(dataset, config);
+    };
+    const PipelineResult bernoulli = run(SamplerKind::kBernoulli);
+    const PipelineResult nscaching = run(SamplerKind::kNSCaching);
+
+    for (size_t e = 0; e < bernoulli.epoch_stats.size(); ++e) {
+      std::printf("  %-7zu %-12.5f %-12.5f\n", e + 1,
+                  bernoulli.epoch_stats[e].mean_grad_norm,
+                  nscaching.epoch_stats[e].mean_grad_norm);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape (paper, Fig 10): both series decrease without hitting\n"
+      "zero (mini-batch noise), with NSCaching consistently above Bernoulli.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 1 reproduction: the distribution of negative-triple distances
+// D = f(pos) − f(neg) under Bernoulli-TransD training on synth-WN18.
+//   (a) one positive triple, CCDF snapshots at several training stages;
+//   (b) five positive triples after warm-up.
+// The paper's key observation — the distribution is highly skew, with only
+// a tiny fraction of negatives inside the margin (D < γ) — shows up as the
+// CCDF hugging 1 for D-thresholds below γ being crossed almost immediately:
+// P(D >= x) stays near 1 far left of γ and the within-margin mass
+// P(D < γ) = 1 − CCDF(γ) shrinks as training proceeds.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/score_distribution.h"
+#include "bench_common.h"
+#include "kg/kg_index.h"
+#include "sampler/bernoulli_sampler.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace nsc;
+  const bench::Settings s = bench::GetSettings();
+  const double margin = 4.0;
+
+  const Dataset dataset = bench::GetDataset("wn18", s);
+  const KgIndex index(dataset.train);
+  KgeModel model(dataset.num_entities(), dataset.num_relations(), s.dim,
+                 MakeScoringFunction("transd"));
+  Rng rng(s.seed);
+  model.InitXavier(&rng);
+  BernoulliSampler sampler(dataset.num_entities(), &index);
+  TrainConfig config;
+  config.dim = s.dim;
+  config.learning_rate = 0.003;
+  config.margin = margin;
+  config.seed = s.seed;
+  Trainer trainer(&model, &dataset.train, &sampler, config);
+
+  const Triple probe = dataset.train[0];
+  std::printf("=== Figure 1(a): CCDF P(D >= x) of one triple across epochs ===\n");
+  std::printf("    (margin gamma = %.1f; D = f(pos) - f(neg))\n\n", margin);
+
+  const std::vector<int> snapshots = {0, 1, 2, 5, 10, s.epochs};
+  int next_snapshot = 0;
+  auto print_ccdf = [&](int epoch) {
+    const CcdfCurve curve = NegativeScoreCcdf(model, probe, 9);
+    const auto d = NegativeDistanceSamples(model, probe);
+    int within_margin = 0;
+    for (double v : d) within_margin += (v < margin);
+    std::printf("  epoch %-3d  within-margin negatives: %d/%zu (%.2f%%)\n",
+                epoch, within_margin, d.size(),
+                100.0 * within_margin / d.size());
+    std::printf("    x:      ");
+    for (double x : curve.thresholds) std::printf("%8.2f", x);
+    std::printf("\n    P(D>=x):");
+    for (double p : curve.ccdf) std::printf("%8.3f", p);
+    std::printf("\n");
+  };
+
+  for (int epoch = 0; epoch <= s.epochs; ++epoch) {
+    if (next_snapshot < static_cast<int>(snapshots.size()) &&
+        epoch == snapshots[next_snapshot]) {
+      print_ccdf(epoch);
+      ++next_snapshot;
+    }
+    if (epoch < s.epochs) trainer.RunEpoch();
+  }
+
+  std::printf("\n=== Figure 1(b): CCDF of 5 different triples after training ===\n\n");
+  for (int i = 0; i < 5 && i < static_cast<int>(dataset.train.size()); ++i) {
+    const Triple x = dataset.train[i * 7];
+    const auto d = NegativeDistanceSamples(model, x);
+    int within_margin = 0;
+    for (double v : d) within_margin += (v < margin);
+    std::printf("  triple %d (h=%d r=%d t=%d): within-margin %.2f%%\n", i, x.h,
+                x.r, x.t, 100.0 * within_margin / d.size());
+  }
+  std::printf(
+      "\nexpected shape (paper): the fraction of negatives inside the margin\n"
+      "is small and shrinks with training — high-quality negatives are rare,\n"
+      "motivating the cache.\n");
+  return 0;
+}

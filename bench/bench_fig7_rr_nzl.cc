@@ -1,0 +1,99 @@
+// Figure 7 reproduction: exploration vs exploitation of the cache
+// *sampling* strategies on TransD / synth-WN18.
+//   left  (exploration): repeat ratio RR — share of sampled negatives
+//         already seen within the last 20 epochs (lower = more exploration);
+//   right (exploitation): non-zero-loss ratio NZL (higher = better).
+// Series printed for Bernoulli and NSCaching with uniform / IS / top
+// selection.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "analysis/dynamics.h"
+#include "bench_common.h"
+#include "core/nscaching_sampler.h"
+#include "kg/kg_index.h"
+#include "sampler/bernoulli_sampler.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace nsc;
+
+void RunTracked(const Dataset& dataset, const bench::Settings& s,
+                NegativeSampler* sampler, KgeModel* model,
+                const std::string& label) {
+  TrainConfig config;
+  config.dim = s.dim;
+  config.learning_rate = 0.003;
+  config.margin = 4.0;
+  config.seed = s.seed;
+  Trainer trainer(model, &dataset.train, sampler, config);
+  DynamicsTracker tracker(/*window=*/20);
+  trainer.set_negative_observer(
+      [&](const Triple& pos, const NegativeSample& neg, double loss) {
+        tracker.Observe(pos, neg, loss);
+      });
+
+  for (int epoch = 0; epoch < s.epochs; ++epoch) {
+    trainer.RunEpoch();
+    tracker.EndEpoch();
+  }
+
+  std::printf("  %s\n    %-7s %-8s %-8s\n", label.c_str(), "epoch", "RR",
+              "NZL");
+  for (size_t e = 0; e < tracker.repeat_ratio().size(); ++e) {
+    if ((e + 1) % s.eval_every == 0 || e + 1 == tracker.repeat_ratio().size()) {
+      std::printf("    %-7zu %-8.4f %-8.4f\n", e + 1,
+                  tracker.repeat_ratio()[e], tracker.nonzero_loss_ratio()[e]);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace nsc;
+  const bench::Settings s = bench::GetSettings();
+  const Dataset dataset = bench::GetDataset("wn18", s);
+  const KgIndex train_index(dataset.train);
+
+  std::printf(
+      "=== Figure 7: exploration (RR, lower=better) and exploitation "
+      "(NZL, higher=better) ===\n\n");
+
+  auto fresh_model = [&]() {
+    auto model = std::make_unique<KgeModel>(dataset.num_entities(),
+                                            dataset.num_relations(), s.dim,
+                                            MakeScoringFunction("transd"));
+    Rng rng(s.seed ^ 0x717);
+    model->InitXavier(&rng);
+    return model;
+  };
+
+  {
+    auto model = fresh_model();
+    BernoulliSampler sampler(dataset.num_entities(), &train_index);
+    RunTracked(dataset, s, &sampler, model.get(), "Bernoulli");
+  }
+  for (auto [select, label] :
+       {std::pair{CacheSelectStrategy::kUniform, "NSCaching uniform sampling"},
+        std::pair{CacheSelectStrategy::kImportanceSampling,
+                  "NSCaching IS sampling"},
+        std::pair{CacheSelectStrategy::kTop, "NSCaching top sampling"}}) {
+    auto model = fresh_model();
+    NSCachingConfig ns;
+    ns.n1 = s.n1;
+    ns.n2 = s.n2;
+    ns.select_strategy = select;
+    NSCachingSampler sampler(model.get(), &train_index, ns);
+    RunTracked(dataset, s, &sampler, model.get(), label);
+  }
+
+  std::printf(
+      "\nexpected shape (paper, Fig 7): Bernoulli has ~zero RR (best\n"
+      "exploration) but collapsing NZL (vanishing gradient); among cache\n"
+      "strategies RR orders uniform < IS < top while all keep NZL high —\n"
+      "uniform sampling is the best balance.\n");
+  return 0;
+}

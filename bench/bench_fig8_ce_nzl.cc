@@ -1,0 +1,73 @@
+// Figure 8 reproduction: exploration vs exploitation of the cache *update*
+// strategies on TransD / synth-WN18.
+//   left  (exploration): CE — mean number of changed cache elements per
+//         refresh (higher = fresher cache);
+//   right (exploitation): NZL — non-zero-loss ratio.
+// Series printed for IS update (Algorithm 3) vs top update.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "core/nscaching_sampler.h"
+#include "kg/kg_index.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace nsc;
+
+void RunVariant(const Dataset& dataset, const bench::Settings& s,
+                CacheUpdateStrategy update, const std::string& label) {
+  const KgIndex train_index(dataset.train);
+  KgeModel model(dataset.num_entities(), dataset.num_relations(), s.dim,
+                 MakeScoringFunction("transd"));
+  Rng rng(s.seed ^ 0x818);
+  model.InitXavier(&rng);
+
+  NSCachingConfig ns;
+  ns.n1 = s.n1;
+  ns.n2 = s.n2;
+  ns.update_strategy = update;
+  NSCachingSampler sampler(&model, &train_index, ns);
+
+  TrainConfig config;
+  config.dim = s.dim;
+  config.learning_rate = 0.003;
+  config.margin = 4.0;
+  config.seed = s.seed;
+  Trainer trainer(&model, &dataset.train, &sampler, config);
+
+  std::printf("  %s\n    %-7s %-8s %-8s\n", label.c_str(), "epoch", "CE",
+              "NZL");
+  for (int epoch = 1; epoch <= s.epochs; ++epoch) {
+    sampler.ResetStats();
+    const EpochStats stats = trainer.RunEpoch();
+    if (epoch % s.eval_every == 0 || epoch == s.epochs || epoch <= 2) {
+      std::printf("    %-7d %-8.3f %-8.4f\n", epoch,
+                  sampler.stats().MeanChangedElements(),
+                  stats.nonzero_loss_ratio);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace nsc;
+  const bench::Settings s = bench::GetSettings();
+  const Dataset dataset = bench::GetDataset("wn18", s);
+
+  std::printf(
+      "=== Figure 8: cache freshness (CE, changed elements per refresh) and "
+      "NZL ===\n\n");
+  RunVariant(dataset, s, CacheUpdateStrategy::kImportanceSampling,
+             "IS update (Algorithm 3)");
+  RunVariant(dataset, s, CacheUpdateStrategy::kTop, "top update");
+
+  std::printf(
+      "\nexpected shape (paper, Fig 8): IS update keeps CE well above top\n"
+      "update (whose cache freezes onto the same high scorers), while both\n"
+      "maintain high NZL — IS update explores the negative space, top\n"
+      "update fixates (often on false negatives).\n");
+  return 0;
+}

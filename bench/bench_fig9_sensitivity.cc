@@ -1,0 +1,56 @@
+// Figure 9 reproduction: sensitivity of NSCaching to the cache size N1 and
+// the random-candidate-pool size N2 (TransD on synth-WN18).
+//   (a) N1 in {10, 30, 50, 70, 90} with N2 = 50;
+//   (b) N2 in {10, 30, 50, 70, 90} with N1 = 50.
+// Prints the final test MRR per setting plus a mid-training checkpoint so
+// convergence-speed differences are visible.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/text_table.h"
+
+int main() {
+  using namespace nsc;
+  const bench::Settings s = bench::GetSettings();
+  const Dataset dataset = bench::GetDataset("wn18", s);
+
+  std::printf("=== Figure 9: sensitivity to N1 and N2 (TransD, %s) ===\n\n",
+              dataset.name.c_str());
+
+  auto run = [&](int n1, int n2) {
+    PipelineConfig config =
+        bench::BasePipeline("transd", SamplerKind::kNSCaching, s);
+    config.nscaching.n1 = n1;
+    config.nscaching.n2 = n2;
+    config.eval_test_every = std::max(1, s.epochs / 2);
+    return RunPipeline(dataset, config);
+  };
+
+  TextTable a;
+  a.SetHeader({"N1 (N2=50)", "MRR@mid", "MRR@final", "Hit@10"});
+  for (int n1 : {10, 30, 50, 70, 90}) {
+    const PipelineResult r = run(n1, 50);
+    const double mid = r.test_series.empty() ? 0.0 : r.test_series.front().mrr;
+    a.AddRow({TextTable::Int(n1), TextTable::Fixed(mid, 4),
+              TextTable::Fixed(r.test_metrics.mrr(), 4),
+              TextTable::Fixed(r.test_metrics.hits_at(10), 2)});
+  }
+  std::printf("%s\n", a.Render().c_str());
+
+  TextTable b;
+  b.SetHeader({"N2 (N1=50)", "MRR@mid", "MRR@final", "Hit@10"});
+  for (int n2 : {10, 30, 50, 70, 90}) {
+    const PipelineResult r = run(50, n2);
+    const double mid = r.test_series.empty() ? 0.0 : r.test_series.front().mrr;
+    b.AddRow({TextTable::Int(n2), TextTable::Fixed(mid, 4),
+              TextTable::Fixed(r.test_metrics.mrr(), 4),
+              TextTable::Fixed(r.test_metrics.hits_at(10), 2)});
+  }
+  std::printf("%s\n", b.Render().c_str());
+
+  std::printf(
+      "expected shape (paper, Fig 9): performance is stable across both\n"
+      "sizes; only very small N1 (false negatives dominate the cache) or\n"
+      "very small N2 (cache refreshes too slowly) degrade it.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "analysis/dynamics.h"
+
+namespace nsc {
+
+void DynamicsTracker::Observe(const Triple& pos, const NegativeSample& neg,
+                              double pair_loss) {
+  (void)pos;
+  ++samples_this_epoch_;
+  if (pair_loss > 1e-12) ++nonzero_this_epoch_;
+  const uint64_t key = PackTriple(neg.triple);
+  auto it = last_seen_.find(key);
+  if (it != last_seen_.end() && epoch_ - it->second <= window_) {
+    ++repeats_this_epoch_;
+  }
+  last_seen_[key] = epoch_;
+}
+
+void DynamicsTracker::EndEpoch() {
+  const double n = samples_this_epoch_ > 0
+                       ? static_cast<double>(samples_this_epoch_)
+                       : 1.0;
+  repeat_ratio_.push_back(static_cast<double>(repeats_this_epoch_) / n);
+  nzl_.push_back(static_cast<double>(nonzero_this_epoch_) / n);
+  samples_this_epoch_ = 0;
+  repeats_this_epoch_ = 0;
+  nonzero_this_epoch_ = 0;
+  ++epoch_;
+}
+
+}  // namespace nsc

@@ -1,0 +1,52 @@
+// Exploration/exploitation instrumentation of §IV-C (Figures 7 & 8):
+//   RR  — repeat ratio: the fraction of sampled negative triples that were
+//         already sampled within the last `window` epochs (low RR = good
+//         exploration);
+//   NZL — non-zero-loss ratio: the fraction of pairs whose training loss
+//         is non-zero (high NZL = good exploitation; the trainer also
+//         reports this in EpochStats, the tracker recomputes it from the
+//         observer stream so ablation harnesses need only one hook).
+#ifndef NSCACHING_ANALYSIS_DYNAMICS_H_
+#define NSCACHING_ANALYSIS_DYNAMICS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/types.h"
+#include "sampler/negative_sampler.h"
+
+namespace nsc {
+
+/// Per-epoch RR / NZL series built from the trainer's negative observer.
+class DynamicsTracker {
+ public:
+  /// `window` is the repeat-detection horizon in epochs (20 in the paper).
+  explicit DynamicsTracker(int window = 20) : window_(window) {}
+
+  /// Call for every sampled pair (wire to Trainer::set_negative_observer).
+  void Observe(const Triple& pos, const NegativeSample& neg, double pair_loss);
+
+  /// Closes the current epoch and appends to the series.
+  void EndEpoch();
+
+  /// Repeat ratio per epoch, in [0, 1].
+  const std::vector<double>& repeat_ratio() const { return repeat_ratio_; }
+  /// Non-zero-loss ratio per epoch, in [0, 1].
+  const std::vector<double>& nonzero_loss_ratio() const { return nzl_; }
+
+ private:
+  int window_;
+  int epoch_ = 0;
+  int64_t samples_this_epoch_ = 0;
+  int64_t repeats_this_epoch_ = 0;
+  int64_t nonzero_this_epoch_ = 0;
+  // Packed negative triple -> last epoch it was sampled in.
+  std::unordered_map<uint64_t, int> last_seen_;
+  std::vector<double> repeat_ratio_;
+  std::vector<double> nzl_;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_ANALYSIS_DYNAMICS_H_

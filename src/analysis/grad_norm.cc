@@ -1,0 +1,17 @@
+#include "analysis/grad_norm.h"
+
+namespace nsc {
+
+double GradNormRecorder::Tail(int k) const {
+  if (series_.empty()) return 0.0;
+  const size_t take = (k <= 0 || static_cast<size_t>(k) > series_.size())
+                          ? series_.size()
+                          : static_cast<size_t>(k);
+  double sum = 0.0;
+  for (size_t i = series_.size() - take; i < series_.size(); ++i) {
+    sum += series_[i];
+  }
+  return sum / static_cast<double>(take);
+}
+
+}  // namespace nsc

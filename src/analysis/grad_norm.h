@@ -1,0 +1,30 @@
+// Gradient-norm bookkeeping for Figure 10 of the paper: the mini-batch
+// average l2 norm of parameter gradients stays visibly larger under
+// NSCaching than under Bernoulli sampling — the direct evidence that the
+// cache avoids vanishing gradients.
+#ifndef NSCACHING_ANALYSIS_GRAD_NORM_H_
+#define NSCACHING_ANALYSIS_GRAD_NORM_H_
+
+#include <vector>
+
+#include "train/trainer.h"
+
+namespace nsc {
+
+/// Collects the mean_grad_norm series out of per-epoch trainer stats.
+class GradNormRecorder {
+ public:
+  void Add(const EpochStats& stats) { series_.push_back(stats.mean_grad_norm); }
+
+  const std::vector<double>& series() const { return series_; }
+
+  /// Mean over the last `k` recorded epochs (0 -> whole series).
+  double Tail(int k = 0) const;
+
+ private:
+  std::vector<double> series_;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_ANALYSIS_GRAD_NORM_H_

@@ -1,0 +1,36 @@
+#include "analysis/score_distribution.h"
+
+#include <algorithm>
+
+#include "util/statistics.h"
+
+namespace nsc {
+
+std::vector<double> NegativeDistanceSamples(const KgeModel& model,
+                                            const Triple& pos) {
+  const double pos_score = model.Score(pos);
+  std::vector<double> out;
+  out.reserve(model.num_entities() - 1);
+  Triple corrupted = pos;
+  for (EntityId e = 0; e < model.num_entities(); ++e) {
+    if (e == pos.t) continue;
+    corrupted.t = e;
+    out.push_back(pos_score - model.Score(corrupted));
+  }
+  return out;
+}
+
+CcdfCurve NegativeScoreCcdf(const KgeModel& model, const Triple& pos,
+                            int grid_points) {
+  const std::vector<double> d = NegativeDistanceSamples(model, pos);
+  CcdfCurve curve;
+  if (d.empty()) return curve;
+  const auto [lo_it, hi_it] = std::minmax_element(d.begin(), d.end());
+  double lo = *lo_it, hi = *hi_it;
+  if (lo == hi) hi = lo + 1.0;
+  curve.thresholds = LinSpace(lo, hi, grid_points);
+  curve.ccdf = Ccdf(d, curve.thresholds);
+  return curve;
+}
+
+}  // namespace nsc

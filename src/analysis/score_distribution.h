@@ -1,0 +1,38 @@
+// Instrumentation for Figure 1 of the paper: the distribution of negative
+// triple "distances" D(h,r,t̄) = f(h,r,t) − f(h,r,t̄) for a fixed positive
+// triple, whose complementary CDF F_D(x) = P(D >= x) is highly skew —
+// only a few negatives stay within the margin (D < γ) as training
+// proceeds, which is the empirical motivation for caching them.
+//
+// Note on sign: the paper writes D = f(h,r,t̄) − f(h,r,t) with f a
+// *distance* (smaller = more plausible). This library uses plausibility
+// scores (larger = better), so the equivalent quantity is
+// D = score(pos) − score(neg); D >= γ means the margin-loss gradient of
+// that negative has vanished. Both conventions yield the same CCDF.
+#ifndef NSCACHING_ANALYSIS_SCORE_DISTRIBUTION_H_
+#define NSCACHING_ANALYSIS_SCORE_DISTRIBUTION_H_
+
+#include <vector>
+
+#include "embedding/model.h"
+#include "kg/types.h"
+
+namespace nsc {
+
+/// D values for every tail corruption t̄ != t of `pos`:
+/// out[i] = score(h, r, t) − score(h, r, t̄_i).
+std::vector<double> NegativeDistanceSamples(const KgeModel& model,
+                                            const Triple& pos);
+
+/// CCDF of the D samples on an even grid of `grid_points` thresholds
+/// spanning [min(D), max(D)]. Returns {thresholds, ccdf}.
+struct CcdfCurve {
+  std::vector<double> thresholds;
+  std::vector<double> ccdf;
+};
+CcdfCurve NegativeScoreCcdf(const KgeModel& model, const Triple& pos,
+                            int grid_points = 41);
+
+}  // namespace nsc
+
+#endif  // NSCACHING_ANALYSIS_SCORE_DISTRIBUTION_H_

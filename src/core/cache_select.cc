@@ -1,0 +1,61 @@
+#include "core/cache_select.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace nsc {
+
+std::string CacheSelectStrategyName(CacheSelectStrategy s) {
+  switch (s) {
+    case CacheSelectStrategy::kUniform:
+      return "uniform";
+    case CacheSelectStrategy::kImportanceSampling:
+      return "is";
+    case CacheSelectStrategy::kTop:
+      return "top";
+  }
+  return "?";
+}
+
+EntityId CacheSelector::Pick(const std::vector<EntityId>& entry,
+                             const std::vector<double>& scores,
+                             Rng* rng) const {
+  CHECK(!entry.empty());
+  switch (strategy_) {
+    case CacheSelectStrategy::kUniform:
+      return entry[rng->UniformInt(static_cast<uint64_t>(entry.size()))];
+    case CacheSelectStrategy::kImportanceSampling: {
+      std::vector<double> probs(scores);
+      SoftmaxInPlace(&probs);
+      return entry[rng->Categorical(probs)];
+    }
+    case CacheSelectStrategy::kTop: {
+      const size_t best =
+          std::max_element(scores.begin(), scores.end()) - scores.begin();
+      return entry[best];
+    }
+  }
+  return entry[0];
+}
+
+EntityId CacheSelector::SelectHead(const std::vector<EntityId>& entry,
+                                   RelationId r, EntityId t, Rng* rng) const {
+  std::vector<double> scores;
+  if (strategy_ != CacheSelectStrategy::kUniform) {
+    model_->ScoreHeadCandidates(r, t, entry, &scores);
+  }
+  return Pick(entry, scores, rng);
+}
+
+EntityId CacheSelector::SelectTail(const std::vector<EntityId>& entry,
+                                   EntityId h, RelationId r, Rng* rng) const {
+  std::vector<double> scores;
+  if (strategy_ != CacheSelectStrategy::kUniform) {
+    model_->ScoreTailCandidates(h, r, entry, &scores);
+  }
+  return Pick(entry, scores, rng);
+}
+
+}  // namespace nsc

@@ -1,0 +1,56 @@
+// Strategies for sampling one negative entity *from* the cache (step 6 of
+// Algorithm 2). The paper chooses uniform sampling: it is unbiased, costs
+// O(1), and — because everything in the cache already has a large score —
+// still avoids vanishing gradients. The ablations of §IV-C1 compare it
+// against score-proportional ("IS sampling", more exploitation, biased by
+// stale scores and false negatives) and argmax ("top sampling", worst:
+// repeats the same few, often false-negative, entities).
+#ifndef NSCACHING_CORE_CACHE_SELECT_H_
+#define NSCACHING_CORE_CACHE_SELECT_H_
+
+#include <string>
+#include <vector>
+
+#include "embedding/model.h"
+#include "kg/types.h"
+#include "util/rng.h"
+
+namespace nsc {
+
+/// How the negative entity is drawn from a cache entry.
+enum class CacheSelectStrategy {
+  kUniform,             // Paper's choice.
+  kImportanceSampling,  // ∝ exp(score) over the entry.
+  kTop,                 // Argmax score.
+};
+
+std::string CacheSelectStrategyName(CacheSelectStrategy s);
+
+/// Samples entities out of cache entries under a strategy.
+class CacheSelector {
+ public:
+  /// `model` is borrowed; only consulted for the non-uniform strategies.
+  CacheSelector(const KgeModel* model, CacheSelectStrategy strategy)
+      : model_(model), strategy_(strategy) {}
+
+  /// Picks a candidate head h̄ from a head-cache entry for (r, t).
+  EntityId SelectHead(const std::vector<EntityId>& entry, RelationId r,
+                      EntityId t, Rng* rng) const;
+
+  /// Picks a candidate tail t̄ from a tail-cache entry for (h, r).
+  EntityId SelectTail(const std::vector<EntityId>& entry, EntityId h,
+                      RelationId r, Rng* rng) const;
+
+  CacheSelectStrategy strategy() const { return strategy_; }
+
+ private:
+  EntityId Pick(const std::vector<EntityId>& entry,
+                const std::vector<double>& scores, Rng* rng) const;
+
+  const KgeModel* model_;
+  CacheSelectStrategy strategy_;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_CORE_CACHE_SELECT_H_

@@ -1,0 +1,4 @@
+#include "core/cache_stats.h"
+
+// Header-only counters; this translation unit exists so the target has a
+// stable archive member for the struct's (future) out-of-line helpers.

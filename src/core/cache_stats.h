@@ -1,0 +1,32 @@
+// Per-epoch counters exposed by the NSCaching sampler for the
+// exploration/exploitation analysis of the paper:
+//   CE  — changed cache elements per update (Figure 8);
+//   cache size / touch counts — the §III-B3 space discussion.
+// (RR and NZL are computed in analysis/dynamics.h from the trainer's view,
+// since they depend on the sampled negatives and loss values.)
+#ifndef NSCACHING_CORE_CACHE_STATS_H_
+#define NSCACHING_CORE_CACHE_STATS_H_
+
+#include <cstdint>
+
+namespace nsc {
+
+/// Accumulated cache-update statistics; reset at epoch boundaries.
+struct CacheStats {
+  int64_t updates = 0;           // Number of entry refreshes.
+  int64_t changed_elements = 0;  // Sum of CE over refreshes.
+  int64_t selections = 0;        // Negatives drawn from the cache.
+
+  void Reset() { *this = CacheStats(); }
+
+  /// Mean changed elements per refresh (the CE series of Figure 8).
+  double MeanChangedElements() const {
+    return updates == 0
+               ? 0.0
+               : static_cast<double>(changed_elements) / static_cast<double>(updates);
+  }
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_CORE_CACHE_STATS_H_

@@ -1,0 +1,102 @@
+#include "core/cache_update.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace nsc {
+
+std::string CacheUpdateStrategyName(CacheUpdateStrategy s) {
+  switch (s) {
+    case CacheUpdateStrategy::kImportanceSampling:
+      return "is";
+    case CacheUpdateStrategy::kTop:
+      return "top";
+    case CacheUpdateStrategy::kUniform:
+      return "uniform";
+  }
+  return "?";
+}
+
+void CacheUpdater::BuildPool(const std::vector<EntityId>& entry, Rng* rng,
+                             const std::function<bool(EntityId)>& is_known,
+                             std::vector<EntityId>* pool) const {
+  pool->clear();
+  pool->reserve(entry.size() + n2_);
+  const uint64_t num_entities = static_cast<uint64_t>(model_->num_entities());
+  const bool filter = filter_index_ != nullptr;
+  auto draw_fresh = [&]() {
+    EntityId e = static_cast<EntityId>(rng->UniformInt(num_entities));
+    if (filter) {
+      for (int retry = 0; retry < 10 && is_known(e); ++retry) {
+        e = static_cast<EntityId>(rng->UniformInt(num_entities));
+      }
+    }
+    return e;
+  };
+  // Stale entry members that have since been recognised as true triples
+  // are evicted in favour of fresh random candidates.
+  for (EntityId e : entry) {
+    pool->push_back(filter && is_known(e) ? draw_fresh() : e);
+  }
+  for (int i = 0; i < n2_; ++i) pool->push_back(draw_fresh());
+}
+
+int CacheUpdater::Update(std::vector<EntityId>* entry, Rng* rng,
+                         const std::vector<double>& scores,
+                         const std::vector<EntityId>& pool) const {
+  const int n1 = static_cast<int>(entry->size());
+  std::vector<int> picked;
+  switch (strategy_) {
+    case CacheUpdateStrategy::kImportanceSampling:
+      // Eq. (6): survivors ∝ exp(score), without replacement — realised
+      // exactly by the Gumbel-top-k trick on the raw scores.
+      picked = GumbelTopK(scores, n1, rng);
+      break;
+    case CacheUpdateStrategy::kTop:
+      picked = TopK(scores, n1);
+      break;
+    case CacheUpdateStrategy::kUniform: {
+      // Uniform without replacement: Gumbel-top-k over constant logits.
+      std::vector<double> flat(scores.size(), 0.0);
+      picked = GumbelTopK(flat, n1, rng);
+      break;
+    }
+  }
+
+  std::unordered_set<EntityId> before(entry->begin(), entry->end());
+  int changed = 0;
+  for (int i = 0; i < n1; ++i) {
+    const EntityId e = pool[picked[i]];
+    if (before.count(e) == 0) ++changed;
+    (*entry)[i] = e;
+  }
+  return changed;
+}
+
+int CacheUpdater::UpdateHeadEntry(std::vector<EntityId>* entry, RelationId r,
+                                  EntityId t, Rng* rng) const {
+  std::vector<EntityId> pool;
+  auto is_known = [&](EntityId h_bar) {
+    return filter_index_ != nullptr && filter_index_->Contains({h_bar, r, t});
+  };
+  BuildPool(*entry, rng, is_known, &pool);
+  std::vector<double> scores;
+  model_->ScoreHeadCandidates(r, t, pool, &scores);
+  return Update(entry, rng, scores, pool);
+}
+
+int CacheUpdater::UpdateTailEntry(std::vector<EntityId>* entry, EntityId h,
+                                  RelationId r, Rng* rng) const {
+  std::vector<EntityId> pool;
+  auto is_known = [&](EntityId t_bar) {
+    return filter_index_ != nullptr && filter_index_->Contains({h, r, t_bar});
+  };
+  BuildPool(*entry, rng, is_known, &pool);
+  std::vector<double> scores;
+  model_->ScoreTailCandidates(h, r, pool, &scores);
+  return Update(entry, rng, scores, pool);
+}
+
+}  // namespace nsc

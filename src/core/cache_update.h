@@ -1,0 +1,84 @@
+// Cache refresh strategies (step 8 of Algorithm 2 / Algorithm 3).
+//
+// Per update, N2 uniformly random entities are unioned with the N1 cached
+// ones, all N1+N2 candidates are scored by the current model, and N1
+// survivors are chosen. The paper's choice — *importance sampling* (IS) —
+// samples the survivors without replacement with probability ∝ exp(score)
+// (Eq. 6), balancing exploitation (high scores survive) with exploration
+// (fresh random entities can enter). The ablations of §IV-C2 compare IS
+// against deterministic top-N1 ("top update", which stagnates on false
+// negatives) and uniform survivors ("uniform update", which never
+// concentrates) — both implemented here.
+#ifndef NSCACHING_CORE_CACHE_UPDATE_H_
+#define NSCACHING_CORE_CACHE_UPDATE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "embedding/model.h"
+#include "kg/kg_index.h"
+#include "kg/types.h"
+#include "util/rng.h"
+
+namespace nsc {
+
+/// How survivors are drawn from the N1+N2 candidate pool.
+enum class CacheUpdateStrategy {
+  kImportanceSampling,  // Paper's Algorithm 3 (Eq. 6).
+  kTop,                 // Deterministic top-N1 by score.
+  kUniform,             // Uniform N1 of the pool (ablation only).
+};
+
+std::string CacheUpdateStrategyName(CacheUpdateStrategy s);
+
+/// Refreshes cache entries against a model's current scores.
+class CacheUpdater {
+ public:
+  /// `model` is borrowed and must outlive the updater. `n2` is the number
+  /// of random candidates per refresh (N2 in the paper). When
+  /// `filter_index` is non-null, candidates that would form a known-true
+  /// triple are replaced by fresh random entities during the refresh: the
+  /// paper itself does not filter (it relies on |E| ~ 15k-93k making false
+  /// negatives rare, §III-B1), but at this repo's scaled-down |E| the
+  /// false-negative rate in the cache is ~100x the paper's, so filtering
+  /// is what *preserves* the paper's operating regime (see DESIGN.md §3).
+  CacheUpdater(const KgeModel* model, CacheUpdateStrategy strategy, int n2,
+               const KgIndex* filter_index = nullptr)
+      : model_(model),
+        strategy_(strategy),
+        n2_(n2),
+        filter_index_(filter_index) {}
+
+  /// Refreshes a head-cache entry for key (r, t): entry holds candidate
+  /// heads h̄ scored by f(h̄, r, t). Returns the number of ids in the new
+  /// entry that were not in the old one (the CE measure of Figure 8).
+  int UpdateHeadEntry(std::vector<EntityId>* entry, RelationId r, EntityId t,
+                      Rng* rng) const;
+
+  /// Refreshes a tail-cache entry for key (h, r) with scores f(h, r, t̄).
+  int UpdateTailEntry(std::vector<EntityId>* entry, EntityId h, RelationId r,
+                      Rng* rng) const;
+
+  CacheUpdateStrategy strategy() const { return strategy_; }
+  int n2() const { return n2_; }
+
+ private:
+  int Update(std::vector<EntityId>* entry, Rng* rng,
+             const std::vector<double>& scores,
+             const std::vector<EntityId>& pool) const;
+  // Builds pool = entry ∪ N2 random entities and scores it. `is_known`
+  // tests whether a candidate would form a known-true triple.
+  void BuildPool(const std::vector<EntityId>& entry, Rng* rng,
+                 const std::function<bool(EntityId)>& is_known,
+                 std::vector<EntityId>* pool) const;
+
+  const KgeModel* model_;
+  CacheUpdateStrategy strategy_;
+  int n2_;
+  const KgIndex* filter_index_;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_CORE_CACHE_UPDATE_H_

@@ -1,0 +1,54 @@
+#include "core/nscaching_sampler.h"
+
+#include "util/logging.h"
+
+namespace nsc {
+
+NSCachingSampler::NSCachingSampler(const KgeModel* model, const KgIndex* index,
+                                   const NSCachingConfig& config)
+    : config_(config),
+      model_(model),
+      head_cache_(config.n1, model->num_entities(), config.max_cache_entries),
+      tail_cache_(config.n1, model->num_entities(), config.max_cache_entries),
+      selector_(model, config.select_strategy),
+      updater_(model, config.update_strategy, config.n2,
+               config.filter_true_triples ? index : nullptr),
+      side_chooser_(index) {
+  CHECK_GT(config.n1, 0);
+  CHECK_GT(config.n2, 0);
+  CHECK_GE(config.lazy_update_epochs, 0);
+}
+
+void NSCachingSampler::BeginEpoch(int epoch) {
+  updates_enabled_ = (epoch % (config_.lazy_update_epochs + 1)) == 0;
+}
+
+NegativeSample NSCachingSampler::Sample(const Triple& pos, Rng* rng) {
+  // Step 5: index both caches.
+  auto& head_entry = head_cache_.GetOrInit(PackRt(pos.r, pos.t), rng);
+  auto& tail_entry = tail_cache_.GetOrInit(PackHr(pos.h, pos.r), rng);
+
+  // Step 6: sample h̄ and t̄ from the cached candidates.
+  const EntityId h_bar = selector_.SelectHead(head_entry, pos.r, pos.t, rng);
+  const EntityId t_bar = selector_.SelectTail(tail_entry, pos.h, pos.r, rng);
+  ++stats_.selections;
+
+  // Step 7: choose between (h̄, r, t) and (h, r, t̄).
+  NegativeSample out;
+  out.side = side_chooser_.Choose(pos, rng);
+  out.triple = out.side == CorruptionSide::kHead
+                   ? Corrupt(pos, CorruptionSide::kHead, h_bar)
+                   : Corrupt(pos, CorruptionSide::kTail, t_bar);
+
+  // Step 8: refresh both entries with the current model scores.
+  if (updates_enabled_) {
+    stats_.changed_elements +=
+        updater_.UpdateHeadEntry(&head_entry, pos.r, pos.t, rng);
+    stats_.changed_elements +=
+        updater_.UpdateTailEntry(&tail_entry, pos.h, pos.r, rng);
+    stats_.updates += 2;
+  }
+  return out;
+}
+
+}  // namespace nsc

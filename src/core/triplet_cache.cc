@@ -1,0 +1,56 @@
+#include "core/triplet_cache.h"
+
+#include "util/logging.h"
+
+namespace nsc {
+
+TripletCache::TripletCache(int capacity, int32_t num_entities,
+                           size_t max_entries)
+    : capacity_(capacity),
+      num_entities_(num_entities),
+      max_entries_(max_entries) {
+  CHECK_GT(capacity, 0);
+  CHECK_GT(num_entities, 0);
+}
+
+void TripletCache::Touch(uint64_t key, Entry* entry) {
+  if (max_entries_ == 0) return;
+  lru_.erase(entry->lru_pos);
+  lru_.push_front(key);
+  entry->lru_pos = lru_.begin();
+}
+
+std::vector<EntityId>& TripletCache::GetOrInit(uint64_t key, Rng* rng) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    Touch(key, &it->second);
+    return it->second.candidates;
+  }
+
+  if (max_entries_ > 0 && entries_.size() >= max_entries_) {
+    // Evict the least-recently-touched key to stay within the bound.
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++evictions_;
+  }
+
+  Entry entry;
+  entry.candidates.resize(capacity_);
+  for (int i = 0; i < capacity_; ++i) {
+    entry.candidates[i] = static_cast<EntityId>(
+        rng->UniformInt(static_cast<uint64_t>(num_entities_)));
+  }
+  if (max_entries_ > 0) {
+    lru_.push_front(key);
+    entry.lru_pos = lru_.begin();
+  }
+  return entries_.emplace(key, std::move(entry)).first->second.candidates;
+}
+
+const std::vector<EntityId>* TripletCache::Find(uint64_t key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second.candidates;
+}
+
+}  // namespace nsc

@@ -1,0 +1,82 @@
+// The negative-triplet cache of NSCaching (§III-B of the paper).
+//
+// Two caches are kept: the head cache H, indexed by the (r, t) pair of a
+// positive triple and holding candidate replacement heads h̄; and the tail
+// cache T, indexed by (h, r) and holding candidate tails t̄. Both are
+// instances of this class — only the 64-bit key packing differs
+// (PackRt / PackHr in kg/types.h).
+//
+// Entries hold exactly N1 entity ids and are lazily initialised with
+// uniform random entities on first touch, matching the authors' released
+// implementation. Because many positives share an (r, t) or (h, r) pair
+// (1-N/N-1/N-N relations), the number of entries is far below |S| — the
+// space argument of §III-B3.
+#ifndef NSCACHING_CORE_TRIPLET_CACHE_H_
+#define NSCACHING_CORE_TRIPLET_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/types.h"
+#include "util/rng.h"
+
+namespace nsc {
+
+/// One key -> N1 candidate entities map with lazy random initialisation.
+///
+/// The paper's conclusion flags cache memory as the obstacle at
+/// millions-scale KGs and names hashing as future work; `max_entries`
+/// implements that bound: when set, the cache holds at most that many keys
+/// and evicts the least-recently-touched one on overflow (an evicted key
+/// is re-initialised randomly if touched again — it simply restarts its
+/// warm-up). `max_entries = 0` keeps the paper's unbounded behaviour.
+class TripletCache {
+ public:
+  /// `capacity` is N1; `num_entities` bounds the random initial content.
+  TripletCache(int capacity, int32_t num_entities, size_t max_entries = 0);
+
+  /// Returns the entry for `key`, creating it with `capacity` uniform
+  /// random entities when absent.
+  std::vector<EntityId>& GetOrInit(uint64_t key, Rng* rng);
+
+  /// Returns the entry or nullptr when the key was never touched.
+  const std::vector<EntityId>* Find(uint64_t key) const;
+
+  int capacity() const { return capacity_; }
+  size_t num_entries() const { return entries_.size(); }
+
+  /// Total cached ids = num_entries() * N1 — the memory footprint
+  /// discussed in §III-B3.
+  size_t num_cached_ids() const { return entries_.size() * capacity_; }
+
+  void Clear() {
+    entries_.clear();
+    lru_.clear();
+  }
+
+  size_t max_entries() const { return max_entries_; }
+  /// Number of entries discarded due to the memory bound.
+  size_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    std::vector<EntityId> candidates;
+    // Position in lru_ (valid only when max_entries_ > 0).
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  void Touch(uint64_t key, Entry* entry);
+
+  int capacity_;
+  int32_t num_entities_;
+  size_t max_entries_;
+  size_t evictions_ = 0;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::list<uint64_t> lru_;  // Front = most recently touched.
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_CORE_TRIPLET_CACHE_H_

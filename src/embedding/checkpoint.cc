@@ -1,0 +1,79 @@
+#include "embedding/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace nsc {
+
+namespace {
+constexpr char kMagic[8] = {'N', 'S', 'C', 'K', 'P', 'T', '0', '1'};
+}  // namespace
+
+Status SaveModel(const KgeModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+
+  out.write(kMagic, sizeof(kMagic));
+  const std::string scorer = model.scorer().name();
+  const uint32_t name_len = static_cast<uint32_t>(scorer.size());
+  out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+  out.write(scorer.data(), name_len);
+  const int32_t shape[3] = {model.num_entities(), model.num_relations(),
+                            model.dim()};
+  out.write(reinterpret_cast<const char*>(shape), sizeof(shape));
+  const auto& ent = model.entity_table().data();
+  const auto& rel = model.relation_table().data();
+  out.write(reinterpret_cast<const char*>(ent.data()),
+            static_cast<std::streamsize>(ent.size() * sizeof(float)));
+  out.write(reinterpret_cast<const char*>(rel.data()),
+            static_cast<std::streamsize>(rel.size() * sizeof(float)));
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<KgeModel> LoadModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not an NSCaching checkpoint");
+  }
+  uint32_t name_len = 0;
+  in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+  if (!in || name_len > 64) {
+    return Status::InvalidArgument(path + ": corrupt scorer name length");
+  }
+  std::string scorer_name(name_len, '\0');
+  in.read(scorer_name.data(), name_len);
+  int32_t shape[3];
+  in.read(reinterpret_cast<char*>(shape), sizeof(shape));
+  if (!in) return Status::InvalidArgument(path + ": truncated header");
+  if (shape[0] <= 0 || shape[1] <= 0 || shape[2] <= 0) {
+    return Status::InvalidArgument(path + ": non-positive shape");
+  }
+
+  auto scorer = MakeScoringFunction(scorer_name);
+  if (scorer == nullptr) {
+    return Status::InvalidArgument(path + ": unknown scorer " + scorer_name);
+  }
+  KgeModel model(shape[0], shape[1], shape[2], std::move(scorer));
+  auto& ent = model.entity_table().data();
+  auto& rel = model.relation_table().data();
+  in.read(reinterpret_cast<char*>(ent.data()),
+          static_cast<std::streamsize>(ent.size() * sizeof(float)));
+  in.read(reinterpret_cast<char*>(rel.data()),
+          static_cast<std::streamsize>(rel.size() * sizeof(float)));
+  if (!in) return Status::InvalidArgument(path + ": truncated tables");
+  // The file must end exactly here.
+  char extra;
+  in.read(&extra, 1);
+  if (!in.eof()) {
+    return Status::InvalidArgument(path + ": trailing bytes");
+  }
+  return model;
+}
+
+}  // namespace nsc

@@ -1,0 +1,27 @@
+// Model checkpointing: saves/loads a KgeModel's scorer identity, shape and
+// both embedding tables in a small self-describing binary format. Used to
+// persist pretrained models (the paper's "+pretrain" regimes) and to ship
+// trained embeddings to downstream tasks.
+#ifndef NSCACHING_EMBEDDING_CHECKPOINT_H_
+#define NSCACHING_EMBEDDING_CHECKPOINT_H_
+
+#include <string>
+
+#include "embedding/model.h"
+#include "util/status.h"
+
+namespace nsc {
+
+/// Writes `model` to `path`. Overwrites. Format (little-endian):
+///   8-byte magic "NSCKPT01", u32 scorer-name length, scorer name bytes,
+///   i32 num_entities, i32 num_relations, i32 dim,
+///   entity table floats, relation table floats.
+Status SaveModel(const KgeModel& model, const std::string& path);
+
+/// Reads a model written by SaveModel. Fails with IOError on unreadable
+/// files and InvalidArgument on malformed/unknown content.
+StatusOr<KgeModel> LoadModel(const std::string& path);
+
+}  // namespace nsc
+
+#endif  // NSCACHING_EMBEDDING_CHECKPOINT_H_

@@ -1,0 +1,23 @@
+#include "embedding/embedding_table.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace nsc {
+
+void EmbeddingTable::ProjectRowToL2Ball(int32_t i, int prefix, float max_norm) {
+  CHECK_LE(prefix, width_);
+  float* row = Row(i);
+  const float norm = L2Norm(row, prefix);
+  if (norm > max_norm && norm > 0.0f) {
+    Scale(max_norm / norm, row, prefix);
+  }
+}
+
+float EmbeddingTable::RowNorm(int32_t i, int prefix) const {
+  CHECK_LE(prefix, width_);
+  return L2Norm(Row(i), prefix);
+}
+
+}  // namespace nsc

@@ -1,0 +1,60 @@
+// Dense row-major embedding storage. One table per id space (entities,
+// relations); the per-row width is chosen by the scoring function (e.g.
+// TransH packs [r | w_r] into a 2d-wide relation row).
+#ifndef NSCACHING_EMBEDDING_EMBEDDING_TABLE_H_
+#define NSCACHING_EMBEDDING_EMBEDDING_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace nsc {
+
+/// Contiguous rows × width float matrix with row views.
+class EmbeddingTable {
+ public:
+  EmbeddingTable() = default;
+
+  /// Allocates a zero-initialised table.
+  EmbeddingTable(int32_t rows, int width)
+      : rows_(rows), width_(width), data_(static_cast<size_t>(rows) * width) {
+    CHECK_GE(rows, 0);
+    CHECK_GT(width, 0);
+  }
+
+  int32_t rows() const { return rows_; }
+  int width() const { return width_; }
+  size_t size() const { return data_.size(); }
+
+  float* Row(int32_t i) {
+    CHECK_GE(i, 0);
+    CHECK_LT(i, rows_);
+    return data_.data() + static_cast<size_t>(i) * width_;
+  }
+  const float* Row(int32_t i) const {
+    CHECK_GE(i, 0);
+    CHECK_LT(i, rows_);
+    return data_.data() + static_cast<size_t>(i) * width_;
+  }
+
+  /// Raw storage (used by optimizers for moment buffers of equal shape).
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  /// Scales row i so its L2 norm over the first `prefix` floats is at
+  /// most `max_norm` (no-op when already inside the ball).
+  void ProjectRowToL2Ball(int32_t i, int prefix, float max_norm);
+
+  /// L2 norm of the first `prefix` floats of row i.
+  float RowNorm(int32_t i, int prefix) const;
+
+ private:
+  int32_t rows_ = 0;
+  int width_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_EMBEDDING_EMBEDDING_TABLE_H_

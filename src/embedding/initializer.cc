@@ -1,0 +1,24 @@
+#include "embedding/initializer.h"
+
+#include <cmath>
+
+namespace nsc {
+
+void XavierUniformInit(EmbeddingTable* table, Rng* rng) {
+  const double bound = std::sqrt(6.0 / (2.0 * table->width()));
+  UniformInit(table, -bound, bound, rng);
+}
+
+void GaussianInit(EmbeddingTable* table, double stddev, Rng* rng) {
+  for (float& v : table->data()) {
+    v = static_cast<float>(rng->Gaussian(0.0, stddev));
+  }
+}
+
+void UniformInit(EmbeddingTable* table, double lo, double hi, Rng* rng) {
+  for (float& v : table->data()) {
+    v = static_cast<float>(rng->Uniform(lo, hi));
+  }
+}
+
+}  // namespace nsc

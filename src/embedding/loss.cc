@@ -1,0 +1,36 @@
+#include "embedding/loss.h"
+
+#include "util/math.h"
+
+namespace nsc {
+
+LossGrad MarginRankingLoss::Compute(double pos_score, double neg_score) const {
+  LossGrad g;
+  const double raw = margin_ - pos_score + neg_score;
+  if (raw > 0.0) {
+    g.loss = raw;
+    g.d_pos = -1.0;
+    g.d_neg = 1.0;
+  }
+  return g;
+}
+
+LossGrad LogisticLoss::Compute(double pos_score, double neg_score) const {
+  LossGrad g;
+  // ℓ(+1, s) = log(1+exp(−s)); dℓ/ds = −σ(−s).
+  // ℓ(−1, s) = log(1+exp(+s)); dℓ/ds = +σ(+s).
+  g.loss = Log1pExp(-pos_score) + Log1pExp(neg_score);
+  g.d_pos = -Sigmoid(-pos_score);
+  g.d_neg = Sigmoid(neg_score);
+  return g;
+}
+
+std::unique_ptr<PairwiseLoss> MakeDefaultLoss(const ScoringFunction& scorer,
+                                              double margin) {
+  if (scorer.family() == ModelFamily::kTranslationalDistance) {
+    return std::make_unique<MarginRankingLoss>(margin);
+  }
+  return std::make_unique<LogisticLoss>();
+}
+
+}  // namespace nsc

@@ -1,0 +1,59 @@
+// Pairwise training losses of the paper's unified framework (§II-A):
+//   Eq. (1) margin ranking, for translational distance models;
+//   Eq. (2) logistic, for semantic matching models.
+// Both consume a (positive score, negative score) pair and produce the
+// loss value plus its derivatives w.r.t. the two scores.
+#ifndef NSCACHING_EMBEDDING_LOSS_H_
+#define NSCACHING_EMBEDDING_LOSS_H_
+
+#include <memory>
+#include <string>
+
+#include "embedding/scoring_function.h"
+
+namespace nsc {
+
+/// Loss value and its gradient w.r.t. the two scores.
+struct LossGrad {
+  double loss = 0.0;
+  double d_pos = 0.0;  // ∂loss/∂f(pos)
+  double d_neg = 0.0;  // ∂loss/∂f(neg)
+};
+
+/// Pairwise loss interface.
+class PairwiseLoss {
+ public:
+  virtual ~PairwiseLoss() = default;
+  virtual std::string name() const = 0;
+  virtual LossGrad Compute(double pos_score, double neg_score) const = 0;
+};
+
+/// Eq. (1): [γ − f(pos) + f(neg)]₊. Gradient is zero once the pair is
+/// separated by the margin — the vanishing-gradient regime NSCaching is
+/// designed to escape.
+class MarginRankingLoss : public PairwiseLoss {
+ public:
+  explicit MarginRankingLoss(double margin) : margin_(margin) {}
+  std::string name() const override { return "margin"; }
+  LossGrad Compute(double pos_score, double neg_score) const override;
+  double margin() const { return margin_; }
+
+ private:
+  double margin_;
+};
+
+/// Eq. (2): ℓ(+1, f(pos)) + ℓ(−1, f(neg)) with ℓ(α, β) = log(1+exp(−αβ)).
+class LogisticLoss : public PairwiseLoss {
+ public:
+  std::string name() const override { return "logistic"; }
+  LossGrad Compute(double pos_score, double neg_score) const override;
+};
+
+/// The paper's default pairing: margin loss for translational scorers,
+/// logistic loss for semantic matching scorers.
+std::unique_ptr<PairwiseLoss> MakeDefaultLoss(const ScoringFunction& scorer,
+                                              double margin);
+
+}  // namespace nsc
+
+#endif  // NSCACHING_EMBEDDING_LOSS_H_

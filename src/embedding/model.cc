@@ -1,0 +1,57 @@
+#include "embedding/model.h"
+
+#include "embedding/initializer.h"
+#include "util/logging.h"
+
+namespace nsc {
+
+KgeModel::KgeModel(int32_t num_entities, int32_t num_relations, int dim,
+                   std::unique_ptr<ScoringFunction> scorer)
+    : dim_(dim), scorer_(std::move(scorer)) {
+  CHECK(scorer_ != nullptr);
+  CHECK_GT(dim, 0);
+  entities_ = EmbeddingTable(num_entities, scorer_->entity_width(dim));
+  relations_ = EmbeddingTable(num_relations, scorer_->relation_width(dim));
+}
+
+void KgeModel::InitXavier(Rng* rng) {
+  XavierUniformInit(&entities_, rng);
+  XavierUniformInit(&relations_, rng);
+}
+
+double KgeModel::Score(EntityId h, RelationId r, EntityId t) const {
+  return scorer_->Score(entities_.Row(h), relations_.Row(r), entities_.Row(t),
+                        dim_);
+}
+
+void KgeModel::ScoreHeadCandidates(RelationId r, EntityId t,
+                                   const std::vector<EntityId>& candidates,
+                                   std::vector<double>* out) const {
+  out->resize(candidates.size());
+  const float* rv = relations_.Row(r);
+  const float* tv = entities_.Row(t);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    (*out)[i] = scorer_->Score(entities_.Row(candidates[i]), rv, tv, dim_);
+  }
+}
+
+void KgeModel::ScoreTailCandidates(EntityId h, RelationId r,
+                                   const std::vector<EntityId>& candidates,
+                                   std::vector<double>* out) const {
+  out->resize(candidates.size());
+  const float* hv = entities_.Row(h);
+  const float* rv = relations_.Row(r);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    (*out)[i] = scorer_->Score(hv, rv, entities_.Row(candidates[i]), dim_);
+  }
+}
+
+KgeModel KgeModel::Clone() const {
+  KgeModel copy(entities_.rows(), relations_.rows(), dim_,
+                MakeScoringFunction(scorer_->name()));
+  copy.entities_.data() = entities_.data();
+  copy.relations_.data() = relations_.data();
+  return copy;
+}
+
+}  // namespace nsc

@@ -1,0 +1,81 @@
+// KgeModel: the trainable state of one KG embedding model — an entity
+// table, a relation table and a scoring function that interprets their
+// rows. This is the "discriminator" that every negative sampler in the
+// library scores candidates against.
+#ifndef NSCACHING_EMBEDDING_MODEL_H_
+#define NSCACHING_EMBEDDING_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "embedding/embedding_table.h"
+#include "embedding/scoring_function.h"
+#include "kg/types.h"
+#include "util/rng.h"
+
+namespace nsc {
+
+/// Entity/relation embedding tables bound to a scorer.
+class KgeModel {
+ public:
+  /// Allocates tables sized by the scorer's widths; rows start at zero —
+  /// call InitXavier (or copy from a pretrained model) before training.
+  KgeModel(int32_t num_entities, int32_t num_relations, int dim,
+           std::unique_ptr<ScoringFunction> scorer);
+
+  /// Xavier-uniform initialisation of both tables (paper's "from scratch").
+  void InitXavier(Rng* rng);
+
+  /// Plausibility of (h, r, t) under the current parameters.
+  double Score(const Triple& x) const {
+    return Score(x.h, x.r, x.t);
+  }
+  double Score(EntityId h, RelationId r, EntityId t) const;
+
+  /// Scores every candidate head h̄ for fixed (r, t): out[i] = f(c[i], r, t).
+  void ScoreHeadCandidates(RelationId r, EntityId t,
+                           const std::vector<EntityId>& candidates,
+                           std::vector<double>* out) const;
+
+  /// Scores every candidate tail t̄ for fixed (h, r).
+  void ScoreTailCandidates(EntityId h, RelationId r,
+                           const std::vector<EntityId>& candidates,
+                           std::vector<double>* out) const;
+
+  /// Applies the scorer's hard constraints to one entity / relation row
+  /// (called by the trainer after each optimizer step on touched rows).
+  void ProjectEntity(EntityId e) {
+    scorer_->ProjectEntityRow(entities_.Row(e), dim_);
+  }
+  void ProjectRelation(RelationId r) {
+    scorer_->ProjectRelationRow(relations_.Row(r), dim_);
+  }
+
+  EmbeddingTable& entity_table() { return entities_; }
+  const EmbeddingTable& entity_table() const { return entities_; }
+  EmbeddingTable& relation_table() { return relations_; }
+  const EmbeddingTable& relation_table() const { return relations_; }
+
+  const ScoringFunction& scorer() const { return *scorer_; }
+  int dim() const { return dim_; }
+  int32_t num_entities() const { return entities_.rows(); }
+  int32_t num_relations() const { return relations_.rows(); }
+
+  /// Total trainable floats — the "parameters" column of Table I.
+  size_t num_parameters() const {
+    return entities_.size() + relations_.size();
+  }
+
+  /// Deep copy (used to snapshot the best-validation model).
+  KgeModel Clone() const;
+
+ private:
+  int dim_;
+  std::unique_ptr<ScoringFunction> scorer_;
+  EmbeddingTable entities_;
+  EmbeddingTable relations_;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_EMBEDDING_MODEL_H_

@@ -1,0 +1,85 @@
+// Sparse first-order optimizers. KG embedding gradients touch only the
+// handful of rows involved in each (positive, negative) pair, so updates
+// are applied per-row; Adam/Adagrad keep dense moment buffers but only
+// read/write the touched rows (standard "sparse Adam" semantics: bias
+// correction uses the global step count). The paper trains with Adam [22].
+#ifndef NSCACHING_EMBEDDING_OPTIMIZER_H_
+#define NSCACHING_EMBEDDING_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "embedding/embedding_table.h"
+
+namespace nsc {
+
+/// Per-table optimizer state; Apply performs one descent step on one row.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual std::string name() const = 0;
+
+  /// Increments the global step (call once per mini-batch).
+  virtual void BeginStep() {}
+
+  /// Applies a descent update to `table` row `row` given ∂loss/∂row.
+  virtual void Apply(EmbeddingTable* table, int32_t row, const float* grad) = 0;
+
+  virtual double learning_rate() const = 0;
+};
+
+/// Plain SGD: p ← p − lr · g.
+class SgdOptimizer : public Optimizer {
+ public:
+  explicit SgdOptimizer(double lr) : lr_(lr) {}
+  std::string name() const override { return "sgd"; }
+  void Apply(EmbeddingTable* table, int32_t row, const float* grad) override;
+  double learning_rate() const override { return lr_; }
+
+ private:
+  double lr_;
+};
+
+/// Adagrad: per-coordinate accumulated squared gradients.
+class AdagradOptimizer : public Optimizer {
+ public:
+  AdagradOptimizer(double lr, const EmbeddingTable& shape, double eps = 1e-8);
+  std::string name() const override { return "adagrad"; }
+  void Apply(EmbeddingTable* table, int32_t row, const float* grad) override;
+  double learning_rate() const override { return lr_; }
+
+ private:
+  double lr_;
+  double eps_;
+  std::vector<float> accum_;
+  int width_;
+};
+
+/// Adam with default β₁=0.9, β₂=0.999 (the paper adopts Adam's defaults
+/// except the learning rate).
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(double lr, const EmbeddingTable& shape, double beta1 = 0.9,
+                double beta2 = 0.999, double eps = 1e-8);
+  std::string name() const override { return "adam"; }
+  void BeginStep() override { ++step_; }
+  void Apply(EmbeddingTable* table, int32_t row, const float* grad) override;
+  double learning_rate() const override { return lr_; }
+  int64_t step() const { return step_; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  int64_t step_ = 0;
+  std::vector<float> m_;  // First moment, same shape as the table.
+  std::vector<float> v_;  // Second moment.
+  int width_;
+};
+
+/// Factory: "sgd" | "adagrad" | "adam"; `shape` supplies moment sizes.
+std::unique_ptr<Optimizer> MakeOptimizer(const std::string& name, double lr,
+                                         const EmbeddingTable& shape);
+
+}  // namespace nsc
+
+#endif  // NSCACHING_EMBEDDING_OPTIMIZER_H_

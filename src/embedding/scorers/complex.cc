@@ -1,0 +1,42 @@
+#include "embedding/scorers/complex.h"
+
+namespace nsc {
+
+// Layout: row[0..dim) = real part, row[dim..2*dim) = imaginary part.
+// Re(<h, r, conj(t)>) = Σ hr·rr·tr + hi·rr·ti + hr·ri·ti − hi·ri·tr.
+
+double ComplEx::Score(const float* h, const float* r, const float* t,
+                      int dim) const {
+  const float* hr = h;
+  const float* hi = h + dim;
+  const float* rr = r;
+  const float* ri = r + dim;
+  const float* tr = t;
+  const float* ti = t + dim;
+  double s = 0.0;
+  for (int k = 0; k < dim; ++k) {
+    s += double(hr[k]) * rr[k] * tr[k] + double(hi[k]) * rr[k] * ti[k] +
+         double(hr[k]) * ri[k] * ti[k] - double(hi[k]) * ri[k] * tr[k];
+  }
+  return s;
+}
+
+void ComplEx::Backward(const float* h, const float* r, const float* t, int dim,
+                       float coeff, float* gh, float* gr, float* gt) const {
+  const float* hr = h;
+  const float* hi = h + dim;
+  const float* rr = r;
+  const float* ri = r + dim;
+  const float* tr = t;
+  const float* ti = t + dim;
+  for (int k = 0; k < dim; ++k) {
+    gh[k] += coeff * (rr[k] * tr[k] + ri[k] * ti[k]);
+    gh[dim + k] += coeff * (rr[k] * ti[k] - ri[k] * tr[k]);
+    gr[k] += coeff * (hr[k] * tr[k] + hi[k] * ti[k]);
+    gr[dim + k] += coeff * (hr[k] * ti[k] - hi[k] * tr[k]);
+    gt[k] += coeff * (hr[k] * rr[k] - hi[k] * ri[k]);
+    gt[dim + k] += coeff * (hi[k] * rr[k] + hr[k] * ri[k]);
+  }
+}
+
+}  // namespace nsc

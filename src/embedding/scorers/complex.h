@@ -1,0 +1,25 @@
+// ComplEx [38]: embeddings in ℂ^d, f = Re(⟨h, r, conj(t)⟩). Rows pack the
+// real parts first and the imaginary parts second (width 2·dim). The
+// asymmetry from conj(t) lets it model directed relations DistMult cannot.
+#ifndef NSCACHING_EMBEDDING_SCORERS_COMPLEX_H_
+#define NSCACHING_EMBEDDING_SCORERS_COMPLEX_H_
+
+#include "embedding/scoring_function.h"
+
+namespace nsc {
+
+class ComplEx : public ScoringFunction {
+ public:
+  std::string name() const override { return "complex"; }
+  ModelFamily family() const override { return ModelFamily::kSemanticMatching; }
+  int entity_width(int dim) const override { return 2 * dim; }
+  int relation_width(int dim) const override { return 2 * dim; }
+  double Score(const float* h, const float* r, const float* t,
+               int dim) const override;
+  void Backward(const float* h, const float* r, const float* t, int dim,
+                float coeff, float* gh, float* gr, float* gt) const override;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_EMBEDDING_SCORERS_COMPLEX_H_

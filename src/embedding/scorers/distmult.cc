@@ -1,0 +1,22 @@
+#include "embedding/scorers/distmult.h"
+
+namespace nsc {
+
+double DistMult::Score(const float* h, const float* r, const float* t,
+                       int dim) const {
+  double s = 0.0;
+  for (int i = 0; i < dim; ++i) s += double(h[i]) * r[i] * t[i];
+  return s;
+}
+
+void DistMult::Backward(const float* h, const float* r, const float* t,
+                        int dim, float coeff, float* gh, float* gr,
+                        float* gt) const {
+  for (int i = 0; i < dim; ++i) {
+    gh[i] += coeff * r[i] * t[i];
+    gr[i] += coeff * h[i] * t[i];
+    gt[i] += coeff * h[i] * r[i];
+  }
+}
+
+}  // namespace nsc

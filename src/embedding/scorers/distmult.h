@@ -1,0 +1,23 @@
+// DistMult [46]: f(h, r, t) = Σᵢ hᵢ rᵢ tᵢ — RESCAL with the relation matrix
+// restricted to a diagonal. Symmetric in h and t, hence unable to model
+// asymmetric relations (ComplEx fixes that).
+#ifndef NSCACHING_EMBEDDING_SCORERS_DISTMULT_H_
+#define NSCACHING_EMBEDDING_SCORERS_DISTMULT_H_
+
+#include "embedding/scoring_function.h"
+
+namespace nsc {
+
+class DistMult : public ScoringFunction {
+ public:
+  std::string name() const override { return "distmult"; }
+  ModelFamily family() const override { return ModelFamily::kSemanticMatching; }
+  double Score(const float* h, const float* r, const float* t,
+               int dim) const override;
+  void Backward(const float* h, const float* r, const float* t, int dim,
+                float coeff, float* gh, float* gr, float* gt) const override;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_EMBEDDING_SCORERS_DISTMULT_H_

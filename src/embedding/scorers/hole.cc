@@ -1,0 +1,35 @@
+#include "embedding/scorers/hole.h"
+
+namespace nsc {
+
+// f = Σ_k r_k Σ_i h_i t_{(i+k) mod d}.
+
+double HolE::Score(const float* h, const float* r, const float* t,
+                   int dim) const {
+  double s = 0.0;
+  for (int k = 0; k < dim; ++k) {
+    double corr = 0.0;
+    for (int i = 0; i < dim; ++i) {
+      corr += double(h[i]) * t[(i + k) % dim];
+    }
+    s += r[k] * corr;
+  }
+  return s;
+}
+
+void HolE::Backward(const float* h, const float* r, const float* t, int dim,
+                    float coeff, float* gh, float* gr, float* gt) const {
+  for (int k = 0; k < dim; ++k) {
+    float corr = 0.0f;
+    for (int i = 0; i < dim; ++i) {
+      const int j = (i + k) % dim;
+      corr += h[i] * t[j];
+      // ∂f/∂h_i += r_k t_{(i+k)%d};  ∂f/∂t_j += r_k h_i.
+      gh[i] += coeff * r[k] * t[j];
+      gt[j] += coeff * r[k] * h[i];
+    }
+    gr[k] += coeff * corr;
+  }
+}
+
+}  // namespace nsc

@@ -1,0 +1,28 @@
+// HolE [31]: holographic embeddings. The head/tail pair is compressed by
+// circular correlation and matched against the relation vector:
+//   f = r · (h ⋆ t),   (h ⋆ t)_k = Σ_i h_i · t_{(i+k) mod d}.
+// Compositional like RESCAL but with O(d) relation parameters; asymmetric
+// in h and t. Listed in §IV-A4 of the paper; an extension beyond Table III.
+// (This implementation is the direct O(d²) correlation — exact, and fast
+// enough at embedding dimensions used here; an FFT path is a further
+// optimisation, not a semantic change.)
+#ifndef NSCACHING_EMBEDDING_SCORERS_HOLE_H_
+#define NSCACHING_EMBEDDING_SCORERS_HOLE_H_
+
+#include "embedding/scoring_function.h"
+
+namespace nsc {
+
+class HolE : public ScoringFunction {
+ public:
+  std::string name() const override { return "hole"; }
+  ModelFamily family() const override { return ModelFamily::kSemanticMatching; }
+  double Score(const float* h, const float* r, const float* t,
+               int dim) const override;
+  void Backward(const float* h, const float* r, const float* t, int dim,
+                float coeff, float* gh, float* gr, float* gt) const override;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_EMBEDDING_SCORERS_HOLE_H_

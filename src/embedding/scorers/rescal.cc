@@ -1,0 +1,32 @@
+#include "embedding/scorers/rescal.h"
+
+namespace nsc {
+
+double Rescal::Score(const float* h, const float* r, const float* t,
+                     int dim) const {
+  double s = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    double row = 0.0;
+    const float* m = r + i * dim;
+    for (int j = 0; j < dim; ++j) row += double(m[j]) * t[j];
+    s += h[i] * row;
+  }
+  return s;
+}
+
+void Rescal::Backward(const float* h, const float* r, const float* t, int dim,
+                      float coeff, float* gh, float* gr, float* gt) const {
+  for (int i = 0; i < dim; ++i) {
+    const float* m = r + i * dim;
+    float* gm = gr + i * dim;
+    float mt = 0.0f;
+    for (int j = 0; j < dim; ++j) {
+      mt += m[j] * t[j];
+      gm[j] += coeff * h[i] * t[j];
+      gt[j] += coeff * h[i] * m[j];
+    }
+    gh[i] += coeff * mt;
+  }
+}
+
+}  // namespace nsc

@@ -1,0 +1,25 @@
+// RESCAL [32]: f(h, r, t) = hᵀ M_r t with a full d×d relation matrix
+// (row-major in the relation row; width dim²). The original semantic
+// matching model — included as an extension beyond the paper's Table III
+// evaluation set (the paper discusses it in §II-C).
+#ifndef NSCACHING_EMBEDDING_SCORERS_RESCAL_H_
+#define NSCACHING_EMBEDDING_SCORERS_RESCAL_H_
+
+#include "embedding/scoring_function.h"
+
+namespace nsc {
+
+class Rescal : public ScoringFunction {
+ public:
+  std::string name() const override { return "rescal"; }
+  ModelFamily family() const override { return ModelFamily::kSemanticMatching; }
+  int relation_width(int dim) const override { return dim * dim; }
+  double Score(const float* h, const float* r, const float* t,
+               int dim) const override;
+  void Backward(const float* h, const float* r, const float* t, int dim,
+                float coeff, float* gh, float* gr, float* gt) const override;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_EMBEDDING_SCORERS_RESCAL_H_

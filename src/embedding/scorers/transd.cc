@@ -1,0 +1,72 @@
+#include "embedding/scorers/transd.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/math.h"
+
+namespace nsc {
+
+namespace {
+inline float Sign(float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); }
+}  // namespace
+
+double TransD::Score(const float* h, const float* r, const float* t,
+                     int dim) const {
+  const float* hv = h;
+  const float* wh = h + dim;
+  const float* tv = t;
+  const float* wt = t + dim;
+  const float* rv = r;
+  const float* wr = r + dim;
+  const float whh = Dot(wh, hv, dim);
+  const float wtt = Dot(wt, tv, dim);
+  double s = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    const float e = (hv[i] + whh * wr[i]) + rv[i] - (tv[i] + wtt * wr[i]);
+    s += std::fabs(e);
+  }
+  return -s;
+}
+
+void TransD::Backward(const float* h, const float* r, const float* t, int dim,
+                      float coeff, float* gh, float* gr, float* gt) const {
+  const float* hv = h;
+  const float* wh = h + dim;
+  const float* tv = t;
+  const float* wt = t + dim;
+  const float* rv = r;
+  const float* wr = r + dim;
+  const float whh = Dot(wh, hv, dim);
+  const float wtt = Dot(wt, tv, dim);
+
+  std::vector<float> s(dim);
+  for (int i = 0; i < dim; ++i) {
+    const float e = (hv[i] + whh * wr[i]) + rv[i] - (tv[i] + wtt * wr[i]);
+    s[i] = Sign(e);
+  }
+  const float swr = Dot(s.data(), wr, dim);  // s·w_r
+  // dScore/de = −s. Chain rules (see header for the forward form):
+  //   dS/dh_j    = −s_j − (w_h)_j (s·w_r)
+  //   dS/d(wh)_j = −h_j (s·w_r)
+  //   dS/dt_j    = +s_j + (w_t)_j (s·w_r)
+  //   dS/d(wt)_j = +t_j (s·w_r)
+  //   dS/dr_j    = −s_j
+  //   dS/d(wr)_j = −s_j (w_h·h − w_t·t)
+  const float diff = whh - wtt;
+  for (int i = 0; i < dim; ++i) {
+    gh[i] += coeff * (-s[i] - wh[i] * swr);
+    gh[dim + i] += coeff * (-hv[i] * swr);
+    gt[i] += coeff * (s[i] + wt[i] * swr);
+    gt[dim + i] += coeff * (tv[i] * swr);
+    gr[i] += coeff * -s[i];
+    gr[dim + i] += coeff * (-s[i] * diff);
+  }
+}
+
+void TransD::ProjectEntityRow(float* row, int dim) const {
+  const float norm = L2Norm(row, dim);
+  if (norm > 1.0f) Scale(1.0f / norm, row, dim);
+}
+
+}  // namespace nsc

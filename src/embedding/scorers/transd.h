@@ -1,0 +1,33 @@
+// TransD [20]: dynamic mapping matrices built from projection vectors.
+// Entity rows pack [e | w_e] and relation rows pack [r | w_r] (each of
+// width 2·dim), and the projected embeddings are
+//   h⊥ = h + (w_h·h) w_r,   t⊥ = t + (w_t·t) w_r,
+//   f  = −‖h⊥ + r − t⊥‖₁.
+// (This is the equal-dimension specialisation of the paper's
+// M_r e = (I + w_r w_eᵀ) e.)
+#ifndef NSCACHING_EMBEDDING_SCORERS_TRANSD_H_
+#define NSCACHING_EMBEDDING_SCORERS_TRANSD_H_
+
+#include "embedding/scoring_function.h"
+
+namespace nsc {
+
+class TransD : public ScoringFunction {
+ public:
+  std::string name() const override { return "transd"; }
+  ModelFamily family() const override {
+    return ModelFamily::kTranslationalDistance;
+  }
+  int entity_width(int dim) const override { return 2 * dim; }
+  int relation_width(int dim) const override { return 2 * dim; }
+  double Score(const float* h, const float* r, const float* t,
+               int dim) const override;
+  void Backward(const float* h, const float* r, const float* t, int dim,
+                float coeff, float* gh, float* gr, float* gt) const override;
+  /// Base entity vectors kept on/inside the unit ball (per [20]).
+  void ProjectEntityRow(float* row, int dim) const override;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_EMBEDDING_SCORERS_TRANSD_H_

@@ -1,0 +1,38 @@
+#include "embedding/scorers/transe.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace nsc {
+
+namespace {
+inline float Sign(float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); }
+}  // namespace
+
+double TransE::Score(const float* h, const float* r, const float* t,
+                     int dim) const {
+  double s = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    s += std::fabs(h[i] + r[i] - t[i]);
+  }
+  return -s;
+}
+
+void TransE::Backward(const float* h, const float* r, const float* t, int dim,
+                      float coeff, float* gh, float* gr, float* gt) const {
+  for (int i = 0; i < dim; ++i) {
+    const float sg = Sign(h[i] + r[i] - t[i]);
+    // dScore/dh_i = -sign(e_i); dScore/dr_i = -sign(e_i); dScore/dt_i = +sign(e_i).
+    gh[i] += coeff * -sg;
+    gr[i] += coeff * -sg;
+    gt[i] += coeff * sg;
+  }
+}
+
+void TransE::ProjectEntityRow(float* row, int dim) const {
+  const float norm = L2Norm(row, dim);
+  if (norm > 1.0f) Scale(1.0f / norm, row, dim);
+}
+
+}  // namespace nsc

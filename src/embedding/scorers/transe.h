@@ -1,0 +1,27 @@
+// TransE [7]: f(h, r, t) = −‖h + r − t‖₁. The seminal translational model:
+// a true triple's head, translated by the relation vector, should land on
+// the tail.
+#ifndef NSCACHING_EMBEDDING_SCORERS_TRANSE_H_
+#define NSCACHING_EMBEDDING_SCORERS_TRANSE_H_
+
+#include "embedding/scoring_function.h"
+
+namespace nsc {
+
+class TransE : public ScoringFunction {
+ public:
+  std::string name() const override { return "transe"; }
+  ModelFamily family() const override {
+    return ModelFamily::kTranslationalDistance;
+  }
+  double Score(const float* h, const float* r, const float* t,
+               int dim) const override;
+  void Backward(const float* h, const float* r, const float* t, int dim,
+                float coeff, float* gh, float* gr, float* gt) const override;
+  /// Entities live on/inside the unit L2 ball, as in [7].
+  void ProjectEntityRow(float* row, int dim) const override;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_EMBEDDING_SCORERS_TRANSE_H_

@@ -1,0 +1,72 @@
+#include "embedding/scorers/transh.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/math.h"
+
+namespace nsc {
+
+namespace {
+inline float Sign(float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); }
+constexpr float kNormFloor = 1e-12f;
+}  // namespace
+
+double TransH::Score(const float* h, const float* r, const float* t,
+                     int dim) const {
+  const float* rv = r;        // Translation vector.
+  const float* w = r + dim;   // Hyperplane normal (unnormalised).
+  const float wn = std::max(L2Norm(w, dim), kNormFloor);
+  // e = u − (ŵ·u) ŵ + r, with u = h − t.
+  float wu = 0.0f;
+  for (int i = 0; i < dim; ++i) wu += w[i] * (h[i] - t[i]);
+  wu /= wn * wn;  // (ŵ·u)/‖w‖ so that wu * w[i] = (ŵ·u) ŵ_i.
+  double s = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    s += std::fabs((h[i] - t[i]) - wu * w[i] + rv[i]);
+  }
+  return -s;
+}
+
+void TransH::Backward(const float* h, const float* r, const float* t, int dim,
+                      float coeff, float* gh, float* gr, float* gt) const {
+  const float* rv = r;
+  const float* w = r + dim;
+  const float wn = std::max(L2Norm(w, dim), kNormFloor);
+
+  std::vector<float> what(dim), u(dim), e(dim), s(dim);
+  for (int i = 0; i < dim; ++i) {
+    what[i] = w[i] / wn;
+    u[i] = h[i] - t[i];
+  }
+  const float wu = Dot(what.data(), u.data(), dim);  // ŵ·u
+  for (int i = 0; i < dim; ++i) {
+    e[i] = u[i] - wu * what[i] + rv[i];
+    s[i] = Sign(e[i]);
+  }
+  // dScore/de = −s; de/dh = I − ŵŵᵀ; de/dt = −(I − ŵŵᵀ); de/dr = I.
+  const float sw = Dot(s.data(), what.data(), dim);  // s·ŵ
+  for (int i = 0; i < dim; ++i) {
+    const float proj = s[i] - sw * what[i];  // (I − ŵŵᵀ)s
+    gh[i] += coeff * -proj;
+    gt[i] += coeff * proj;
+    gr[i] += coeff * -s[i];
+  }
+  // dScore/dŵ = (s·ŵ)u + (ŵ·u)s  (from e's −(ŵ·u)ŵ term, with dS/de = −s
+  // giving the overall + sign); chain through ŵ = w/‖w‖:
+  // dScore/dw = (I − ŵŵᵀ)/‖w‖ · dScore/dŵ.
+  std::vector<float> gwhat(dim);
+  for (int i = 0; i < dim; ++i) gwhat[i] = sw * u[i] + wu * s[i];
+  const float gw_dot = Dot(gwhat.data(), what.data(), dim);
+  float* gw = gr + dim;
+  for (int i = 0; i < dim; ++i) {
+    gw[i] += coeff * (gwhat[i] - gw_dot * what[i]) / wn;
+  }
+}
+
+void TransH::ProjectEntityRow(float* row, int dim) const {
+  const float norm = L2Norm(row, dim);
+  if (norm > 1.0f) Scale(1.0f / norm, row, dim);
+}
+
+}  // namespace nsc

@@ -1,0 +1,29 @@
+// TransH [42]: entities are projected onto a relation-specific hyperplane
+// with unit normal ŵ before the TransE-style translation:
+//   f = −‖(h − ŵᵀh ŵ) + r − (t − ŵᵀt ŵ)‖₁,  ŵ = w/‖w‖.
+// The relation row packs [r | w] (width 2·dim). The normalisation of w is
+// differentiated exactly (no post-hoc projection needed).
+#ifndef NSCACHING_EMBEDDING_SCORERS_TRANSH_H_
+#define NSCACHING_EMBEDDING_SCORERS_TRANSH_H_
+
+#include "embedding/scoring_function.h"
+
+namespace nsc {
+
+class TransH : public ScoringFunction {
+ public:
+  std::string name() const override { return "transh"; }
+  ModelFamily family() const override {
+    return ModelFamily::kTranslationalDistance;
+  }
+  int relation_width(int dim) const override { return 2 * dim; }
+  double Score(const float* h, const float* r, const float* t,
+               int dim) const override;
+  void Backward(const float* h, const float* r, const float* t, int dim,
+                float coeff, float* gh, float* gr, float* gt) const override;
+  void ProjectEntityRow(float* row, int dim) const override;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_EMBEDDING_SCORERS_TRANSH_H_

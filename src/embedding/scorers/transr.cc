@@ -1,0 +1,60 @@
+#include "embedding/scorers/transr.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/math.h"
+
+namespace nsc {
+
+namespace {
+inline float Sign(float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); }
+}  // namespace
+
+double TransR::Score(const float* h, const float* r, const float* t,
+                     int dim) const {
+  const float* rv = r;
+  const float* m = r + dim;  // Row-major d×d.
+  double s = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    const float* row = m + i * dim;
+    float e = rv[i];
+    for (int j = 0; j < dim; ++j) e += row[j] * (h[j] - t[j]);
+    s += std::fabs(e);
+  }
+  return -s;
+}
+
+void TransR::Backward(const float* h, const float* r, const float* t, int dim,
+                      float coeff, float* gh, float* gr, float* gt) const {
+  const float* rv = r;
+  const float* m = r + dim;
+  std::vector<float> s(dim);
+  std::vector<float> u(dim);  // h - t.
+  for (int j = 0; j < dim; ++j) u[j] = h[j] - t[j];
+  for (int i = 0; i < dim; ++i) {
+    const float* row = m + i * dim;
+    float e = rv[i];
+    for (int j = 0; j < dim; ++j) e += row[j] * u[j];
+    s[i] = Sign(e);
+  }
+  // dS/de = −s;  e_i = r_i + Σ_j M_ij (h_j − t_j).
+  float* gm = gr + dim;
+  for (int i = 0; i < dim; ++i) {
+    gr[i] += coeff * -s[i];
+    const float* row = m + i * dim;
+    float* gm_row = gm + i * dim;
+    for (int j = 0; j < dim; ++j) {
+      gh[j] += coeff * -s[i] * row[j];
+      gt[j] += coeff * s[i] * row[j];
+      gm_row[j] += coeff * -s[i] * u[j];
+    }
+  }
+}
+
+void TransR::ProjectEntityRow(float* row, int dim) const {
+  const float norm = L2Norm(row, dim);
+  if (norm > 1.0f) Scale(1.0f / norm, row, dim);
+}
+
+}  // namespace nsc

@@ -1,0 +1,30 @@
+// TransR [26]: entities and relations live in different spaces; a full
+// relation-specific matrix M_r projects entities before the translation:
+//   f = −‖M_r h + r − M_r t‖₁.
+// The relation row packs [r | M_r row-major] (width d + d²). Listed in the
+// paper's §IV-A4 survey of translational scorers; included as an extension
+// beyond the Table III evaluation set.
+#ifndef NSCACHING_EMBEDDING_SCORERS_TRANSR_H_
+#define NSCACHING_EMBEDDING_SCORERS_TRANSR_H_
+
+#include "embedding/scoring_function.h"
+
+namespace nsc {
+
+class TransR : public ScoringFunction {
+ public:
+  std::string name() const override { return "transr"; }
+  ModelFamily family() const override {
+    return ModelFamily::kTranslationalDistance;
+  }
+  int relation_width(int dim) const override { return dim + dim * dim; }
+  double Score(const float* h, const float* r, const float* t,
+               int dim) const override;
+  void Backward(const float* h, const float* r, const float* t, int dim,
+                float coeff, float* gh, float* gr, float* gt) const override;
+  void ProjectEntityRow(float* row, int dim) const override;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_EMBEDDING_SCORERS_TRANSR_H_

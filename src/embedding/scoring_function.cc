@@ -1,0 +1,31 @@
+#include "embedding/scoring_function.h"
+
+#include "embedding/scorers/complex.h"
+#include "embedding/scorers/distmult.h"
+#include "embedding/scorers/hole.h"
+#include "embedding/scorers/rescal.h"
+#include "embedding/scorers/transd.h"
+#include "embedding/scorers/transe.h"
+#include "embedding/scorers/transh.h"
+#include "embedding/scorers/transr.h"
+
+namespace nsc {
+
+std::unique_ptr<ScoringFunction> MakeScoringFunction(const std::string& name) {
+  if (name == "transe") return std::make_unique<TransE>();
+  if (name == "transh") return std::make_unique<TransH>();
+  if (name == "transd") return std::make_unique<TransD>();
+  if (name == "transr") return std::make_unique<TransR>();
+  if (name == "distmult") return std::make_unique<DistMult>();
+  if (name == "complex") return std::make_unique<ComplEx>();
+  if (name == "rescal") return std::make_unique<Rescal>();
+  if (name == "hole") return std::make_unique<HolE>();
+  return nullptr;
+}
+
+std::vector<std::string> ListScoringFunctions() {
+  return {"transe",   "transh",  "transd", "transr",
+          "distmult", "complex", "rescal", "hole"};
+}
+
+}  // namespace nsc

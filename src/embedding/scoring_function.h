@@ -1,0 +1,74 @@
+// Scoring-function interface (Table III of the paper) and its registry.
+//
+// A scoring function f(h, r, t) measures the plausibility of a triple from
+// the embedding rows of its head, relation and tail. Throughout this
+// library *larger score = more plausible*; translational scorers therefore
+// return the negative distance, so that the margin loss of Eq. (1),
+// [γ − f(pos) + f(neg)]_+, and NSCaching's "cache the large-score
+// negatives" rule read identically for both model families.
+#ifndef NSCACHING_EMBEDDING_SCORING_FUNCTION_H_
+#define NSCACHING_EMBEDDING_SCORING_FUNCTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nsc {
+
+/// The two families of §II of the paper; the family selects the default
+/// loss (margin ranking vs logistic) and entity-norm constraints.
+enum class ModelFamily { kTranslationalDistance, kSemanticMatching };
+
+/// Stateless scorer over raw embedding rows. Implementations provide the
+/// analytic gradient of the score; correctness is enforced by
+/// finite-difference tests (scoring_function_test.cc).
+class ScoringFunction {
+ public:
+  virtual ~ScoringFunction() = default;
+
+  /// Lower-case identifier used by the registry ("transe", "complex", ...).
+  virtual std::string name() const = 0;
+
+  virtual ModelFamily family() const = 0;
+
+  /// Floats per entity row for embedding dimension `dim` (e.g. 2*dim for
+  /// TransD, which stores the entity vector and its projection vector).
+  virtual int entity_width(int dim) const { return dim; }
+
+  /// Floats per relation row.
+  virtual int relation_width(int dim) const { return dim; }
+
+  /// Plausibility score of (h, r, t); row pointers sized per the widths.
+  virtual double Score(const float* h, const float* r, const float* t,
+                       int dim) const = 0;
+
+  /// Accumulates coeff * ∂Score/∂{h,r,t} into gh/gr/gt (same widths as the
+  /// rows; buffers are += accumulated, callers zero them).
+  virtual void Backward(const float* h, const float* r, const float* t,
+                        int dim, float coeff, float* gh, float* gr,
+                        float* gt) const = 0;
+
+  /// Hard constraint applied to an entity row after each update (e.g.
+  /// TransE keeps entity norms ≤ 1). Default: none.
+  virtual void ProjectEntityRow(float* row, int dim) const {
+    (void)row;
+    (void)dim;
+  }
+
+  /// Hard constraint applied to a relation row after each update.
+  virtual void ProjectRelationRow(float* row, int dim) const {
+    (void)row;
+    (void)dim;
+  }
+};
+
+/// Creates a scorer by name; nullptr for unknown names. Known names:
+/// "transe", "transh", "transd", "distmult", "complex", "rescal".
+std::unique_ptr<ScoringFunction> MakeScoringFunction(const std::string& name);
+
+/// All registered scorer names, in Table III order then extensions.
+std::vector<std::string> ListScoringFunctions();
+
+}  // namespace nsc
+
+#endif  // NSCACHING_EMBEDDING_SCORING_FUNCTION_H_

@@ -1,0 +1,120 @@
+#include "kg/dataset.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/tsv.h"
+
+namespace nsc {
+
+void Dataset::FinalizeUniverse() {
+  train.SetUniverse(entities.size(), relations.size());
+  valid.SetUniverse(entities.size(), relations.size());
+  test.SetUniverse(entities.size(), relations.size());
+}
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.name = dataset.name;
+  stats.num_entities = dataset.num_entities();
+  stats.num_relations = dataset.num_relations();
+  stats.num_train = dataset.train.size();
+  stats.num_valid = dataset.valid.size();
+  stats.num_test = dataset.test.size();
+  return stats;
+}
+
+namespace {
+
+Status ParseSplit(const std::string& path, Dataset* dataset,
+                  std::vector<Triple>* out) {
+  auto rows = ReadTsvFile(path);
+  if (!rows.ok()) return rows.status();
+  for (const auto& row : rows.value()) {
+    if (row.size() != 3) {
+      return Status::InvalidArgument(path + ": expected 3 fields, got " +
+                                     std::to_string(row.size()));
+    }
+    Triple x;
+    x.h = dataset->entities.GetOrAdd(row[0]);
+    x.r = dataset->relations.GetOrAdd(row[1]);
+    x.t = dataset->entities.GetOrAdd(row[2]);
+    out->push_back(x);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Dataset> LoadDataset(const std::string& dir, const std::string& name) {
+  Dataset dataset;
+  dataset.name = name;
+
+  std::vector<Triple> train_raw, valid_raw, test_raw;
+  NSC_RETURN_IF_ERROR(ParseSplit(dir + "/train.txt", &dataset, &train_raw));
+  NSC_RETURN_IF_ERROR(ParseSplit(dir + "/valid.txt", &dataset, &valid_raw));
+  NSC_RETURN_IF_ERROR(ParseSplit(dir + "/test.txt", &dataset, &test_raw));
+
+  dataset.FinalizeUniverse();
+
+  // Entities/relations that appear in train; eval triples outside this set
+  // are dropped per the standard protocol.
+  std::unordered_set<int32_t> train_entities, train_relations;
+  for (const Triple& x : train_raw) {
+    train_entities.insert(x.h);
+    train_entities.insert(x.t);
+    train_relations.insert(x.r);
+    dataset.train.Add(x);
+  }
+  auto keep = [&](const Triple& x) {
+    return train_entities.count(x.h) > 0 && train_entities.count(x.t) > 0 &&
+           train_relations.count(x.r) > 0;
+  };
+  size_t dropped = 0;
+  for (const Triple& x : valid_raw) {
+    if (keep(x)) {
+      dataset.valid.Add(x);
+    } else {
+      ++dropped;
+    }
+  }
+  for (const Triple& x : test_raw) {
+    if (keep(x)) {
+      dataset.test.Add(x);
+    } else {
+      ++dropped;
+    }
+  }
+  if (dropped > 0) {
+    LOG_WARNING << name << ": dropped " << dropped
+                << " eval triples with entities/relations unseen in train";
+  }
+  return dataset;
+}
+
+namespace {
+
+std::vector<std::vector<std::string>> ToRows(const Dataset& dataset,
+                                             const TripleStore& split) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(split.size());
+  for (const Triple& x : split) {
+    rows.push_back({dataset.entities.Name(x.h), dataset.relations.Name(x.r),
+                    dataset.entities.Name(x.t)});
+  }
+  return rows;
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& dir) {
+  NSC_RETURN_IF_ERROR(
+      WriteTsvFile(dir + "/train.txt", ToRows(dataset, dataset.train)));
+  NSC_RETURN_IF_ERROR(
+      WriteTsvFile(dir + "/valid.txt", ToRows(dataset, dataset.valid)));
+  NSC_RETURN_IF_ERROR(
+      WriteTsvFile(dir + "/test.txt", ToRows(dataset, dataset.test)));
+  return Status::OK();
+}
+
+}  // namespace nsc

@@ -1,0 +1,57 @@
+// A Dataset bundles the entity/relation vocabularies with the three
+// standard splits (train/valid/test) of a link-prediction benchmark, plus
+// loading from / saving to the on-disk layout used by the WN18 and FB15K
+// releases (train.txt / valid.txt / test.txt, tab-separated h r t).
+#ifndef NSCACHING_KG_DATASET_H_
+#define NSCACHING_KG_DATASET_H_
+
+#include <string>
+
+#include "kg/triple_store.h"
+#include "kg/vocab.h"
+#include "util/status.h"
+
+namespace nsc {
+
+/// A complete link-prediction benchmark dataset.
+struct Dataset {
+  std::string name;
+  Vocab entities;
+  Vocab relations;
+  TripleStore train;
+  TripleStore valid;
+  TripleStore test;
+
+  int32_t num_entities() const { return entities.size(); }
+  int32_t num_relations() const { return relations.size(); }
+
+  /// Re-stamps the universe sizes of all splits from the vocabularies.
+  /// Must be called after the vocabularies stop growing.
+  void FinalizeUniverse();
+};
+
+/// Summary statistics in the shape of the paper's Table II.
+struct DatasetStats {
+  std::string name;
+  int32_t num_entities = 0;
+  int32_t num_relations = 0;
+  size_t num_train = 0;
+  size_t num_valid = 0;
+  size_t num_test = 0;
+};
+
+/// Computes Table II-style statistics.
+DatasetStats ComputeStats(const Dataset& dataset);
+
+/// Loads a dataset from `dir`/{train,valid,test}.txt. Each line is
+/// "head<TAB>relation<TAB>tail". Triples in valid/test whose entity or
+/// relation never appears in train are dropped (the standard protocol:
+/// embeddings for unseen ids are untrainable).
+StatusOr<Dataset> LoadDataset(const std::string& dir, const std::string& name);
+
+/// Writes `dataset` back out in the same three-file layout.
+Status SaveDataset(const Dataset& dataset, const std::string& dir);
+
+}  // namespace nsc
+
+#endif  // NSCACHING_KG_DATASET_H_

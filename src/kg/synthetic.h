@@ -1,0 +1,93 @@
+// Synthetic knowledge-graph generation.
+//
+// The paper evaluates on WN18, WN18RR, FB15K and FB15K237, which are
+// external downloads unavailable in this offline environment. This module
+// substitutes structurally faithful synthetic graphs produced by a latent
+// "world model": ground-truth entity and relation vectors are sampled in a
+// small latent space, entities are grouped into type clusters, and triples
+// are emitted by softmax-sampling tails whose latent vector is close to
+// z_h + z_r (a TransE-style regularity). Because the data has learnable
+// low-dimensional structure, embedding models trained on it behave like
+// they do on real KGs: scores of observed triples separate from the bulk,
+// the negative-score distribution becomes highly skew, and relation
+// cardinalities (1-N / N-1 / N-N) matter for Bernoulli sampling.
+//
+// The WN18/FB15K presets additionally emit *inverse twin* relations
+// (r'(t, h) for most facts r(h, t)), reproducing the test leakage that
+// makes those datasets easy; the RR/237 presets omit twins, like their
+// de-duplicated real counterparts.
+#ifndef NSCACHING_KG_SYNTHETIC_H_
+#define NSCACHING_KG_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "kg/dataset.h"
+
+namespace nsc {
+
+/// Parameters of the latent-space generator.
+struct SyntheticKgConfig {
+  std::string name = "synthetic";
+  int num_entities = 2000;
+  int num_relations = 12;
+  /// Total facts to emit before splitting (train+valid+test after dedup).
+  int num_triples = 12000;
+  /// Fraction of emitted triples reserved for the validation / test splits.
+  double valid_fraction = 0.04;
+  double test_fraction = 0.04;
+
+  /// Latent world-model geometry.
+  int latent_dim = 16;
+  int num_clusters = 10;
+  double cluster_spread = 0.45;   // Within-cluster entity noise.
+  double relation_scale = 1.0;    // Norm scale of relation vectors.
+  double softmax_beta = 3.0;      // Sharpness of stochastic tail selection.
+  int tail_candidate_pool = 64;   // Candidates scored per emitted triple.
+  /// When true (default), the tails of each touched (h, r) pair are the
+  /// *deterministic* nearest neighbours over the whole target cluster, so
+  /// the emitted KG is complete with respect to its own world model: a
+  /// non-emitted corruption is genuinely false, not merely unsampled.
+  /// This matters for hard-negative methods — with stochastic emission,
+  /// high-scoring "negatives" are often latent-true triples the sampler
+  /// punishes the model for ranking well. Set false for the noisier
+  /// stochastic emission.
+  bool complete_neighborhoods = true;
+
+  /// Relation cardinality mix (fractions; remainder is 1-to-1).
+  double frac_one_to_many = 0.3;
+  double frac_many_to_one = 0.3;
+  double frac_many_to_many = 0.2;
+  double high_cardinality_mean = 4.0;  // Mean fan-out of the "many" side.
+
+  /// Fraction of relations that get an inverse twin relation; twins copy
+  /// ~90% of the base relation's facts reversed (WN18/FB15K-style leakage).
+  double inverse_twin_fraction = 0.0;
+
+  uint64_t seed = 42;
+};
+
+/// Generates a dataset from the latent world model. Deterministic in
+/// `config.seed`. Guarantees: no duplicate triples across all splits, and
+/// every entity/relation in valid/test also occurs in train.
+Dataset GenerateSyntheticKg(const SyntheticKgConfig& config);
+
+/// Scale factor applied to the preset sizes below; 1.0 reproduces the
+/// default benchmark scale (~1/10 of the real datasets).
+/// Presets mirror the shape of Table II of the paper.
+SyntheticKgConfig SynthWn18Config(double scale = 1.0);
+SyntheticKgConfig SynthWn18RrConfig(double scale = 1.0);
+SyntheticKgConfig SynthFb15kConfig(double scale = 1.0);
+SyntheticKgConfig SynthFb15k237Config(double scale = 1.0);
+
+/// Tiny fully-named "persons & professions" KG used for the Table VI
+/// qualitative cache-evolution experiment (substituting FB13): entities
+/// are persons, professions, and cities; relations are `profession`,
+/// `born_in`, `located_in` and `colleague_of`. Entity names make cache
+/// snapshots human-readable.
+Dataset GenerateProfessionsKg(int num_persons = 400, int num_cities = 40,
+                              uint64_t seed = 7);
+
+}  // namespace nsc
+
+#endif  // NSCACHING_KG_SYNTHETIC_H_

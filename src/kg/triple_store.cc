@@ -1,0 +1,17 @@
+#include "kg/triple_store.h"
+
+#include "util/logging.h"
+
+namespace nsc {
+
+void TripleStore::Add(const Triple& x) {
+  CHECK_GE(x.h, 0);
+  CHECK_LT(x.h, num_entities_);
+  CHECK_GE(x.t, 0);
+  CHECK_LT(x.t, num_entities_);
+  CHECK_GE(x.r, 0);
+  CHECK_LT(x.r, num_relations_);
+  triples_.push_back(x);
+}
+
+}  // namespace nsc

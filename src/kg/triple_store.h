@@ -1,0 +1,49 @@
+// Flat, immutable-after-build storage of a triple list plus its vocabulary
+// sizes. One TripleStore per split (train/valid/test).
+#ifndef NSCACHING_KG_TRIPLE_STORE_H_
+#define NSCACHING_KG_TRIPLE_STORE_H_
+
+#include <vector>
+
+#include "kg/types.h"
+
+namespace nsc {
+
+/// An ordered list of triples over a fixed entity/relation universe.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  /// Creates a store over |E| = num_entities, |R| = num_relations.
+  TripleStore(int32_t num_entities, int32_t num_relations)
+      : num_entities_(num_entities), num_relations_(num_relations) {}
+
+  /// Appends a triple; ids must be within the declared universe.
+  void Add(const Triple& x);
+
+  size_t size() const { return triples_.size(); }
+  bool empty() const { return triples_.empty(); }
+  const Triple& operator[](size_t i) const { return triples_[i]; }
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  int32_t num_entities() const { return num_entities_; }
+  int32_t num_relations() const { return num_relations_; }
+
+  /// Widens the universe (used when merging splits with a shared vocab).
+  void SetUniverse(int32_t num_entities, int32_t num_relations) {
+    num_entities_ = num_entities;
+    num_relations_ = num_relations;
+  }
+
+  auto begin() const { return triples_.begin(); }
+  auto end() const { return triples_.end(); }
+
+ private:
+  std::vector<Triple> triples_;
+  int32_t num_entities_ = 0;
+  int32_t num_relations_ = 0;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_KG_TRIPLE_STORE_H_

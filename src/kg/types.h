@@ -1,0 +1,91 @@
+// Core identifier types for knowledge-graph triples and the packed 64-bit
+// keys used by hash indexes and the NSCaching head/tail caches.
+//
+// A triple (h, r, t) states that head entity h is connected to tail entity
+// t by relation r, e.g. (Shakespeare, isAuthorOf, Hamlet).
+#ifndef NSCACHING_KG_TYPES_H_
+#define NSCACHING_KG_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/logging.h"
+
+namespace nsc {
+
+/// Dense entity identifier, assigned by Vocab in insertion order.
+using EntityId = int32_t;
+/// Dense relation identifier.
+using RelationId = int32_t;
+
+/// Ids are packed into 64-bit keys with 21 bits per component, which caps
+/// entity/relation vocabulary sizes at 2^21 (~2.09M) — enough for every
+/// dataset in the paper (largest: WN18RR with 93,003 entities).
+inline constexpr int kIdBits = 21;
+inline constexpr int64_t kMaxId = (1LL << kIdBits) - 1;
+
+/// One fact in the knowledge graph.
+struct Triple {
+  EntityId h = 0;
+  RelationId r = 0;
+  EntityId t = 0;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.h == b.h && a.r == b.r && a.t == b.t;
+  }
+  friend bool operator<(const Triple& a, const Triple& b) {
+    if (a.h != b.h) return a.h < b.h;
+    if (a.r != b.r) return a.r < b.r;
+    return a.t < b.t;
+  }
+};
+
+/// Packs a full triple into one 64-bit key. All ids must fit in kIdBits.
+inline uint64_t PackTriple(const Triple& x) {
+  CHECK_GE(x.h, 0);
+  CHECK_LE(static_cast<int64_t>(x.h), kMaxId);
+  CHECK_GE(x.r, 0);
+  CHECK_LE(static_cast<int64_t>(x.r), kMaxId);
+  CHECK_GE(x.t, 0);
+  CHECK_LE(static_cast<int64_t>(x.t), kMaxId);
+  return (static_cast<uint64_t>(x.h) << (2 * kIdBits)) |
+         (static_cast<uint64_t>(x.r) << kIdBits) | static_cast<uint64_t>(x.t);
+}
+
+/// Inverse of PackTriple.
+inline Triple UnpackTriple(uint64_t key) {
+  Triple x;
+  x.t = static_cast<EntityId>(key & kMaxId);
+  x.r = static_cast<RelationId>((key >> kIdBits) & kMaxId);
+  x.h = static_cast<EntityId>(key >> (2 * kIdBits));
+  return x;
+}
+
+/// Packs an (h, r) pair — the key of the *tail* cache T in the paper
+/// (candidates t̄ for corrupting the tail of triples that share (h, r)).
+inline uint64_t PackHr(EntityId h, RelationId r) {
+  return (static_cast<uint64_t>(h) << kIdBits) | static_cast<uint64_t>(r);
+}
+
+/// Packs an (r, t) pair — the key of the *head* cache H.
+inline uint64_t PackRt(RelationId r, EntityId t) {
+  return (static_cast<uint64_t>(r) << kIdBits) | static_cast<uint64_t>(t);
+}
+
+/// Which side of a positive triple was corrupted to form a negative.
+enum class CorruptionSide { kHead, kTail };
+
+/// Hash functor so Triple can key unordered containers directly.
+struct TripleHash {
+  size_t operator()(const Triple& x) const {
+    uint64_t k = PackTriple(x);
+    // splitmix64 finalizer.
+    k = (k ^ (k >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    k = (k ^ (k >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<size_t>(k ^ (k >> 31));
+  }
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_KG_TYPES_H_

@@ -1,0 +1,28 @@
+#include "kg/vocab.h"
+
+#include "util/logging.h"
+
+namespace nsc {
+
+int32_t Vocab::GetOrAdd(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const int32_t id = static_cast<int32_t>(names_.size());
+  CHECK_LE(static_cast<int64_t>(id), kMaxId) << "vocabulary overflow";
+  index_.emplace(name, id);
+  names_.push_back(name);
+  return id;
+}
+
+int32_t Vocab::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& Vocab::Name(int32_t id) const {
+  CHECK_GE(id, 0);
+  CHECK_LT(id, size());
+  return names_[id];
+}
+
+}  // namespace nsc

@@ -1,0 +1,38 @@
+// Bidirectional string <-> dense-id mapping for entities and relations.
+#ifndef NSCACHING_KG_VOCAB_H_
+#define NSCACHING_KG_VOCAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/types.h"
+#include "util/status.h"
+
+namespace nsc {
+
+/// Assigns dense int32 ids to names in first-seen order.
+class Vocab {
+ public:
+  /// Returns the id of `name`, inserting it if new.
+  int32_t GetOrAdd(const std::string& name);
+
+  /// Returns the id of `name` or -1 when absent.
+  int32_t Find(const std::string& name) const;
+
+  /// Returns the name of `id`; id must be valid.
+  const std::string& Name(int32_t id) const;
+
+  int32_t size() const { return static_cast<int32_t>(names_.size()); }
+
+  /// All names in id order.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::unordered_map<std::string, int32_t> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_KG_VOCAB_H_

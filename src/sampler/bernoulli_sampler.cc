@@ -1,0 +1,19 @@
+#include "sampler/bernoulli_sampler.h"
+
+namespace nsc {
+
+NegativeSample BernoulliSampler::Sample(const Triple& pos, Rng* rng) {
+  NegativeSample out;
+  out.side = side_chooser_.Choose(pos, rng);
+  for (int attempt = 0;; ++attempt) {
+    const EntityId e = static_cast<EntityId>(
+        rng->UniformInt(static_cast<uint64_t>(num_entities_)));
+    out.triple = Corrupt(pos, out.side, e);
+    const bool known = filter_known_ && attempt < max_retries_ &&
+                       index_->Contains(out.triple);
+    if (!known) break;
+  }
+  return out;
+}
+
+}  // namespace nsc

@@ -1,0 +1,37 @@
+// Bernoulli negative sampling [42] — the paper's baseline scheme: the
+// corrupted side is chosen per-relation with probability tph/(tph+hpt)
+// for the head, reducing false negatives on 1-N / N-1 / N-N relations;
+// the replacing entity is uniform.
+#ifndef NSCACHING_SAMPLER_BERNOULLI_SAMPLER_H_
+#define NSCACHING_SAMPLER_BERNOULLI_SAMPLER_H_
+
+#include "sampler/negative_sampler.h"
+
+namespace nsc {
+
+class BernoulliSampler : public NegativeSampler {
+ public:
+  /// `index` (borrowed) supplies the tph/hpt statistics and, when
+  /// `filter_known` is set, the known-positive rejection test.
+  BernoulliSampler(int32_t num_entities, const KgIndex* index,
+                   bool filter_known = true, int max_retries = 10)
+      : num_entities_(num_entities),
+        index_(index),
+        filter_known_(filter_known),
+        max_retries_(max_retries),
+        side_chooser_(index) {}
+
+  std::string name() const override { return "bernoulli"; }
+  NegativeSample Sample(const Triple& pos, Rng* rng) override;
+
+ private:
+  int32_t num_entities_;
+  const KgIndex* index_;
+  bool filter_known_;
+  int max_retries_;
+  SideChooser side_chooser_;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_SAMPLER_BERNOULLI_SAMPLER_H_

@@ -1,0 +1,112 @@
+#include "sampler/kbgan_sampler.h"
+
+#include <vector>
+
+#include "embedding/scoring_function.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace nsc {
+
+KbganSampler::KbganSampler(int32_t num_entities, int32_t num_relations,
+                           const KgIndex* index, const KbganConfig& config)
+    : config_(config), index_(index), side_chooser_(index) {
+  generator_ = std::make_unique<KgeModel>(num_entities, num_relations,
+                                          config.generator_dim,
+                                          MakeScoringFunction("transe"));
+  Rng init_rng(config.seed);
+  generator_->InitXavier(&init_rng);
+  gen_entity_opt_ = std::make_unique<SgdOptimizer>(config.generator_lr);
+  gen_relation_opt_ = std::make_unique<SgdOptimizer>(config.generator_lr);
+}
+
+void KbganSampler::WarmStartGenerator(const KgeModel& pretrained) {
+  CHECK_EQ(pretrained.dim(), generator_->dim())
+      << "generator warm start requires matching dimension";
+  CHECK(pretrained.scorer().name() == "transe");
+  generator_->entity_table().data() = pretrained.entity_table().data();
+  generator_->relation_table().data() = pretrained.relation_table().data();
+}
+
+NegativeSample KbganSampler::Sample(const Triple& pos, Rng* rng) {
+  const int n = config_.candidate_set_size;
+  pending_.candidates.resize(n);
+  for (int i = 0; i < n; ++i) {
+    pending_.candidates[i] = static_cast<EntityId>(
+        rng->UniformInt(static_cast<uint64_t>(generator_->num_entities())));
+  }
+  pending_.side = side_chooser_.Choose(pos, rng);
+
+  std::vector<double> scores;
+  if (pending_.side == CorruptionSide::kHead) {
+    generator_->ScoreHeadCandidates(pos.r, pos.t, pending_.candidates, &scores);
+  } else {
+    generator_->ScoreTailCandidates(pos.h, pos.r, pending_.candidates, &scores);
+  }
+  SoftmaxInPlace(&scores);
+  pending_.probs = scores;
+  pending_.chosen = static_cast<int>(rng->Categorical(scores));
+  pending_.pos = pos;
+  pending_.valid = true;
+
+  NegativeSample out;
+  out.side = pending_.side;
+  out.triple = Corrupt(pos, pending_.side,
+                       pending_.candidates[pending_.chosen]);
+  return out;
+}
+
+void KbganSampler::Feedback(const Triple& pos, const NegativeSample& neg,
+                            double neg_score) {
+  (void)neg;
+  if (!pending_.valid || !(pending_.pos == pos)) return;
+  pending_.valid = false;
+
+  // Reward = discriminator plausibility of the generated negative; high
+  // reward means the generator found a hard negative.
+  if (!baseline_initialized_) {
+    baseline_ = neg_score;
+    baseline_initialized_ = true;
+  }
+  const double advantage = neg_score - baseline_;
+  baseline_ = config_.baseline_decay * baseline_ +
+              (1.0 - config_.baseline_decay) * neg_score;
+
+  // ∂(−E[reward])/∂gen_score_i = −advantage · (1{i=chosen} − p_i).
+  // Backprop that through the generator's TransE scorer per candidate and
+  // apply SGD. The fixed (r, t) / (h, r) rows accumulate across candidates.
+  const int dim = generator_->dim();
+  const ScoringFunction& scorer = generator_->scorer();
+  EmbeddingTable& ent = generator_->entity_table();
+  EmbeddingTable& rel = generator_->relation_table();
+
+  std::vector<float> g_cand(ent.width());
+  std::vector<float> g_rel(rel.width(), 0.0f);
+  std::vector<float> g_fixed(ent.width(), 0.0f);
+
+  const bool head_side = pending_.side == CorruptionSide::kHead;
+  const EntityId fixed_entity = head_side ? pos.t : pos.h;
+  const float* fixed_row = ent.Row(fixed_entity);
+  const float* rel_row = rel.Row(pos.r);
+
+  for (size_t i = 0; i < pending_.candidates.size(); ++i) {
+    const double dlogp =
+        (static_cast<int>(i) == pending_.chosen ? 1.0 : 0.0) - pending_.probs[i];
+    const float coeff = static_cast<float>(-advantage * dlogp);
+    if (coeff == 0.0f) continue;
+    std::fill(g_cand.begin(), g_cand.end(), 0.0f);
+    const float* cand_row = ent.Row(pending_.candidates[i]);
+    if (head_side) {
+      scorer.Backward(cand_row, rel_row, fixed_row, dim, coeff, g_cand.data(),
+                      g_rel.data(), g_fixed.data());
+    } else {
+      scorer.Backward(fixed_row, rel_row, cand_row, dim, coeff, g_fixed.data(),
+                      g_rel.data(), g_cand.data());
+    }
+    gen_entity_opt_->Apply(&ent, pending_.candidates[i], g_cand.data());
+  }
+  gen_entity_opt_->Apply(&ent, fixed_entity, g_fixed.data());
+  gen_relation_opt_->Apply(&rel, pos.r, g_rel.data());
+}
+
+}  // namespace nsc

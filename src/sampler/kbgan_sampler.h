@@ -1,0 +1,84 @@
+// KBGAN-style adversarial negative sampler [9], re-implemented from the
+// paper's description: a jointly trained *generator* (TransE, as chosen in
+// [9]) picks the negative from a small uniformly drawn candidate set
+// N eg = {(h̄, r, t̄)}; the target KG embedding model is the discriminator.
+// The generator cannot be trained by backprop through the discrete choice,
+// so it uses the REINFORCE policy gradient [44]:
+//    ∇ E[reward] ≈ (reward − baseline) · ∇ log p(chosen candidate),
+// with p = softmax of generator scores over the candidate set and reward =
+// the discriminator's score of the chosen negative. A moving-average
+// baseline reduces the (notoriously high) variance.
+#ifndef NSCACHING_SAMPLER_KBGAN_SAMPLER_H_
+#define NSCACHING_SAMPLER_KBGAN_SAMPLER_H_
+
+#include <memory>
+#include <vector>
+
+#include "embedding/model.h"
+#include "embedding/optimizer.h"
+#include "sampler/negative_sampler.h"
+
+namespace nsc {
+
+/// Hyper-parameters of the GAN sampler.
+struct KbganConfig {
+  int candidate_set_size = 50;  // |N eg|; the paper matches it to N1.
+  int generator_dim = 50;
+  double generator_lr = 0.01;
+  double baseline_decay = 0.99;  // Moving-average reward baseline.
+  uint64_t seed = 7;
+};
+
+class KbganSampler : public NegativeSampler {
+ public:
+  /// `index` (borrowed) provides Bernoulli side statistics.
+  KbganSampler(int32_t num_entities, int32_t num_relations,
+               const KgIndex* index, const KbganConfig& config);
+
+  std::string name() const override { return "kbgan"; }
+
+  /// Draws the candidate set, softmax-samples one by generator score, and
+  /// stashes the choice for the next Feedback() call.
+  NegativeSample Sample(const Triple& pos, Rng* rng) override;
+
+  /// REINFORCE update of the generator from the discriminator's score of
+  /// the negative it produced.
+  void Feedback(const Triple& pos, const NegativeSample& neg,
+                double neg_score) override;
+
+  /// Warm-starts the generator by copying a pretrained TransE model of the
+  /// same dimension (the paper pretrains the generator with TransE).
+  void WarmStartGenerator(const KgeModel& pretrained);
+
+  const KgeModel& generator() const { return *generator_; }
+  double baseline() const { return baseline_; }
+
+  /// Extra trainable floats introduced by the generator (Table I's
+  /// "parameters" column: KBGAN has 2(|E|+|R|)d vs the baseline's 1×).
+  size_t extra_parameters() const { return generator_->num_parameters(); }
+
+ private:
+  KbganConfig config_;
+  const KgIndex* index_;
+  std::unique_ptr<KgeModel> generator_;
+  std::unique_ptr<Optimizer> gen_entity_opt_;
+  std::unique_ptr<Optimizer> gen_relation_opt_;
+  SideChooser side_chooser_;
+  double baseline_ = 0.0;
+  bool baseline_initialized_ = false;
+
+  // Pending REINFORCE state between Sample() and Feedback().
+  struct Pending {
+    bool valid = false;
+    Triple pos;
+    CorruptionSide side = CorruptionSide::kHead;
+    std::vector<EntityId> candidates;
+    std::vector<double> probs;
+    int chosen = -1;
+  };
+  Pending pending_;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_SAMPLER_KBGAN_SAMPLER_H_

@@ -1,0 +1,15 @@
+#include "sampler/negative_sampler.h"
+
+namespace nsc {
+
+Triple Corrupt(const Triple& pos, CorruptionSide side, EntityId entity) {
+  Triple out = pos;
+  if (side == CorruptionSide::kHead) {
+    out.h = entity;
+  } else {
+    out.t = entity;
+  }
+  return out;
+}
+
+}  // namespace nsc

@@ -1,0 +1,31 @@
+// Uniform negative sampling [7]: corrupt a fair-coin-chosen side with an
+// entity drawn uniformly from E. Optionally rejects corruptions that are
+// known positive triples (bounded retries), approximating Eq. (5)'s
+// (h̄, r, t) ∉ S requirement.
+#ifndef NSCACHING_SAMPLER_UNIFORM_SAMPLER_H_
+#define NSCACHING_SAMPLER_UNIFORM_SAMPLER_H_
+
+#include "sampler/negative_sampler.h"
+
+namespace nsc {
+
+class UniformSampler : public NegativeSampler {
+ public:
+  /// `index` (borrowed, may be null) enables known-positive rejection.
+  UniformSampler(int32_t num_entities, const KgIndex* index = nullptr,
+                 int max_retries = 10)
+      : num_entities_(num_entities), index_(index), max_retries_(max_retries) {}
+
+  std::string name() const override { return "uniform"; }
+  NegativeSample Sample(const Triple& pos, Rng* rng) override;
+
+ private:
+  int32_t num_entities_;
+  const KgIndex* index_;
+  int max_retries_;
+  SideChooser side_chooser_;  // Fair coin.
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_SAMPLER_UNIFORM_SAMPLER_H_

@@ -1,0 +1,141 @@
+#include "train/classification.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sampler/negative_sampler.h"
+#include "util/logging.h"
+
+namespace nsc {
+
+TripleStore GenerateClassificationNegatives(const TripleStore& positives,
+                                            const KgIndex& all_index,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  SideChooser side_chooser(&all_index);
+  TripleStore negatives(positives.num_entities(), positives.num_relations());
+  for (const Triple& pos : positives) {
+    const CorruptionSide side = side_chooser.Choose(pos, &rng);
+    Triple neg = pos;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      const EntityId e = static_cast<EntityId>(
+          rng.UniformInt(static_cast<uint64_t>(positives.num_entities())));
+      neg = Corrupt(pos, side, e);
+      if (!all_index.Contains(neg)) break;
+    }
+    negatives.Add(neg);
+  }
+  return negatives;
+}
+
+namespace {
+
+/// Labelled score sample.
+struct Scored {
+  double score;
+  bool positive;
+};
+
+/// Best threshold and its accuracy for one pool of labelled scores:
+/// predict positive iff score >= σ.
+void BestThreshold(std::vector<Scored>* pool, double* threshold,
+                   int64_t* best_correct) {
+  // Sweep thresholds downward over sorted scores; at threshold just above
+  // all scores, every sample is predicted negative.
+  std::sort(pool->begin(), pool->end(),
+            [](const Scored& a, const Scored& b) { return a.score > b.score; });
+  int64_t num_pos = 0;
+  for (const Scored& s : *pool) num_pos += s.positive ? 1 : 0;
+  const int64_t num_neg = static_cast<int64_t>(pool->size()) - num_pos;
+
+  // Start: all predicted negative -> correct = num_neg.
+  int64_t correct = num_neg;
+  *best_correct = correct;
+  *threshold = std::numeric_limits<double>::infinity();
+  int64_t tp = 0, fp = 0;
+  size_t i = 0;
+  while (i < pool->size()) {
+    // Move every sample tied at this score to "predicted positive".
+    const double s = (*pool)[i].score;
+    while (i < pool->size() && (*pool)[i].score == s) {
+      if ((*pool)[i].positive) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    correct = num_neg - fp + tp;
+    if (correct > *best_correct) {
+      *best_correct = correct;
+      *threshold = s;  // Predict positive iff score >= s.
+    }
+  }
+}
+
+}  // namespace
+
+ClassificationThresholds FitThresholds(const KgeModel& model,
+                                       const TripleStore& valid_pos,
+                                       const TripleStore& valid_neg) {
+  const int32_t num_relations = model.num_relations();
+  std::vector<std::vector<Scored>> by_relation(num_relations);
+  std::vector<Scored> all;
+  auto add = [&](const TripleStore& store, bool positive) {
+    for (const Triple& x : store) {
+      const Scored s{model.Score(x), positive};
+      by_relation[x.r].push_back(s);
+      all.push_back(s);
+    }
+  };
+  add(valid_pos, true);
+  add(valid_neg, false);
+
+  ClassificationThresholds out;
+  out.per_relation.assign(num_relations, 0.0);
+  out.seen.assign(num_relations, false);
+  int64_t ignored = 0;
+  BestThreshold(&all, &out.global, &ignored);
+  for (int32_t r = 0; r < num_relations; ++r) {
+    if (by_relation[r].empty()) continue;
+    out.seen[r] = true;
+    int64_t correct = 0;
+    BestThreshold(&by_relation[r], &out.per_relation[r], &correct);
+  }
+  return out;
+}
+
+double ClassificationAccuracy(const KgeModel& model,
+                              const ClassificationThresholds& thresholds,
+                              const TripleStore& pos, const TripleStore& neg) {
+  int64_t correct = 0, total = 0;
+  auto judge = [&](const TripleStore& store, bool positive) {
+    for (const Triple& x : store) {
+      const double sigma = thresholds.seen[x.r] ? thresholds.per_relation[x.r]
+                                                : thresholds.global;
+      const bool predicted_positive = model.Score(x) >= sigma;
+      if (predicted_positive == positive) ++correct;
+      ++total;
+    }
+  };
+  judge(pos, true);
+  judge(neg, false);
+  return total == 0 ? 0.0
+                    : 100.0 * static_cast<double>(correct) /
+                          static_cast<double>(total);
+}
+
+double EvaluateTripleClassification(const KgeModel& model,
+                                    const TripleStore& valid,
+                                    const TripleStore& test,
+                                    const KgIndex& all_index, uint64_t seed) {
+  const TripleStore valid_neg =
+      GenerateClassificationNegatives(valid, all_index, seed);
+  const TripleStore test_neg =
+      GenerateClassificationNegatives(test, all_index, seed + 1);
+  const ClassificationThresholds thresholds =
+      FitThresholds(model, valid, valid_neg);
+  return ClassificationAccuracy(model, thresholds, test, test_neg);
+}
+
+}  // namespace nsc

@@ -1,0 +1,62 @@
+#include "train/link_prediction.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace nsc {
+
+namespace {
+
+/// Rank of the true entity for one side of one triple.
+int64_t RankOneSide(const KgeModel& model, const Triple& x,
+                    CorruptionSide side, const KgIndex& filter_index,
+                    bool filtered) {
+  const int32_t num_entities = model.num_entities();
+  const double true_score = model.Score(x);
+  int64_t greater = 0;
+  Triple corrupted = x;
+  for (EntityId e = 0; e < num_entities; ++e) {
+    if (side == CorruptionSide::kHead) {
+      if (e == x.h) continue;
+      corrupted.h = e;
+    } else {
+      if (e == x.t) continue;
+      corrupted.t = e;
+    }
+    if (filtered && filter_index.Contains(corrupted)) continue;
+    if (model.Score(corrupted) > true_score) ++greater;
+  }
+  return greater + 1;
+}
+
+}  // namespace
+
+RankingMetrics EvaluateLinkPrediction(const KgeModel& model,
+                                      const TripleStore& eval_set,
+                                      const KgIndex& filter_index,
+                                      const LinkPredictionOptions& options) {
+  const size_t limit = options.max_triples == 0
+                           ? eval_set.size()
+                           : std::min(options.max_triples, eval_set.size());
+  const int threads =
+      options.num_threads > 0 ? options.num_threads : DefaultThreadCount();
+
+  std::vector<RankingMetrics> per_worker(threads);
+  ThreadPool pool(threads);
+  pool.ParallelFor(0, limit, [&](size_t i, int worker) {
+    const Triple& x = eval_set[i];
+    per_worker[worker].AddRank(RankOneSide(model, x, CorruptionSide::kHead,
+                                           filter_index, options.filtered));
+    per_worker[worker].AddRank(RankOneSide(model, x, CorruptionSide::kTail,
+                                           filter_index, options.filtered));
+  });
+
+  RankingMetrics total;
+  for (const auto& m : per_worker) total.Merge(m);
+  return total;
+}
+
+}  // namespace nsc

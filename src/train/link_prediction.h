@@ -1,0 +1,40 @@
+// Filtered link-prediction evaluation (§IV-A2/3): for every test triple
+// (h, r, t), the true head is ranked against all corrupted heads
+// (ē, r, t), and the true tail against all (h, r, ē). In the "Filtered"
+// setting, corruptions that are themselves known triples (anywhere in
+// train ∪ valid ∪ test) are skipped so a model is not penalised for
+// ranking another true fact highly. Evaluation parallelises over test
+// triples with a thread pool.
+#ifndef NSCACHING_TRAIN_LINK_PREDICTION_H_
+#define NSCACHING_TRAIN_LINK_PREDICTION_H_
+
+#include "embedding/model.h"
+#include "kg/kg_index.h"
+#include "kg/triple_store.h"
+#include "train/metrics.h"
+
+namespace nsc {
+
+/// Evaluation knobs.
+struct LinkPredictionOptions {
+  /// Skip known-true corruptions (the paper's "Filtered" setting).
+  bool filtered = true;
+  /// Worker threads; <= 0 picks the hardware default.
+  int num_threads = 0;
+  /// Evaluate at most this many triples (0 = all) — lets benches trade
+  /// precision for speed on the periodic evaluations of Figures 2-5.
+  size_t max_triples = 0;
+};
+
+/// Ranks every triple of `eval_set` under `model`. `filter_index` must
+/// cover train+valid+test when options.filtered (pass the train-only
+/// index for the "raw" setting). Ranks use the optimistic convention:
+/// rank = 1 + #candidates with strictly larger score.
+RankingMetrics EvaluateLinkPrediction(const KgeModel& model,
+                                      const TripleStore& eval_set,
+                                      const KgIndex& filter_index,
+                                      const LinkPredictionOptions& options = {});
+
+}  // namespace nsc
+
+#endif  // NSCACHING_TRAIN_LINK_PREDICTION_H_

@@ -1,0 +1,50 @@
+#include "train/metrics.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace nsc {
+
+void RankingMetrics::AddRank(int64_t rank) {
+  CHECK_GE(rank, 1);
+  ++count_;
+  reciprocal_sum_ += 1.0 / static_cast<double>(rank);
+  rank_sum_ += rank;
+  for (int k = static_cast<int>(rank); k <= kMaxTrackedK; ++k) {
+    ++hits_le_[k - 1];
+  }
+}
+
+void RankingMetrics::Merge(const RankingMetrics& other) {
+  count_ += other.count_;
+  reciprocal_sum_ += other.reciprocal_sum_;
+  rank_sum_ += other.rank_sum_;
+  for (int k = 0; k < kMaxTrackedK; ++k) hits_le_[k] += other.hits_le_[k];
+}
+
+double RankingMetrics::mrr() const {
+  return count_ == 0 ? 0.0 : reciprocal_sum_ / static_cast<double>(count_);
+}
+
+double RankingMetrics::mr() const {
+  return count_ == 0
+             ? 0.0
+             : static_cast<double>(rank_sum_) / static_cast<double>(count_);
+}
+
+double RankingMetrics::hits_at(int k) const {
+  CHECK_GE(k, 1);
+  CHECK_LE(k, kMaxTrackedK);
+  return count_ == 0 ? 0.0
+                     : 100.0 * static_cast<double>(hits_le_[k - 1]) /
+                           static_cast<double>(count_);
+}
+
+std::string RankingMetrics::ToString() const {
+  std::ostringstream out;
+  out << "MRR=" << mrr() << " MR=" << mr() << " Hit@10=" << hits_at(10) << "%";
+  return out.str();
+}
+
+}  // namespace nsc

@@ -1,0 +1,42 @@
+// Ranking metrics of the link-prediction protocol (§IV-A3): MRR, MR and
+// Hit@k, accumulated over head- and tail-replacement ranks.
+#ifndef NSCACHING_TRAIN_METRICS_H_
+#define NSCACHING_TRAIN_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nsc {
+
+/// Accumulator over individual ranks (1-based).
+class RankingMetrics {
+ public:
+  /// Records one rank.
+  void AddRank(int64_t rank);
+
+  /// Merges another accumulator (for parallel evaluation).
+  void Merge(const RankingMetrics& other);
+
+  size_t count() const { return count_; }
+  /// Mean reciprocal rank: (1/n) Σ 1/rank_i. Larger is better.
+  double mrr() const;
+  /// Mean rank. Smaller is better — but see the paper's caveat that MR is
+  /// easily distorted by a few large ranks.
+  double mr() const;
+  /// Fraction of ranks <= k, in percent (the paper reports percentages).
+  double hits_at(int k) const;
+
+  std::string ToString() const;
+
+ private:
+  static constexpr int kMaxTrackedK = 10;
+  size_t count_ = 0;
+  double reciprocal_sum_ = 0.0;
+  int64_t rank_sum_ = 0;
+  // hits_le_[k-1] = #ranks <= k for k = 1..10.
+  int64_t hits_le_[kMaxTrackedK] = {0};
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_TRAIN_METRICS_H_

@@ -1,0 +1,15 @@
+#include "train/train_config.h"
+
+#include <sstream>
+
+namespace nsc {
+
+std::string TrainConfig::ToString() const {
+  std::ostringstream out;
+  out << "dim=" << dim << " lr=" << learning_rate << " opt=" << optimizer
+      << " margin=" << margin << " lambda=" << l2_lambda
+      << " batch=" << batch_size << " epochs=" << epochs << " seed=" << seed;
+  return out.str();
+}
+
+}  // namespace nsc

@@ -1,0 +1,34 @@
+// Hyper-parameters of the KG embedding training loop (Algorithm 1/2).
+#ifndef NSCACHING_TRAIN_TRAIN_CONFIG_H_
+#define NSCACHING_TRAIN_TRAIN_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nsc {
+
+/// Everything the Trainer needs besides the model, data and sampler.
+/// Defaults reflect the paper's search space midpoints (§IV-B2: d ∈
+/// {20..200}, η ∈ {1e-4..1e-1}, γ ∈ {1..4}, λ ∈ {1e-3..1e-1}, Adam).
+struct TrainConfig {
+  int dim = 50;
+  double learning_rate = 0.01;
+  std::string optimizer = "adam";
+  /// Margin γ of Eq. (1); used by translational models only.
+  double margin = 2.0;
+  /// L2 penalty λ of the semantic-matching objective; 0 disables.
+  double l2_lambda = 0.0;
+  int batch_size = 256;
+  int epochs = 50;
+  /// Project entity rows onto the scorer's norm constraint after updates.
+  bool apply_entity_constraints = true;
+  /// Track per-pair gradient l2 norms (Figure 10); small overhead.
+  bool track_grad_norm = false;
+  uint64_t seed = 1;
+
+  std::string ToString() const;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_TRAIN_TRAIN_CONFIG_H_

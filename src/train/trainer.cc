@@ -1,0 +1,148 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace nsc {
+
+Trainer::Trainer(KgeModel* model, const TripleStore* train_set,
+                 NegativeSampler* sampler, const TrainConfig& config)
+    : model_(model),
+      train_set_(train_set),
+      sampler_(sampler),
+      config_(config),
+      rng_(config.seed) {
+  CHECK(model != nullptr);
+  CHECK(train_set != nullptr);
+  CHECK(sampler != nullptr);
+  CHECK(!train_set->empty());
+  loss_ = MakeDefaultLoss(model->scorer(), config.margin);
+  entity_opt_ = MakeOptimizer(config.optimizer, config.learning_rate,
+                              model->entity_table());
+  relation_opt_ = MakeOptimizer(config.optimizer, config.learning_rate,
+                                model->relation_table());
+  CHECK(entity_opt_ != nullptr) << "unknown optimizer " << config.optimizer;
+  relation_grad_.resize(model->relation_table().width());
+  order_.resize(train_set->size());
+  std::iota(order_.begin(), order_.end(), size_t{0});
+}
+
+float* Trainer::EntityGradFor(EntityId e) {
+  for (auto& slot : entity_slots_) {
+    if (slot.id == e) return slot.grad.data();
+  }
+  entity_slots_.push_back(
+      {e, std::vector<float>(model_->entity_table().width(), 0.0f)});
+  return entity_slots_.back().grad.data();
+}
+
+double Trainer::TrainPair(const Triple& pos, const NegativeSample& neg,
+                          double* grad_norm) {
+  const double pos_score = model_->Score(pos);
+  const double neg_score = model_->Score(neg.triple);
+  const LossGrad lg = loss_->Compute(pos_score, neg_score);
+
+  if (lg.d_pos == 0.0 && lg.d_neg == 0.0 && config_.l2_lambda == 0.0) {
+    if (grad_norm != nullptr) *grad_norm = 0.0;
+    // Even a zero-gradient pair gives the GAN generator its reward signal.
+    sampler_->Feedback(pos, neg, neg_score);
+    return lg.loss;
+  }
+
+  entity_slots_.clear();
+  std::fill(relation_grad_.begin(), relation_grad_.end(), 0.0f);
+  const int dim = model_->dim();
+  const ScoringFunction& scorer = model_->scorer();
+  EmbeddingTable& ent = model_->entity_table();
+  EmbeddingTable& rel = model_->relation_table();
+
+  // Resolve all gradient slots BEFORE taking row pointers: EntityGradFor
+  // may grow the slot vector, and Backward writes through these pointers.
+  float* g_pos_h = EntityGradFor(pos.h);
+  float* g_pos_t = EntityGradFor(pos.t);
+  float* g_neg_h = EntityGradFor(neg.triple.h);
+  float* g_neg_t = EntityGradFor(neg.triple.t);
+
+  if (lg.d_pos != 0.0) {
+    scorer.Backward(ent.Row(pos.h), rel.Row(pos.r), ent.Row(pos.t), dim,
+                    static_cast<float>(lg.d_pos), g_pos_h, relation_grad_.data(),
+                    g_pos_t);
+  }
+  if (lg.d_neg != 0.0) {
+    scorer.Backward(ent.Row(neg.triple.h), rel.Row(neg.triple.r),
+                    ent.Row(neg.triple.t), dim, static_cast<float>(lg.d_neg),
+                    g_neg_h, relation_grad_.data(), g_neg_t);
+  }
+
+  // L2 penalty λ‖·‖² on every touched row (semantic matching models).
+  if (config_.l2_lambda > 0.0) {
+    const float two_lambda = static_cast<float>(2.0 * config_.l2_lambda);
+    for (auto& slot : entity_slots_) {
+      Axpy(two_lambda, ent.Row(slot.id), slot.grad.data(), ent.width());
+    }
+    Axpy(two_lambda, rel.Row(pos.r), relation_grad_.data(), rel.width());
+  }
+
+  if (grad_norm != nullptr) {
+    double sq = 0.0;
+    for (const auto& slot : entity_slots_) {
+      for (float g : slot.grad) sq += double(g) * g;
+    }
+    for (float g : relation_grad_) sq += double(g) * g;
+    *grad_norm = std::sqrt(sq);
+  }
+
+  entity_opt_->BeginStep();
+  relation_opt_->BeginStep();
+  for (auto& slot : entity_slots_) {
+    entity_opt_->Apply(&ent, slot.id, slot.grad.data());
+  }
+  relation_opt_->Apply(&rel, pos.r, relation_grad_.data());
+
+  if (config_.apply_entity_constraints) {
+    for (const auto& slot : entity_slots_) model_->ProjectEntity(slot.id);
+    model_->ProjectRelation(pos.r);
+  }
+
+  sampler_->Feedback(pos, neg, neg_score);
+  return lg.loss;
+}
+
+EpochStats Trainer::RunEpoch() {
+  Stopwatch watch;
+  sampler_->BeginEpoch(epoch_);
+  rng_.Shuffle(&order_);
+
+  EpochStats stats;
+  stats.epoch = epoch_;
+  double loss_sum = 0.0;
+  double grad_norm_sum = 0.0;
+  size_t nonzero = 0;
+  const size_t n = order_.size();
+
+  for (size_t i = 0; i < n; ++i) {
+    const Triple& pos = (*train_set_)[order_[i]];
+    const NegativeSample neg = sampler_->Sample(pos, &rng_);
+    double grad_norm = 0.0;
+    const double pair_loss =
+        TrainPair(pos, neg, config_.track_grad_norm ? &grad_norm : nullptr);
+    loss_sum += pair_loss;
+    grad_norm_sum += grad_norm;
+    if (pair_loss > 1e-12) ++nonzero;
+    if (observer_) observer_(pos, neg, pair_loss);
+  }
+
+  stats.mean_loss = loss_sum / static_cast<double>(n);
+  stats.nonzero_loss_ratio = static_cast<double>(nonzero) / static_cast<double>(n);
+  stats.mean_grad_norm = grad_norm_sum / static_cast<double>(n);
+  stats.seconds = watch.Seconds();
+  cumulative_seconds_ += stats.seconds;
+  ++epoch_;
+  return stats;
+}
+
+}  // namespace nsc

@@ -1,0 +1,102 @@
+// The stochastic training loop of Algorithms 1 and 2: shuffled
+// mini-batches over the training triples; per positive, one negative is
+// drawn from the pluggable NegativeSampler, the pairwise loss of the
+// model family is differentiated through the scorer, and touched rows are
+// updated by a sparse optimizer. The trainer is where NSCaching, KBGAN
+// and the fixed baselines meet the identical surrounding machinery, so
+// measured differences are attributable to the sampler alone.
+#ifndef NSCACHING_TRAIN_TRAINER_H_
+#define NSCACHING_TRAIN_TRAINER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "embedding/loss.h"
+#include "embedding/model.h"
+#include "embedding/optimizer.h"
+#include "kg/triple_store.h"
+#include "sampler/negative_sampler.h"
+#include "train/train_config.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace nsc {
+
+/// Per-epoch training telemetry.
+struct EpochStats {
+  int epoch = 0;
+  double mean_loss = 0.0;
+  /// Fraction of (pos, neg) pairs with non-zero loss — the NZL measure of
+  /// Figures 7/8 (exploitation: a useful negative produces gradient).
+  double nonzero_loss_ratio = 0.0;
+  /// Mini-batch average gradient l2 norm (Figure 10); 0 unless
+  /// TrainConfig::track_grad_norm.
+  double mean_grad_norm = 0.0;
+  /// Wall-clock seconds spent training this epoch (sampling included,
+  /// evaluation excluded).
+  double seconds = 0.0;
+};
+
+/// Observer of every sampled (positive, negative, loss) event; used by the
+/// analysis module to compute the repeat ratio (RR) of Figure 7.
+using NegativeObserver =
+    std::function<void(const Triple& pos, const NegativeSample& neg,
+                       double pair_loss)>;
+
+class Trainer {
+ public:
+  /// All pointers are borrowed and must outlive the trainer. The loss is
+  /// chosen from the scorer's family (margin for translational with
+  /// config.margin, logistic for semantic matching).
+  Trainer(KgeModel* model, const TripleStore* train_set,
+          NegativeSampler* sampler, const TrainConfig& config);
+
+  /// Runs one full pass over the (shuffled) training set.
+  EpochStats RunEpoch();
+
+  /// Epochs completed so far.
+  int epoch() const { return epoch_; }
+
+  /// Total training seconds across all epochs (evaluation excluded).
+  double cumulative_seconds() const { return cumulative_seconds_; }
+
+  void set_negative_observer(NegativeObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  const PairwiseLoss& loss() const { return *loss_; }
+  KgeModel* model() { return model_; }
+
+ private:
+  /// One gradient step on a (positive, negative) pair; returns the loss
+  /// value, and the pair's gradient l2 norm via `grad_norm` if non-null.
+  double TrainPair(const Triple& pos, const NegativeSample& neg,
+                   double* grad_norm);
+
+  KgeModel* model_;
+  const TripleStore* train_set_;
+  NegativeSampler* sampler_;
+  TrainConfig config_;
+  std::unique_ptr<PairwiseLoss> loss_;
+  std::unique_ptr<Optimizer> entity_opt_;
+  std::unique_ptr<Optimizer> relation_opt_;
+  Rng rng_;
+  int epoch_ = 0;
+  double cumulative_seconds_ = 0.0;
+  NegativeObserver observer_;
+  std::vector<size_t> order_;  // Shuffled triple indices, reused.
+
+  // Reusable per-pair gradient slots (≤ 3 entity rows + 1 relation row).
+  struct EntitySlot {
+    EntityId id = -1;
+    std::vector<float> grad;
+  };
+  std::vector<EntitySlot> entity_slots_;
+  std::vector<float> relation_grad_;
+  float* EntityGradFor(EntityId e);
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_TRAIN_TRAINER_H_

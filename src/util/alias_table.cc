@@ -1,0 +1,62 @@
+#include "util/alias_table.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace nsc {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  CHECK_GT(n, 0UL);
+  double total = 0.0;
+  for (double w : weights) {
+    CHECK_GE(w, 0.0);
+    total += w;
+  }
+  CHECK_GT(total, 0.0);
+
+  normalized_.resize(n);
+  for (size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; buckets with p*n < 1 are "small".
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = normalized_[i] * n;
+
+  std::vector<size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.back();
+    small.pop_back();
+    const size_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (size_t i : large) prob_[i] = 1.0;
+  for (size_t i : small) prob_[i] = 1.0;  // Numerical leftovers.
+}
+
+size_t AliasTable::Sample(Rng* rng) const {
+  const size_t bucket = rng->UniformInt(static_cast<uint64_t>(prob_.size()));
+  return rng->Uniform() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+double AliasTable::Probability(size_t i) const {
+  CHECK_LT(i, normalized_.size());
+  return normalized_[i];
+}
+
+}  // namespace nsc

@@ -1,0 +1,36 @@
+// Walker alias method for O(1) sampling from a fixed discrete distribution.
+// Used for degree-proportional entity corruption experiments and for
+// sampling positive triples proportional to any static weighting.
+#ifndef NSCACHING_UTIL_ALIAS_TABLE_H_
+#define NSCACHING_UTIL_ALIAS_TABLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace nsc {
+
+/// Preprocesses a weight vector in O(n); each Sample() is O(1).
+class AliasTable {
+ public:
+  /// Builds the table. Weights must be non-negative with a positive sum.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability weights[i]/sum.
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+  /// Exact sampling probability of index i (for tests).
+  double Probability(size_t i) const;
+
+ private:
+  std::vector<double> prob_;   // Acceptance probability per bucket.
+  std::vector<size_t> alias_;  // Fallback index per bucket.
+  std::vector<double> normalized_;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_UTIL_ALIAS_TABLE_H_

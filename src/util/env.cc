@@ -1,0 +1,45 @@
+#include "util/env.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace nsc {
+
+int64_t GetEnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+double GetEnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+bool GetEnvBool(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  if (std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+      std::strcmp(v, "on") == 0 || std::strcmp(v, "yes") == 0) {
+    return true;
+  }
+  if (std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0 ||
+      std::strcmp(v, "off") == 0 || std::strcmp(v, "no") == 0) {
+    return false;
+  }
+  return fallback;
+}
+
+std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+}  // namespace nsc

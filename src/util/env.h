@@ -1,0 +1,20 @@
+// Environment-variable knobs shared by the benchmark binaries, so the whole
+// harness can be scaled up/down (NSC_SCALE, NSC_EPOCHS, NSC_FULL, ...)
+// without recompiling.
+#ifndef NSCACHING_UTIL_ENV_H_
+#define NSCACHING_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nsc {
+
+/// Returns the env var value or `fallback` when unset/unparsable.
+int64_t GetEnvInt(const char* name, int64_t fallback);
+double GetEnvDouble(const char* name, double fallback);
+bool GetEnvBool(const char* name, bool fallback);
+std::string GetEnvString(const char* name, const std::string& fallback);
+
+}  // namespace nsc
+
+#endif  // NSCACHING_UTIL_ENV_H_

@@ -1,0 +1,65 @@
+// Lightweight logging and invariant-checking macros. CHECK failures abort:
+// they indicate programmer error, never data-dependent conditions (those
+// return Status instead).
+#ifndef NSCACHING_UTIL_LOGGING_H_
+#define NSCACHING_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace nsc {
+namespace internal {
+
+/// Severity levels for LOG().
+enum class LogLevel { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Stream-style log sink; flushes the accumulated message on destruction.
+/// kFatal aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Minimum level that is actually printed (default: kInfo). Tests and
+/// benches may raise it to silence progress chatter.
+void SetMinLogLevel(LogLevel level);
+LogLevel GetMinLogLevel();
+
+}  // namespace internal
+}  // namespace nsc
+
+#define NSC_LOG_INTERNAL(level) \
+  ::nsc::internal::LogMessage(::nsc::internal::LogLevel::level, __FILE__, __LINE__).stream()
+
+#define LOG_INFO NSC_LOG_INTERNAL(kInfo)
+#define LOG_WARNING NSC_LOG_INTERNAL(kWarning)
+#define LOG_ERROR NSC_LOG_INTERNAL(kError)
+#define LOG_FATAL NSC_LOG_INTERNAL(kFatal)
+
+/// Aborts with a message when an invariant is violated.
+#define CHECK(cond)                                         \
+  if (!(cond)) LOG_FATAL << "CHECK failed: " #cond " "
+
+#define CHECK_OK(status_expr)                               \
+  do {                                                      \
+    const auto& _st = (status_expr);                        \
+    if (!_st.ok()) LOG_FATAL << "CHECK_OK failed: " << _st.ToString(); \
+  } while (0)
+
+#define CHECK_EQ(a, b) CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_NE(a, b) CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_LT(a, b) CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_LE(a, b) CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_GT(a, b) CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_GE(a, b) CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // NSCACHING_UTIL_LOGGING_H_

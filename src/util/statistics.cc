@@ -1,0 +1,67 @@
+#include "util/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace nsc {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  CHECK_GE(q, 0.0);
+  CHECK_LE(q, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::vector<double> Ccdf(const std::vector<double>& values,
+                         const std::vector<double>& thresholds) {
+  std::vector<double> sorted(values);
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out(thresholds.size(), 0.0);
+  if (sorted.empty()) return out;
+  for (size_t j = 0; j < thresholds.size(); ++j) {
+    // Count of values >= threshold.
+    const auto it =
+        std::lower_bound(sorted.begin(), sorted.end(), thresholds[j]);
+    out[j] = static_cast<double>(sorted.end() - it) /
+             static_cast<double>(sorted.size());
+  }
+  return out;
+}
+
+std::vector<double> LinSpace(double lo, double hi, int n) {
+  CHECK_GE(n, 2);
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (int i = 0; i < n; ++i) out[i] = lo + step * i;
+  out.back() = hi;
+  return out;
+}
+
+}  // namespace nsc

@@ -1,0 +1,48 @@
+// Streaming summary statistics and empirical-distribution helpers used by
+// the analysis module (score CCDFs, Figure 1) and the benchmark reports.
+#ifndef NSCACHING_UTIL_STATISTICS_H_
+#define NSCACHING_UTIL_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace nsc {
+
+/// Welford-style accumulator: mean/variance/min/max in one pass.
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when count < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Empirical quantile with linear interpolation; q in [0,1]. The input is
+/// copied and sorted. Returns 0 for empty input.
+double Quantile(std::vector<double> values, double q);
+
+/// Complementary CDF evaluated at each of `thresholds`:
+/// out[j] = P(value >= thresholds[j]) under the empirical distribution.
+std::vector<double> Ccdf(const std::vector<double>& values,
+                         const std::vector<double>& thresholds);
+
+/// Evenly spaced grid of `n` points covering [lo, hi] inclusive (n >= 2).
+std::vector<double> LinSpace(double lo, double hi, int n);
+
+}  // namespace nsc
+
+#endif  // NSCACHING_UTIL_STATISTICS_H_

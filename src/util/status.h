@@ -1,0 +1,109 @@
+// Minimal Status / StatusOr error-handling vocabulary, in the style of
+// Arrow / RocksDB: library code on hot paths never throws; fallible
+// operations return a Status (or StatusOr<T>) which callers must inspect.
+#ifndef NSCACHING_UTIL_STATUS_H_
+#define NSCACHING_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace nsc {
+
+/// Error category attached to a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIOError,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus a message. The default
+/// constructed Status is OK. Statuses are cheap to copy when OK (no
+/// allocation) and cheap enough otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Holder of either a value or an error Status. Mirrors the subset of
+/// absl::StatusOr used in this codebase. T need not be default
+/// constructible.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value.
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status; `status.ok()` must be false.
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors; valid only when ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace nsc
+
+/// Propagates a non-OK status to the caller.
+#define NSC_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::nsc::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#endif  // NSCACHING_UTIL_STATUS_H_

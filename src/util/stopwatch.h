@@ -1,0 +1,57 @@
+// Wall-clock stopwatch used for the convergence-vs-time experiments
+// (Figures 2-5 of the paper) and for the Table I timing micro-benchmarks.
+#ifndef NSCACHING_UTIL_STOPWATCH_H_
+#define NSCACHING_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace nsc {
+
+/// Monotonic stopwatch with pause/resume, so evaluation time can be
+/// excluded from reported training time.
+class Stopwatch {
+ public:
+  Stopwatch() { Start(); }
+
+  /// Restarts from zero.
+  void Start() {
+    accumulated_ = Duration::zero();
+    running_ = true;
+    last_start_ = Clock::now();
+  }
+
+  /// Pauses accumulation (no-op if already paused).
+  void Pause() {
+    if (!running_) return;
+    accumulated_ += Clock::now() - last_start_;
+    running_ = false;
+  }
+
+  /// Resumes accumulation (no-op if running).
+  void Resume() {
+    if (running_) return;
+    running_ = true;
+    last_start_ = Clock::now();
+  }
+
+  /// Elapsed seconds (includes the in-progress interval when running).
+  double Seconds() const {
+    Duration d = accumulated_;
+    if (running_) d += Clock::now() - last_start_;
+    return std::chrono::duration<double>(d).count();
+  }
+
+  double Milliseconds() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  using Duration = Clock::duration;
+
+  Duration accumulated_ = Duration::zero();
+  Clock::time_point last_start_;
+  bool running_ = false;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_UTIL_STOPWATCH_H_

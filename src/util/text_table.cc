@@ -1,0 +1,70 @@
+#include "util/text_table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace nsc {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), /*separator=*/false});
+}
+
+void TextTable::AddSeparator() { rows_.push_back(Row{{}, /*separator=*/true}); }
+
+std::string TextTable::Render() const {
+  size_t num_cols = header_.size();
+  for (const auto& row : rows_) num_cols = std::max(num_cols, row.cells.size());
+  std::vector<size_t> widths(num_cols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) {
+    if (!row.separator) widen(row.cells);
+  }
+
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < num_cols; ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      out << cell << std::string(widths[i] - cell.size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      out << std::string(total, '-') << '\n';
+    } else {
+      emit(row.cells);
+    }
+  }
+  return out.str();
+}
+
+std::string TextTable::Fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string TextTable::Int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+}  // namespace nsc

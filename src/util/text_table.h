@@ -1,0 +1,42 @@
+// Console table renderer used by the benchmark harness to print
+// paper-style tables (Table II, IV, V, ...) with aligned columns.
+#ifndef NSCACHING_UTIL_TEXT_TABLE_H_
+#define NSCACHING_UTIL_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace nsc {
+
+/// Accumulates rows of strings and renders them with per-column padding.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row (may have fewer cells than the header).
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table; every column padded to its widest cell, columns
+  /// separated by two spaces, separator rows drawn with dashes.
+  std::string Render() const;
+
+  /// Convenience numeric formatting helpers.
+  static std::string Fixed(double v, int digits);
+  static std::string Int(long long v);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_UTIL_TEXT_TABLE_H_

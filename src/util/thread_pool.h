@@ -1,0 +1,58 @@
+// Fixed-size worker pool with a ParallelFor convenience, used to
+// parallelise filtered link-prediction evaluation over test triples.
+// Work items receive a worker index so callers can use per-worker state
+// (e.g. split RNG streams) without locking.
+#ifndef NSCACHING_UTIL_THREAD_POOL_H_
+#define NSCACHING_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace nsc {
+
+/// A simple blocking thread pool.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>=1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task; it receives the index of the worker that runs it.
+  void Schedule(std::function<void(int worker)> task);
+
+  /// Blocks until all scheduled tasks have completed.
+  void Wait();
+
+  /// Runs fn(i, worker) for i in [begin, end) across the pool and waits.
+  /// Iterations are distributed in contiguous chunks.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t i, int worker)>& fn);
+
+ private:
+  void WorkerLoop(int worker_index);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void(int)>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Number of hardware threads, at least 1.
+int DefaultThreadCount();
+
+}  // namespace nsc
+
+#endif  // NSCACHING_UTIL_THREAD_POOL_H_

@@ -1,0 +1,52 @@
+#include "util/tsv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace nsc {
+
+std::vector<std::string> SplitTsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  for (;;) {
+    const size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+  return fields;
+}
+
+StatusOr<std::vector<std::vector<std::string>>> ReadTsvFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    rows.push_back(SplitTsvLine(line));
+  }
+  return rows;
+}
+
+Status WriteTsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out << '\t';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace nsc

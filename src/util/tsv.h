@@ -1,0 +1,27 @@
+// Tab-separated-value reading/writing for KG triple files in the standard
+// "head<TAB>relation<TAB>tail" format used by WN18/FB15K releases.
+#ifndef NSCACHING_UTIL_TSV_H_
+#define NSCACHING_UTIL_TSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace nsc {
+
+/// Splits one line on '\t'. Empty fields are preserved.
+std::vector<std::string> SplitTsvLine(const std::string& line);
+
+/// Reads all lines of `path` and splits each on tabs. Skips lines that are
+/// entirely empty. Returns IOError if the file cannot be opened.
+StatusOr<std::vector<std::vector<std::string>>> ReadTsvFile(
+    const std::string& path);
+
+/// Writes rows joined by tabs, one per line. Returns IOError on failure.
+Status WriteTsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace nsc
+
+#endif  // NSCACHING_UTIL_TSV_H_

@@ -1,0 +1,99 @@
+#include "analysis/dynamics.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/grad_norm.h"
+
+namespace nsc {
+namespace {
+
+NegativeSample MakeNeg(EntityId h, RelationId r, EntityId t) {
+  NegativeSample neg;
+  neg.triple = {h, r, t};
+  neg.side = CorruptionSide::kHead;
+  return neg;
+}
+
+TEST(DynamicsTrackerTest, NoRepeatsInFreshEpoch) {
+  DynamicsTracker tracker(20);
+  const Triple pos{0, 0, 1};
+  tracker.Observe(pos, MakeNeg(1, 0, 1), 0.5);
+  tracker.Observe(pos, MakeNeg(2, 0, 1), 0.5);
+  tracker.EndEpoch();
+  ASSERT_EQ(tracker.repeat_ratio().size(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.repeat_ratio()[0], 0.0);
+}
+
+TEST(DynamicsTrackerTest, RepeatDetectedWithinWindow) {
+  DynamicsTracker tracker(20);
+  const Triple pos{0, 0, 1};
+  tracker.Observe(pos, MakeNeg(5, 0, 1), 0.5);
+  tracker.EndEpoch();
+  tracker.Observe(pos, MakeNeg(5, 0, 1), 0.5);  // Same negative, epoch 1.
+  tracker.Observe(pos, MakeNeg(6, 0, 1), 0.5);
+  tracker.EndEpoch();
+  ASSERT_EQ(tracker.repeat_ratio().size(), 2u);
+  EXPECT_DOUBLE_EQ(tracker.repeat_ratio()[1], 0.5);
+}
+
+TEST(DynamicsTrackerTest, RepeatOutsideWindowForgotten) {
+  DynamicsTracker tracker(/*window=*/2);
+  const Triple pos{0, 0, 1};
+  tracker.Observe(pos, MakeNeg(5, 0, 1), 0.5);
+  tracker.EndEpoch();  // Epoch 0 done.
+  for (int e = 0; e < 3; ++e) {
+    tracker.Observe(pos, MakeNeg(9, 0, 1), 0.5);  // Keeps 9 fresh, not 5.
+    tracker.EndEpoch();
+  }
+  tracker.Observe(pos, MakeNeg(5, 0, 1), 0.5);  // 4 epochs later: no repeat.
+  tracker.EndEpoch();
+  EXPECT_DOUBLE_EQ(tracker.repeat_ratio().back(), 0.0);
+}
+
+TEST(DynamicsTrackerTest, RepeatWithinSameEpochCounts) {
+  DynamicsTracker tracker(20);
+  const Triple pos{0, 0, 1};
+  tracker.Observe(pos, MakeNeg(3, 0, 1), 0.5);
+  tracker.Observe(pos, MakeNeg(3, 0, 1), 0.5);
+  tracker.EndEpoch();
+  EXPECT_DOUBLE_EQ(tracker.repeat_ratio()[0], 0.5);
+}
+
+TEST(DynamicsTrackerTest, NzlCountsNonzeroLosses) {
+  DynamicsTracker tracker(20);
+  const Triple pos{0, 0, 1};
+  tracker.Observe(pos, MakeNeg(1, 0, 1), 0.7);
+  tracker.Observe(pos, MakeNeg(2, 0, 1), 0.0);
+  tracker.Observe(pos, MakeNeg(3, 0, 1), 0.0);
+  tracker.Observe(pos, MakeNeg(4, 0, 1), 1.2);
+  tracker.EndEpoch();
+  EXPECT_DOUBLE_EQ(tracker.nonzero_loss_ratio()[0], 0.5);
+}
+
+TEST(DynamicsTrackerTest, EmptyEpochGivesZeroes) {
+  DynamicsTracker tracker(20);
+  tracker.EndEpoch();
+  EXPECT_DOUBLE_EQ(tracker.repeat_ratio()[0], 0.0);
+  EXPECT_DOUBLE_EQ(tracker.nonzero_loss_ratio()[0], 0.0);
+}
+
+TEST(GradNormRecorderTest, SeriesAndTail) {
+  GradNormRecorder recorder;
+  EpochStats stats;
+  for (double g : {1.0, 2.0, 3.0, 4.0}) {
+    stats.mean_grad_norm = g;
+    recorder.Add(stats);
+  }
+  EXPECT_EQ(recorder.series().size(), 4u);
+  EXPECT_DOUBLE_EQ(recorder.Tail(2), 3.5);
+  EXPECT_DOUBLE_EQ(recorder.Tail(0), 2.5);
+  EXPECT_DOUBLE_EQ(recorder.Tail(100), 2.5);
+}
+
+TEST(GradNormRecorderTest, EmptyTailIsZero) {
+  GradNormRecorder recorder;
+  EXPECT_EQ(recorder.Tail(), 0.0);
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,70 @@
+#include "analysis/score_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include "embedding/scoring_function.h"
+
+namespace nsc {
+namespace {
+
+KgeModel MakeControlledModel(const std::vector<float>& values) {
+  KgeModel model(static_cast<int32_t>(values.size()), 1, 4,
+                 MakeScoringFunction("distmult"));
+  for (size_t e = 0; e < values.size(); ++e) {
+    model.entity_table().Row(static_cast<int32_t>(e))[0] = values[e];
+  }
+  model.relation_table().Row(0)[0] = 1.0f;
+  return model;
+}
+
+TEST(ScoreDistributionTest, OneSamplePerCorruptedTail) {
+  KgeModel model = MakeControlledModel({1.0f, 2.0f, 3.0f, 4.0f, 5.0f});
+  const auto d = NegativeDistanceSamples(model, {0, 0, 1});
+  EXPECT_EQ(d.size(), 4u);  // All entities except the true tail.
+}
+
+TEST(ScoreDistributionTest, ValuesMatchDefinition) {
+  // pos = (0, 0, 1): score 1*2 = 2. Corrupting tail with e=2 (v=3) scores
+  // 3 -> D = 2 - 3 = -1; with e=3 (v=4) -> D = -2.
+  KgeModel model = MakeControlledModel({1.0f, 2.0f, 3.0f, 4.0f});
+  const auto d = NegativeDistanceSamples(model, {0, 0, 1});
+  ASSERT_EQ(d.size(), 3u);
+  // Order: e = 0, 2, 3.
+  EXPECT_NEAR(d[0], 2.0 - 1.0, 1e-6);
+  EXPECT_NEAR(d[1], 2.0 - 3.0, 1e-6);
+  EXPECT_NEAR(d[2], 2.0 - 4.0, 1e-6);
+}
+
+TEST(ScoreDistributionTest, CcdfIsMonotoneFromOneToZero) {
+  std::vector<float> values(40);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<float>(i % 7) * 0.3f;
+  }
+  KgeModel model = MakeControlledModel(values);
+  const CcdfCurve curve = NegativeScoreCcdf(model, {0, 0, 1}, 21);
+  ASSERT_EQ(curve.thresholds.size(), 21u);
+  ASSERT_EQ(curve.ccdf.size(), 21u);
+  EXPECT_NEAR(curve.ccdf.front(), 1.0, 1e-12);  // Everything >= min.
+  for (size_t i = 1; i < curve.ccdf.size(); ++i) {
+    EXPECT_LE(curve.ccdf[i], curve.ccdf[i - 1]);
+  }
+}
+
+TEST(ScoreDistributionTest, SkewedModelHasSkewedCcdf) {
+  // One very hard negative (high-scoring tail), the rest easy: the CCDF
+  // near the top of the D range should be small — the paper's key
+  // observation that large-score negatives are rare.
+  std::vector<float> values(100, 5.0f);  // Easy: D = pos - low score, large.
+  values[99] = 100.0f;                   // One hard negative.
+  values[0] = 1.0f;                      // Head of the positive.
+  values[1] = 5.0f;                      // True tail.
+  KgeModel model = MakeControlledModel(values);
+  const auto d = NegativeDistanceSamples(model, {0, 0, 1});
+  // Fraction of negatives with D below the 10% quantile of the range:
+  int hard = 0;
+  for (double v : d) hard += v < -50.0;  // Only the e=99 corruption.
+  EXPECT_EQ(hard, 1);
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,104 @@
+#include "core/cache_select.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "embedding/scoring_function.h"
+
+namespace nsc {
+namespace {
+
+// DistMult with controllable per-entity head scores (see cache_update_test).
+KgeModel MakeControlledModel(const std::vector<float>& entity_values) {
+  const int dim = 4;
+  KgeModel model(static_cast<int32_t>(entity_values.size()), 1, dim,
+                 MakeScoringFunction("distmult"));
+  for (size_t e = 0; e < entity_values.size(); ++e) {
+    model.entity_table().Row(static_cast<int32_t>(e))[0] = entity_values[e];
+  }
+  model.relation_table().Row(0)[0] = 1.0f;
+  return model;
+}
+
+TEST(CacheSelectorTest, UniformIsUnbiased) {
+  std::vector<float> values(10, 0.0f);
+  values[9] = 100.0f;  // Huge score must NOT bias uniform selection.
+  KgeModel model = MakeControlledModel(values);
+  CacheSelector selector(&model, CacheSelectStrategy::kUniform);
+  const std::vector<EntityId> entry = {1, 2, 9};
+  Rng rng(1);
+  std::map<EntityId, int> counts;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[selector.SelectHead(entry, 0, 5, &rng)];
+  for (EntityId e : entry) {
+    EXPECT_NEAR(counts[e] / double(n), 1.0 / 3.0, 0.02) << "entity " << e;
+  }
+}
+
+TEST(CacheSelectorTest, TopAlwaysPicksArgmax) {
+  std::vector<float> values(10, 0.0f);
+  values[4] = 3.0f;
+  values[7] = 9.0f;
+  values[5] = 1.0f;  // Fixed tail: f(e, r, t=5) = v_e * v_5 orders by v_e.
+  KgeModel model = MakeControlledModel(values);
+  CacheSelector selector(&model, CacheSelectStrategy::kTop);
+  const std::vector<EntityId> entry = {1, 4, 7, 2};
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(selector.SelectHead(entry, 0, 5, &rng), 7);
+  }
+}
+
+TEST(CacheSelectorTest, ImportanceSamplingTracksSoftmax) {
+  std::vector<float> values(5, 0.0f);
+  values[0] = 0.0f;
+  values[1] = 1.0f;
+  values[2] = 2.0f;
+  values[4] = 1.0f;  // Fixed tail: f(e, r, t=4) = v_e.
+  KgeModel model = MakeControlledModel(values);
+  CacheSelector selector(&model, CacheSelectStrategy::kImportanceSampling);
+  const std::vector<EntityId> entry = {0, 1, 2};
+  Rng rng(3);
+  std::map<EntityId, int> counts;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[selector.SelectHead(entry, 0, 4, &rng)];
+  const double z = std::exp(0.0) + std::exp(1.0) + std::exp(2.0);
+  EXPECT_NEAR(counts[0] / double(n), std::exp(0.0) / z, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), std::exp(1.0) / z, 0.01);
+  EXPECT_NEAR(counts[2] / double(n), std::exp(2.0) / z, 0.01);
+}
+
+TEST(CacheSelectorTest, SelectTailUsesTailScores) {
+  // f(h=1, r, t) = value_t with value_1 = 1.
+  std::vector<float> values(10, 0.0f);
+  values[1] = 1.0f;
+  values[6] = 42.0f;
+  KgeModel model = MakeControlledModel(values);
+  CacheSelector selector(&model, CacheSelectStrategy::kTop);
+  const std::vector<EntityId> entry = {3, 6, 8};
+  Rng rng(4);
+  EXPECT_EQ(selector.SelectTail(entry, 1, 0, &rng), 6);
+}
+
+TEST(CacheSelectorTest, SingleElementEntry) {
+  KgeModel model = MakeControlledModel(std::vector<float>(5, 0.0f));
+  for (auto strategy :
+       {CacheSelectStrategy::kUniform, CacheSelectStrategy::kImportanceSampling,
+        CacheSelectStrategy::kTop}) {
+    CacheSelector selector(&model, strategy);
+    Rng rng(5);
+    EXPECT_EQ(selector.SelectHead({3}, 0, 1, &rng), 3);
+  }
+}
+
+TEST(CacheSelectStrategyTest, Names) {
+  EXPECT_EQ(CacheSelectStrategyName(CacheSelectStrategy::kUniform), "uniform");
+  EXPECT_EQ(CacheSelectStrategyName(CacheSelectStrategy::kImportanceSampling),
+            "is");
+  EXPECT_EQ(CacheSelectStrategyName(CacheSelectStrategy::kTop), "top");
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,209 @@
+#include "core/cache_update.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "embedding/scoring_function.h"
+#include "kg/kg_index.h"
+
+namespace nsc {
+namespace {
+
+// Builds a DistMult model where entity e's score for head-candidate slots
+// can be controlled: entity vectors are e_i = (value_e, 0, ...), relation
+// r = (1, 0, ...), tail t = (1, 0, ...) -> f(e, r, t) = value_e.
+KgeModel MakeControlledModel(const std::vector<float>& entity_values) {
+  const int dim = 4;
+  KgeModel model(static_cast<int32_t>(entity_values.size()), 1, dim,
+                 MakeScoringFunction("distmult"));
+  for (size_t e = 0; e < entity_values.size(); ++e) {
+    model.entity_table().Row(static_cast<int32_t>(e))[0] = entity_values[e];
+  }
+  model.relation_table().Row(0)[0] = 1.0f;
+  return model;
+}
+
+TEST(CacheUpdaterTest, PreservesEntrySize) {
+  KgeModel model = MakeControlledModel(std::vector<float>(50, 0.0f));
+  // Score of candidate head e for (r=0, t=1) is value_e = 0 for everyone.
+  CacheUpdater updater(&model, CacheUpdateStrategy::kImportanceSampling, 10);
+  std::vector<EntityId> entry = {1, 2, 3, 4, 5};
+  Rng rng(1);
+  updater.UpdateHeadEntry(&entry, 0, 1, &rng);
+  EXPECT_EQ(entry.size(), 5u);
+  for (EntityId e : entry) {
+    EXPECT_GE(e, 0);
+    EXPECT_LT(e, 50);
+  }
+}
+
+TEST(CacheUpdaterTest, TopUpdateKeepsHighestScores) {
+  // Entities 40..49 have the highest values; top update must select them.
+  // The fixed tail (entity 1) needs a positive value so candidate scores
+  // f(e, r, t=1) = v_e * v_1 actually order by v_e.
+  std::vector<float> values(50, 0.0f);
+  values[1] = 1.0f;
+  for (int e = 40; e < 50; ++e) values[e] = 10.0f + e;
+  KgeModel model = MakeControlledModel(values);
+  CacheUpdater updater(&model, CacheUpdateStrategy::kTop, 45);
+  // Start from a poor cache; with N2=45 random draws, at least some of the
+  // high scorers appear in the pool with high probability over repeats.
+  std::vector<EntityId> entry = {0, 1, 2, 3, 4};
+  Rng rng(2);
+  for (int round = 0; round < 20; ++round) {
+    updater.UpdateHeadEntry(&entry, 0, 1, &rng);
+  }
+  for (EntityId e : entry) EXPECT_GE(e, 40) << "top update kept a low scorer";
+}
+
+TEST(CacheUpdaterTest, ImportanceSamplingPrefersHighScores) {
+  std::vector<float> values(100, 0.0f);
+  values[1] = 1.0f;  // Fixed tail must have non-zero value.
+  for (int e = 90; e < 100; ++e) values[e] = 8.0f;  // exp(8) >> exp(0).
+  KgeModel model = MakeControlledModel(values);
+  CacheUpdater updater(&model, CacheUpdateStrategy::kImportanceSampling, 50);
+  std::vector<EntityId> entry = {0, 1, 2, 3, 4, 5, 6, 7};
+  Rng rng(3);
+  for (int round = 0; round < 30; ++round) {
+    updater.UpdateHeadEntry(&entry, 0, 1, &rng);
+  }
+  int high = 0;
+  for (EntityId e : entry) high += (e >= 90);
+  EXPECT_GE(high, 6);  // Dominated by, but not necessarily all, high scorers.
+}
+
+TEST(CacheUpdaterTest, ImportanceSamplingStillExplores) {
+  // All-equal scores: the refreshed cache should routinely contain fresh
+  // random entities (exploration), i.e. CE > 0.
+  KgeModel model = MakeControlledModel(std::vector<float>(200, 1.0f));
+  CacheUpdater updater(&model, CacheUpdateStrategy::kImportanceSampling, 8);
+  std::vector<EntityId> entry = {0, 1, 2, 3, 4, 5, 6, 7};
+  Rng rng(4);
+  const int changed = updater.UpdateHeadEntry(&entry, 0, 1, &rng);
+  EXPECT_GT(changed, 0);
+}
+
+TEST(CacheUpdaterTest, TopUpdateStagnatesOnceConverged) {
+  // The §IV-C2 pathology: with top update and a converged score landscape
+  // the cache stops changing (CE -> 0) because the same N1 entities always
+  // win.
+  std::vector<float> values(60, 0.0f);
+  values[1] = 1.0f;  // Fixed tail value... but entity 1 is also a cached
+  // candidate below; give the dominant five clearly separated values.
+  for (int e = 0; e < 5; ++e) values[e] = 100.0f + e;
+  KgeModel model = MakeControlledModel(values);
+  CacheUpdater updater(&model, CacheUpdateStrategy::kTop, 20);
+  std::vector<EntityId> entry = {0, 1, 2, 3, 4};
+  Rng rng(5);
+  int total_changed = 0;
+  for (int round = 0; round < 10; ++round) {
+    total_changed += updater.UpdateHeadEntry(&entry, 0, 1, &rng);
+  }
+  EXPECT_EQ(total_changed, 0);
+}
+
+TEST(CacheUpdaterTest, UniformUpdateIgnoresScores) {
+  std::vector<float> values(100, 0.0f);
+  values[99] = 1000.0f;
+  KgeModel model = MakeControlledModel(values);
+  CacheUpdater updater(&model, CacheUpdateStrategy::kUniform, 50);
+  std::vector<EntityId> entry = {0, 1, 2, 3, 4};
+  Rng rng(6);
+  int appearances_of_99 = 0;
+  for (int round = 0; round < 50; ++round) {
+    updater.UpdateHeadEntry(&entry, 0, 1, &rng);
+    for (EntityId e : entry) appearances_of_99 += (e == 99);
+  }
+  // Uniform survivors: entity 99 shows up rarely despite its huge score.
+  EXPECT_LT(appearances_of_99, 40);
+}
+
+TEST(CacheUpdaterTest, ChangedElementsCountIsAccurate) {
+  KgeModel model = MakeControlledModel(std::vector<float>(10, 0.0f));
+  CacheUpdater updater(&model, CacheUpdateStrategy::kUniform, 5);
+  std::vector<EntityId> entry = {0, 1, 2};
+  const std::set<EntityId> before(entry.begin(), entry.end());
+  Rng rng(7);
+  const int changed = updater.UpdateHeadEntry(&entry, 0, 1, &rng);
+  int actually_new = 0;
+  for (EntityId e : entry) actually_new += before.count(e) == 0;
+  EXPECT_EQ(changed, actually_new);
+}
+
+TEST(CacheUpdaterTest, TailUpdateUsesTailScores) {
+  // For DistMult with our construction f(h, r, t) = value_h * value_t;
+  // with h fixed to entity 1 (value 1), tail candidates rank by value.
+  std::vector<float> values(30, 0.0f);
+  values[1] = 1.0f;
+  for (int e = 25; e < 30; ++e) values[e] = 50.0f;
+  KgeModel model = MakeControlledModel(values);
+  CacheUpdater updater(&model, CacheUpdateStrategy::kTop, 25);
+  std::vector<EntityId> entry = {2, 3, 4};
+  Rng rng(8);
+  for (int round = 0; round < 20; ++round) {
+    updater.UpdateTailEntry(&entry, 1, 0, &rng);
+  }
+  for (EntityId e : entry) EXPECT_GE(e, 25);
+}
+
+TEST(CacheUpdaterTest, FilterEvictsKnownTrueTriples) {
+  // With a filter index, candidates forming known-true triples must not
+  // survive a refresh — neither fresh randoms nor stale entry members.
+  std::vector<float> values(20, 0.0f);
+  values[1] = 1.0f;
+  // Entities 15..19 are *known true heads* for (r=0, t=1) and have huge
+  // scores; unfiltered IS update would fill the cache with them.
+  TripleStore known(20, 1);
+  for (EntityId h = 15; h < 20; ++h) {
+    values[h] = 50.0f;
+    known.Add({h, 0, 1});
+  }
+  const KgIndex index(known);
+  KgeModel model = MakeControlledModel(values);
+  CacheUpdater updater(&model, CacheUpdateStrategy::kImportanceSampling, 10,
+                       &index);
+  std::vector<EntityId> entry = {15, 16, 2, 3};  // Two stale true triples.
+  Rng rng(9);
+  for (int round = 0; round < 5; ++round) {
+    updater.UpdateHeadEntry(&entry, 0, 1, &rng);
+    for (EntityId e : entry) {
+      EXPECT_FALSE(index.Contains({e, 0, 1}))
+          << "known-true head " << e << " survived round " << round;
+    }
+  }
+}
+
+TEST(CacheUpdaterTest, WithoutFilterTrueTriplesDominate) {
+  // Control for the test above: no filter -> the high-scoring true heads
+  // take over the cache (the false-negative failure mode).
+  std::vector<float> values(20, 0.0f);
+  values[1] = 1.0f;
+  TripleStore known(20, 1);
+  for (EntityId h = 15; h < 20; ++h) {
+    values[h] = 50.0f;
+    known.Add({h, 0, 1});
+  }
+  const KgIndex index(known);
+  KgeModel model = MakeControlledModel(values);
+  CacheUpdater updater(&model, CacheUpdateStrategy::kImportanceSampling, 10,
+                       /*filter_index=*/nullptr);
+  std::vector<EntityId> entry = {2, 3, 4, 5};
+  Rng rng(10);
+  for (int round = 0; round < 10; ++round) {
+    updater.UpdateHeadEntry(&entry, 0, 1, &rng);
+  }
+  int known_true = 0;
+  for (EntityId e : entry) known_true += index.Contains({e, 0, 1});
+  EXPECT_GT(known_true, 2);
+}
+
+TEST(CacheUpdateStrategyTest, Names) {
+  EXPECT_EQ(CacheUpdateStrategyName(CacheUpdateStrategy::kImportanceSampling),
+            "is");
+  EXPECT_EQ(CacheUpdateStrategyName(CacheUpdateStrategy::kTop), "top");
+  EXPECT_EQ(CacheUpdateStrategyName(CacheUpdateStrategy::kUniform), "uniform");
+}
+
+}  // namespace
+}  // namespace nsc

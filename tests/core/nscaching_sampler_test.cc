@@ -1,0 +1,204 @@
+#include "core/nscaching_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "kg/kg_index.h"
+
+namespace nsc {
+namespace {
+
+TripleStore MakeStore(int num_entities = 40) {
+  TripleStore store(num_entities, 3);
+  for (EntityId h = 0; h < 12; ++h) {
+    store.Add({h, 0, static_cast<EntityId>((h + 5) % num_entities)});
+    store.Add({h, 1, static_cast<EntityId>(20 + (h % 10))});
+  }
+  return store;
+}
+
+KgeModel MakeModel(int num_entities = 40, uint64_t seed = 1) {
+  KgeModel model(num_entities, 3, 8, MakeScoringFunction("transe"));
+  Rng rng(seed);
+  model.InitXavier(&rng);
+  return model;
+}
+
+NSCachingConfig SmallConfig() {
+  NSCachingConfig c;
+  c.n1 = 6;
+  c.n2 = 6;
+  return c;
+}
+
+TEST(NSCachingSamplerTest, NegativeIsCorruptionOfPositive) {
+  KgeModel model = MakeModel();
+  const TripleStore store = MakeStore();
+  const KgIndex index(store);
+  NSCachingSampler sampler(&model, &index, SmallConfig());
+  Rng rng(2);
+  const Triple pos{3, 0, 8};
+  for (int i = 0; i < 200; ++i) {
+    const NegativeSample neg = sampler.Sample(pos, &rng);
+    EXPECT_EQ(neg.triple.r, pos.r);
+    if (neg.side == CorruptionSide::kHead) {
+      EXPECT_EQ(neg.triple.t, pos.t);
+    } else {
+      EXPECT_EQ(neg.triple.h, pos.h);
+    }
+  }
+}
+
+TEST(NSCachingSamplerTest, CachesKeyedByRtAndHr) {
+  KgeModel model = MakeModel();
+  const TripleStore store = MakeStore();
+  const KgIndex index(store);
+  NSCachingSampler sampler(&model, &index, SmallConfig());
+  Rng rng(3);
+  sampler.Sample({3, 0, 8}, &rng);
+  EXPECT_NE(sampler.head_cache().Find(PackRt(0, 8)), nullptr);
+  EXPECT_NE(sampler.tail_cache().Find(PackHr(3, 0)), nullptr);
+  EXPECT_EQ(sampler.head_cache().Find(PackRt(1, 8)), nullptr);
+
+  // A second positive sharing (r, t) reuses the same head-cache entry.
+  sampler.Sample({7, 0, 8}, &rng);
+  EXPECT_EQ(sampler.head_cache().num_entries(), 1u);
+  EXPECT_EQ(sampler.tail_cache().num_entries(), 2u);
+}
+
+TEST(NSCachingSamplerTest, SampledEntityComesFromCache) {
+  KgeModel model = MakeModel();
+  const TripleStore store = MakeStore();
+  const KgIndex index(store);
+  Rng rng(4);
+  const Triple pos{3, 0, 8};
+  // With updates disabled, every sampled corruption must be a member of
+  // the (frozen) cache entry for its key.
+  NSCachingConfig frozen = SmallConfig();
+  frozen.lazy_update_epochs = 1 << 20;
+  NSCachingSampler frozen_sampler(&model, &index, frozen);
+  frozen_sampler.BeginEpoch(1);  // 1 % huge != 0 -> updates disabled.
+  EXPECT_FALSE(frozen_sampler.updates_enabled());
+  frozen_sampler.Sample(pos, &rng);  // Initialises entries.
+  const auto head_entry = *frozen_sampler.head_cache().Find(PackRt(0, 8));
+  const auto tail_entry = *frozen_sampler.tail_cache().Find(PackHr(3, 0));
+  for (int i = 0; i < 100; ++i) {
+    const NegativeSample neg = frozen_sampler.Sample(pos, &rng);
+    if (neg.side == CorruptionSide::kHead) {
+      EXPECT_NE(std::find(head_entry.begin(), head_entry.end(), neg.triple.h),
+                head_entry.end());
+    } else {
+      EXPECT_NE(std::find(tail_entry.begin(), tail_entry.end(), neg.triple.t),
+                tail_entry.end());
+    }
+  }
+}
+
+TEST(NSCachingSamplerTest, UpdatesRefreshBothCaches) {
+  KgeModel model = MakeModel();
+  const TripleStore store = MakeStore();
+  const KgIndex index(store);
+  NSCachingSampler sampler(&model, &index, SmallConfig());
+  Rng rng(5);
+  sampler.BeginEpoch(0);
+  EXPECT_TRUE(sampler.updates_enabled());
+  sampler.Sample({3, 0, 8}, &rng);
+  EXPECT_EQ(sampler.stats().updates, 2);  // Head + tail entry refreshed.
+  EXPECT_EQ(sampler.stats().selections, 1);
+}
+
+TEST(NSCachingSamplerTest, LazyUpdateSchedule) {
+  KgeModel model = MakeModel();
+  const TripleStore store = MakeStore();
+  const KgIndex index(store);
+  NSCachingConfig config = SmallConfig();
+  config.lazy_update_epochs = 2;  // Update in epochs 0, 3, 6, ...
+  NSCachingSampler sampler(&model, &index, config);
+  Rng rng(6);
+  const Triple pos{3, 0, 8};
+
+  const int expected_enabled[] = {1, 0, 0, 1, 0, 0, 1};
+  for (int epoch = 0; epoch < 7; ++epoch) {
+    sampler.BeginEpoch(epoch);
+    EXPECT_EQ(sampler.updates_enabled(), expected_enabled[epoch] == 1)
+        << "epoch " << epoch;
+    sampler.ResetStats();
+    sampler.Sample(pos, &rng);
+    EXPECT_EQ(sampler.stats().updates, expected_enabled[epoch] == 1 ? 2 : 0);
+  }
+}
+
+TEST(NSCachingSamplerTest, CacheEntriesStayWithinUniverse) {
+  KgeModel model = MakeModel();
+  const TripleStore store = MakeStore();
+  const KgIndex index(store);
+  NSCachingSampler sampler(&model, &index, SmallConfig());
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    for (const Triple& pos : store) sampler.Sample(pos, &rng);
+  }
+  for (const Triple& pos : store) {
+    const auto* entry = sampler.head_cache().Find(PackRt(pos.r, pos.t));
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->size(), static_cast<size_t>(SmallConfig().n1));
+    for (EntityId e : *entry) {
+      EXPECT_GE(e, 0);
+      EXPECT_LT(e, 40);
+    }
+  }
+}
+
+TEST(NSCachingSamplerTest, CacheConcentratesOnHighScoreNegatives) {
+  // Property from §III-B: after repeated IS updates against a fixed model,
+  // the cache should hold candidates with systematically higher scores
+  // than uniform random ones.
+  KgeModel model = MakeModel(60, 11);
+  TripleStore store(60, 3);
+  store.Add({3, 0, 8});
+  const KgIndex index(store);
+  NSCachingConfig config;
+  config.n1 = 10;
+  config.n2 = 30;
+  NSCachingSampler sampler(&model, &index, config);
+  Rng rng(8);
+  const Triple pos{3, 0, 8};
+  for (int i = 0; i < 60; ++i) sampler.Sample(pos, &rng);
+
+  const auto* entry = sampler.head_cache().Find(PackRt(0, 8));
+  ASSERT_NE(entry, nullptr);
+  double cache_mean = 0.0;
+  for (EntityId e : *entry) cache_mean += model.Score(e, 0, 8);
+  cache_mean /= entry->size();
+
+  double uniform_mean = 0.0;
+  for (EntityId e = 0; e < 60; ++e) uniform_mean += model.Score(e, 0, 8);
+  uniform_mean /= 60.0;
+
+  EXPECT_GT(cache_mean, uniform_mean);
+}
+
+TEST(NSCachingSamplerTest, StatsResetWorks) {
+  KgeModel model = MakeModel();
+  const TripleStore store = MakeStore();
+  const KgIndex index(store);
+  NSCachingSampler sampler(&model, &index, SmallConfig());
+  Rng rng(9);
+  sampler.Sample({3, 0, 8}, &rng);
+  EXPECT_GT(sampler.stats().selections, 0);
+  sampler.ResetStats();
+  EXPECT_EQ(sampler.stats().selections, 0);
+  EXPECT_EQ(sampler.stats().updates, 0);
+  EXPECT_EQ(sampler.stats().changed_elements, 0);
+}
+
+TEST(CacheStatsTest, MeanChangedElements) {
+  CacheStats stats;
+  EXPECT_EQ(stats.MeanChangedElements(), 0.0);
+  stats.updates = 4;
+  stats.changed_elements = 10;
+  EXPECT_DOUBLE_EQ(stats.MeanChangedElements(), 2.5);
+}
+
+}  // namespace
+}  // namespace nsc

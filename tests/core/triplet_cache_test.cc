@@ -1,0 +1,122 @@
+#include "core/triplet_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace nsc {
+namespace {
+
+TEST(TripletCacheTest, LazyInitFillsToCapacity) {
+  TripletCache cache(5, 100);
+  Rng rng(1);
+  const auto& entry = cache.GetOrInit(PackRt(2, 3), &rng);
+  EXPECT_EQ(entry.size(), 5u);
+  for (EntityId e : entry) {
+    EXPECT_GE(e, 0);
+    EXPECT_LT(e, 100);
+  }
+  EXPECT_EQ(cache.num_entries(), 1u);
+}
+
+TEST(TripletCacheTest, SecondGetReturnsSameEntry) {
+  TripletCache cache(4, 50);
+  Rng rng(2);
+  auto& a = cache.GetOrInit(7, &rng);
+  a[0] = 42;
+  const auto& b = cache.GetOrInit(7, &rng);
+  EXPECT_EQ(b[0], 42);
+  EXPECT_EQ(cache.num_entries(), 1u);
+}
+
+TEST(TripletCacheTest, DistinctKeysDistinctEntries) {
+  TripletCache cache(3, 50);
+  Rng rng(3);
+  cache.GetOrInit(PackHr(1, 0), &rng);
+  cache.GetOrInit(PackHr(2, 0), &rng);
+  cache.GetOrInit(PackRt(0, 1), &rng);
+  EXPECT_EQ(cache.num_entries(), 3u);
+  EXPECT_EQ(cache.num_cached_ids(), 9u);
+}
+
+TEST(TripletCacheTest, FindWithoutInit) {
+  TripletCache cache(3, 50);
+  Rng rng(4);
+  EXPECT_EQ(cache.Find(11), nullptr);
+  cache.GetOrInit(11, &rng);
+  ASSERT_NE(cache.Find(11), nullptr);
+  EXPECT_EQ(cache.Find(11)->size(), 3u);
+}
+
+TEST(TripletCacheTest, SharedKeyAcrossPositives) {
+  // Positives sharing (r, t) must share one head-cache entry — the space
+  // saving of §III-B3 on 1-N/N-1 relations.
+  TripletCache head_cache(4, 50);
+  Rng rng(5);
+  const Triple a{1, 0, 9}, b{2, 0, 9};  // Same (r, t) = (0, 9).
+  auto& ea = head_cache.GetOrInit(PackRt(a.r, a.t), &rng);
+  auto& eb = head_cache.GetOrInit(PackRt(b.r, b.t), &rng);
+  EXPECT_EQ(&ea, &eb);
+  EXPECT_EQ(head_cache.num_entries(), 1u);
+}
+
+TEST(TripletCacheTest, ClearEmptiesEverything) {
+  TripletCache cache(2, 10);
+  Rng rng(6);
+  cache.GetOrInit(1, &rng);
+  cache.GetOrInit(2, &rng);
+  cache.Clear();
+  EXPECT_EQ(cache.num_entries(), 0u);
+  EXPECT_EQ(cache.Find(1), nullptr);
+}
+
+TEST(BoundedTripletCacheTest, NeverExceedsMaxEntries) {
+  TripletCache cache(3, 100, /*max_entries=*/4);
+  Rng rng(8);
+  for (uint64_t key = 0; key < 50; ++key) {
+    cache.GetOrInit(key, &rng);
+    EXPECT_LE(cache.num_entries(), 4u);
+  }
+  EXPECT_EQ(cache.evictions(), 46u);
+}
+
+TEST(BoundedTripletCacheTest, EvictsLeastRecentlyTouched) {
+  TripletCache cache(2, 100, /*max_entries=*/3);
+  Rng rng(9);
+  cache.GetOrInit(1, &rng);
+  cache.GetOrInit(2, &rng);
+  cache.GetOrInit(3, &rng);
+  cache.GetOrInit(1, &rng);  // Refresh key 1; key 2 is now the LRU.
+  cache.GetOrInit(4, &rng);  // Evicts key 2.
+  EXPECT_NE(cache.Find(1), nullptr);
+  EXPECT_EQ(cache.Find(2), nullptr);
+  EXPECT_NE(cache.Find(3), nullptr);
+  EXPECT_NE(cache.Find(4), nullptr);
+}
+
+TEST(BoundedTripletCacheTest, EvictedKeyReinitialises) {
+  TripletCache cache(4, 1000000, /*max_entries=*/1);
+  Rng rng(10);
+  const auto first = cache.GetOrInit(7, &rng);
+  cache.GetOrInit(8, &rng);  // Evicts 7.
+  const auto& second = cache.GetOrInit(7, &rng);  // Fresh random content.
+  EXPECT_EQ(second.size(), 4u);
+  EXPECT_NE(first, second);  // Overwhelmingly likely with 1M entities.
+}
+
+TEST(BoundedTripletCacheTest, UnboundedNeverEvicts) {
+  TripletCache cache(2, 10, /*max_entries=*/0);
+  Rng rng(11);
+  for (uint64_t key = 0; key < 200; ++key) cache.GetOrInit(key, &rng);
+  EXPECT_EQ(cache.num_entries(), 200u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(TripletCacheTest, InitIsRandomAcrossKeys) {
+  TripletCache cache(20, 1000000);
+  Rng rng(7);
+  const auto a = cache.GetOrInit(1, &rng);
+  const auto b = cache.GetOrInit(2, &rng);
+  EXPECT_NE(a, b);  // Overwhelmingly likely with 1M entities.
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,109 @@
+#include "embedding/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace nsc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+KgeModel MakeModel(const std::string& scorer, uint64_t seed = 5) {
+  KgeModel model(17, 4, 6, MakeScoringFunction(scorer));
+  Rng rng(seed);
+  model.InitXavier(&rng);
+  return model;
+}
+
+TEST(CheckpointTest, RoundTripPreservesEverything) {
+  const std::string path = TempPath("roundtrip.nsckpt");
+  const KgeModel model = MakeModel("transd");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const KgeModel& copy = loaded.value();
+  EXPECT_EQ(copy.scorer().name(), "transd");
+  EXPECT_EQ(copy.num_entities(), 17);
+  EXPECT_EQ(copy.num_relations(), 4);
+  EXPECT_EQ(copy.dim(), 6);
+  EXPECT_EQ(copy.entity_table().data(), model.entity_table().data());
+  EXPECT_EQ(copy.relation_table().data(), model.relation_table().data());
+  // Scores identical on a few probes.
+  for (EntityId h = 0; h < 5; ++h) {
+    EXPECT_DOUBLE_EQ(copy.Score(h, 1, 16 - h), model.Score(h, 1, 16 - h));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RoundTripEveryScorer) {
+  for (const std::string& scorer : ListScoringFunctions()) {
+    const std::string path = TempPath("rt_" + scorer + ".nsckpt");
+    const KgeModel model = MakeModel(scorer);
+    ASSERT_TRUE(SaveModel(model, path).ok()) << scorer;
+    auto loaded = LoadModel(path);
+    ASSERT_TRUE(loaded.ok()) << scorer << ": " << loaded.status().ToString();
+    EXPECT_EQ(loaded.value().scorer().name(), scorer);
+    EXPECT_EQ(loaded.value().entity_table().data(),
+              model.entity_table().data());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CheckpointTest, MissingFileIsIOError) {
+  auto loaded = LoadModel("/nonexistent/x.nsckpt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(CheckpointTest, GarbageFileIsInvalidArgument) {
+  const std::string path = TempPath("garbage.nsckpt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a checkpoint at all";
+  }
+  auto loaded = LoadModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TruncatedFileIsInvalidArgument) {
+  const std::string path = TempPath("trunc.nsckpt");
+  const KgeModel model = MakeModel("transe");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  // Chop the file short.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  auto loaded = LoadModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TrailingBytesRejected) {
+  const std::string path = TempPath("trailing.nsckpt");
+  const KgeModel model = MakeModel("transe");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "extra";
+  }
+  auto loaded = LoadModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nsc

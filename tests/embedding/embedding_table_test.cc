@@ -1,0 +1,73 @@
+#include "embedding/embedding_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nsc {
+namespace {
+
+TEST(EmbeddingTableTest, ShapeAndZeroInit) {
+  EmbeddingTable table(5, 3);
+  EXPECT_EQ(table.rows(), 5);
+  EXPECT_EQ(table.width(), 3);
+  EXPECT_EQ(table.size(), 15u);
+  for (float v : table.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(EmbeddingTableTest, RowViewsAreContiguousAndWritable) {
+  EmbeddingTable table(3, 4);
+  for (int r = 0; r < 3; ++r) {
+    float* row = table.Row(r);
+    for (int i = 0; i < 4; ++i) row[i] = r * 10.0f + i;
+  }
+  EXPECT_EQ(table.Row(1)[2], 12.0f);
+  EXPECT_EQ(table.data()[1 * 4 + 2], 12.0f);
+  // Rows are adjacent in memory.
+  EXPECT_EQ(table.Row(0) + 4, table.Row(1));
+}
+
+TEST(EmbeddingTableTest, RowNormPrefix) {
+  EmbeddingTable table(1, 4);
+  float* row = table.Row(0);
+  row[0] = 3.0f;
+  row[1] = 4.0f;
+  row[2] = 100.0f;  // Outside the prefix.
+  EXPECT_FLOAT_EQ(table.RowNorm(0, 2), 5.0f);
+}
+
+TEST(EmbeddingTableTest, ProjectScalesOnlyWhenOutside) {
+  EmbeddingTable table(2, 2);
+  float* a = table.Row(0);
+  a[0] = 3.0f;
+  a[1] = 4.0f;  // Norm 5 > 1.
+  table.ProjectRowToL2Ball(0, 2, 1.0f);
+  EXPECT_NEAR(table.RowNorm(0, 2), 1.0f, 1e-6);
+  EXPECT_NEAR(a[0] / a[1], 0.75f, 1e-6);  // Direction preserved.
+
+  float* b = table.Row(1);
+  b[0] = 0.3f;
+  b[1] = 0.4f;  // Norm 0.5 <= 1: untouched.
+  table.ProjectRowToL2Ball(1, 2, 1.0f);
+  EXPECT_FLOAT_EQ(b[0], 0.3f);
+  EXPECT_FLOAT_EQ(b[1], 0.4f);
+}
+
+TEST(EmbeddingTableTest, ProjectPrefixLeavesSuffixAlone) {
+  EmbeddingTable table(1, 4);
+  float* row = table.Row(0);
+  row[0] = 10.0f;
+  row[3] = 7.0f;
+  table.ProjectRowToL2Ball(0, 2, 1.0f);
+  EXPECT_NEAR(row[0], 1.0f, 1e-6);
+  EXPECT_FLOAT_EQ(row[3], 7.0f);
+}
+
+TEST(EmbeddingTableDeathTest, OutOfRangeRowAborts) {
+  EmbeddingTable table(2, 2);
+  EXPECT_DEATH(table.Row(2), "CHECK");
+  EXPECT_DEATH(table.Row(-1), "CHECK");
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,63 @@
+#include "embedding/initializer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nsc {
+namespace {
+
+TEST(InitializerTest, XavierBoundsRespected) {
+  EmbeddingTable table(100, 50);
+  Rng rng(1);
+  XavierUniformInit(&table, &rng);
+  const double bound = std::sqrt(6.0 / 100.0);
+  for (float v : table.data()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+}
+
+TEST(InitializerTest, XavierNotAllZero) {
+  EmbeddingTable table(10, 10);
+  Rng rng(2);
+  XavierUniformInit(&table, &rng);
+  double sq = 0.0;
+  for (float v : table.data()) sq += double(v) * v;
+  EXPECT_GT(sq, 0.0);
+}
+
+TEST(InitializerTest, XavierDeterministicInSeed) {
+  EmbeddingTable a(5, 5), b(5, 5);
+  Rng ra(3), rb(3);
+  XavierUniformInit(&a, &ra);
+  XavierUniformInit(&b, &rb);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(InitializerTest, GaussianMoments) {
+  EmbeddingTable table(200, 100);
+  Rng rng(4);
+  GaussianInit(&table, 0.5, &rng);
+  double sum = 0.0, sq = 0.0;
+  for (float v : table.data()) {
+    sum += v;
+    sq += double(v) * v;
+  }
+  const double n = static_cast<double>(table.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sq / n, 0.25, 0.01);
+}
+
+TEST(InitializerTest, UniformRange) {
+  EmbeddingTable table(20, 20);
+  Rng rng(5);
+  UniformInit(&table, 2.0, 3.0, &rng);
+  for (float v : table.data()) {
+    EXPECT_GE(v, 2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+}  // namespace
+}  // namespace nsc

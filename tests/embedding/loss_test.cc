@@ -1,0 +1,97 @@
+#include "embedding/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace nsc {
+namespace {
+
+TEST(MarginLossTest, ActivePairValueAndGrads) {
+  MarginRankingLoss loss(2.0);
+  // pos=1, neg=0.5 -> 2 - 1 + 0.5 = 1.5 > 0: active.
+  const LossGrad g = loss.Compute(1.0, 0.5);
+  EXPECT_NEAR(g.loss, 1.5, 1e-12);
+  EXPECT_EQ(g.d_pos, -1.0);
+  EXPECT_EQ(g.d_neg, 1.0);
+}
+
+TEST(MarginLossTest, SeparatedPairVanishes) {
+  MarginRankingLoss loss(1.0);
+  // pos=5, neg=0 -> 1 - 5 + 0 = -4 <= 0: the vanishing-gradient regime.
+  const LossGrad g = loss.Compute(5.0, 0.0);
+  EXPECT_EQ(g.loss, 0.0);
+  EXPECT_EQ(g.d_pos, 0.0);
+  EXPECT_EQ(g.d_neg, 0.0);
+}
+
+TEST(MarginLossTest, BoundaryIsInactive) {
+  MarginRankingLoss loss(1.0);
+  const LossGrad g = loss.Compute(1.0, 0.0);  // Exactly at the margin.
+  EXPECT_EQ(g.loss, 0.0);
+}
+
+TEST(MarginLossTest, HarderNegativeGivesLargerLoss) {
+  MarginRankingLoss loss(2.0);
+  EXPECT_GT(loss.Compute(1.0, 0.9).loss, loss.Compute(1.0, 0.1).loss);
+}
+
+TEST(LogisticLossTest, ValueMatchesDefinition) {
+  LogisticLoss loss;
+  const double pos = 0.7, neg = -0.3;
+  const LossGrad g = loss.Compute(pos, neg);
+  EXPECT_NEAR(g.loss, std::log1p(std::exp(-pos)) + std::log1p(std::exp(neg)),
+              1e-12);
+}
+
+TEST(LogisticLossTest, GradsMatchFiniteDifferences) {
+  LogisticLoss loss;
+  const double eps = 1e-6;
+  for (double pos : {-2.0, 0.0, 1.5}) {
+    for (double neg : {-1.0, 0.3, 3.0}) {
+      const LossGrad g = loss.Compute(pos, neg);
+      const double dpos_num =
+          (loss.Compute(pos + eps, neg).loss - loss.Compute(pos - eps, neg).loss) /
+          (2 * eps);
+      const double dneg_num =
+          (loss.Compute(pos, neg + eps).loss - loss.Compute(pos, neg - eps).loss) /
+          (2 * eps);
+      EXPECT_NEAR(g.d_pos, dpos_num, 1e-6);
+      EXPECT_NEAR(g.d_neg, dneg_num, 1e-6);
+    }
+  }
+}
+
+TEST(LogisticLossTest, GradientNeverFullyVanishes) {
+  LogisticLoss loss;
+  const LossGrad g = loss.Compute(10.0, -10.0);
+  EXPECT_LT(g.d_pos, 0.0);
+  EXPECT_GT(g.d_neg, 0.0);
+}
+
+TEST(LogisticLossTest, StableForExtremeScores) {
+  LogisticLoss loss;
+  const LossGrad g = loss.Compute(1000.0, -1000.0);
+  EXPECT_TRUE(std::isfinite(g.loss));
+  EXPECT_NEAR(g.loss, 0.0, 1e-9);
+}
+
+TEST(DefaultLossTest, FamilySelectsLoss) {
+  auto transe = MakeScoringFunction("transe");
+  auto complex = MakeScoringFunction("complex");
+  EXPECT_EQ(MakeDefaultLoss(*transe, 2.0)->name(), "margin");
+  EXPECT_EQ(MakeDefaultLoss(*complex, 2.0)->name(), "logistic");
+}
+
+TEST(DefaultLossTest, MarginParameterPropagates) {
+  auto transe = MakeScoringFunction("transe");
+  auto loss = MakeDefaultLoss(*transe, 3.5);
+  auto* margin = dynamic_cast<MarginRankingLoss*>(loss.get());
+  ASSERT_NE(margin, nullptr);
+  EXPECT_EQ(margin->margin(), 3.5);
+}
+
+}  // namespace
+}  // namespace nsc

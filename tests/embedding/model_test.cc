@@ -1,0 +1,89 @@
+#include "embedding/model.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nsc {
+namespace {
+
+KgeModel MakeModel(const std::string& scorer_name, int entities = 10,
+                   int relations = 3, int dim = 8, uint64_t seed = 1) {
+  KgeModel model(entities, relations, dim, MakeScoringFunction(scorer_name));
+  Rng rng(seed);
+  model.InitXavier(&rng);
+  return model;
+}
+
+TEST(KgeModelTest, TableShapesFollowScorerWidths) {
+  const KgeModel transe = MakeModel("transe");
+  EXPECT_EQ(transe.entity_table().width(), 8);
+  EXPECT_EQ(transe.relation_table().width(), 8);
+
+  const KgeModel transd = MakeModel("transd");
+  EXPECT_EQ(transd.entity_table().width(), 16);
+  EXPECT_EQ(transd.relation_table().width(), 16);
+
+  const KgeModel transh = MakeModel("transh");
+  EXPECT_EQ(transh.entity_table().width(), 8);
+  EXPECT_EQ(transh.relation_table().width(), 16);
+
+  const KgeModel rescal = MakeModel("rescal");
+  EXPECT_EQ(rescal.relation_table().width(), 64);
+}
+
+TEST(KgeModelTest, ParameterCountMatchesTableI) {
+  // TransE: (|E| + |R|) * d floats.
+  const KgeModel model = MakeModel("transe", 100, 7, 16);
+  EXPECT_EQ(model.num_parameters(), (100u + 7u) * 16u);
+}
+
+TEST(KgeModelTest, ScoreConsistentWithScorer) {
+  const KgeModel model = MakeModel("distmult");
+  const Triple x{2, 1, 5};
+  const double direct = model.scorer().Score(model.entity_table().Row(2),
+                                             model.relation_table().Row(1),
+                                             model.entity_table().Row(5), 8);
+  EXPECT_DOUBLE_EQ(model.Score(x), direct);
+  EXPECT_DOUBLE_EQ(model.Score(2, 1, 5), direct);
+}
+
+TEST(KgeModelTest, CandidateScoringMatchesPointwise) {
+  const KgeModel model = MakeModel("complex");
+  const std::vector<EntityId> candidates = {0, 3, 7, 9};
+  std::vector<double> head_scores, tail_scores;
+  model.ScoreHeadCandidates(2, 4, candidates, &head_scores);
+  model.ScoreTailCandidates(1, 0, candidates, &tail_scores);
+  ASSERT_EQ(head_scores.size(), 4u);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(head_scores[i], model.Score(candidates[i], 2, 4));
+    EXPECT_DOUBLE_EQ(tail_scores[i], model.Score(1, 0, candidates[i]));
+  }
+}
+
+TEST(KgeModelTest, CloneIsDeepCopy) {
+  KgeModel model = MakeModel("transe");
+  KgeModel copy = model.Clone();
+  EXPECT_DOUBLE_EQ(copy.Score(0, 0, 1), model.Score(0, 0, 1));
+  model.entity_table().Row(0)[0] += 1.0f;
+  EXPECT_NE(copy.Score(0, 0, 1), model.Score(0, 0, 1));
+}
+
+TEST(KgeModelTest, ProjectEntityEnforcesConstraint) {
+  KgeModel model = MakeModel("transe");
+  float* row = model.entity_table().Row(3);
+  for (int i = 0; i < 8; ++i) row[i] = 10.0f;
+  model.ProjectEntity(3);
+  EXPECT_LE(model.entity_table().RowNorm(3, 8), 1.0f + 1e-5);
+}
+
+TEST(KgeModelTest, SemanticMatchingHasNoEntityConstraint) {
+  KgeModel model = MakeModel("distmult");
+  float* row = model.entity_table().Row(3);
+  row[0] = 10.0f;
+  model.ProjectEntity(3);
+  EXPECT_FLOAT_EQ(row[0], 10.0f);  // Unconstrained family.
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,279 @@
+// Parameterized correctness suite for every registered scoring function:
+// the analytic Backward() of each scorer is validated against central
+// finite differences of Score() over random embeddings, across several
+// dimensions and random draws. Also checks hand-computed closed forms and
+// the structural properties of Table III (symmetry of DistMult, asymmetry
+// of ComplEx, translation identity of TransE).
+#include "embedding/scoring_function.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "embedding/scorers/transe.h"
+#include "util/rng.h"
+
+namespace nsc {
+namespace {
+
+std::vector<float> RandomVec(int n, Rng* rng, double scale = 0.8) {
+  std::vector<float> v(n);
+  for (float& x : v) {
+    x = static_cast<float>(rng->Uniform(-scale, scale));
+    // Keep away from the L1 kinks at h+r-t = 0 so the finite-difference
+    // probe of |.| stays on one linear piece.
+    if (std::fabs(x) < 0.05f) x += x >= 0 ? 0.07f : -0.07f;
+  }
+  return v;
+}
+
+// (scorer name, embedding dimension)
+using ScorerParam = std::tuple<std::string, int>;
+
+class ScoringFunctionTest : public ::testing::TestWithParam<ScorerParam> {
+ protected:
+  void SetUp() override {
+    scorer_ = MakeScoringFunction(std::get<0>(GetParam()));
+    ASSERT_NE(scorer_, nullptr);
+    dim_ = std::get<1>(GetParam());
+  }
+
+  std::unique_ptr<ScoringFunction> scorer_;
+  int dim_ = 0;
+};
+
+TEST_P(ScoringFunctionTest, NameMatchesRegistry) {
+  EXPECT_EQ(scorer_->name(), std::get<0>(GetParam()));
+}
+
+TEST_P(ScoringFunctionTest, WidthsArePositiveMultiples) {
+  EXPECT_GE(scorer_->entity_width(dim_), dim_);
+  EXPECT_GE(scorer_->relation_width(dim_), dim_);
+}
+
+TEST_P(ScoringFunctionTest, ScoreIsDeterministic) {
+  Rng rng(11);
+  const auto h = RandomVec(scorer_->entity_width(dim_), &rng);
+  const auto r = RandomVec(scorer_->relation_width(dim_), &rng);
+  const auto t = RandomVec(scorer_->entity_width(dim_), &rng);
+  const double s1 = scorer_->Score(h.data(), r.data(), t.data(), dim_);
+  const double s2 = scorer_->Score(h.data(), r.data(), t.data(), dim_);
+  EXPECT_EQ(s1, s2);
+  EXPECT_TRUE(std::isfinite(s1));
+}
+
+// The core property test: analytic gradient == finite differences.
+TEST_P(ScoringFunctionTest, BackwardMatchesFiniteDifferences) {
+  const int ew = scorer_->entity_width(dim_);
+  const int rw = scorer_->relation_width(dim_);
+  Rng rng(101 + dim_);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    auto h = RandomVec(ew, &rng);
+    auto r = RandomVec(rw, &rng);
+    auto t = RandomVec(ew, &rng);
+
+    std::vector<float> gh(ew, 0.0f), gr(rw, 0.0f), gt(ew, 0.0f);
+    const float coeff = 1.7f;
+    scorer_->Backward(h.data(), r.data(), t.data(), dim_, coeff, gh.data(),
+                      gr.data(), gt.data());
+
+    const double eps = 2e-3;
+    auto check = [&](std::vector<float>* vec, const std::vector<float>& grad,
+                     const char* tag) {
+      for (size_t i = 0; i < vec->size(); ++i) {
+        const float saved = (*vec)[i];
+        const double base = scorer_->Score(h.data(), r.data(), t.data(), dim_);
+        (*vec)[i] = saved + static_cast<float>(eps);
+        const double plus = scorer_->Score(h.data(), r.data(), t.data(), dim_);
+        (*vec)[i] = saved - static_cast<float>(eps);
+        const double minus = scorer_->Score(h.data(), r.data(), t.data(), dim_);
+        (*vec)[i] = saved;
+        // L1-based scorers are piecewise linear; when the probe straddles a
+        // kink of |.| the one-sided slopes disagree and the central
+        // difference is meaningless there — skip such coordinates.
+        const double fwd = (plus - base) / eps;
+        const double bwd = (base - minus) / eps;
+        if (std::fabs(fwd - bwd) > 1e-2 * std::max(1.0, std::fabs(fwd))) {
+          continue;
+        }
+        const double numeric = coeff * (plus - minus) / (2.0 * eps);
+        EXPECT_NEAR(grad[i], numeric, 5e-2 * std::max(1.0, std::fabs(numeric)))
+            << tag << "[" << i << "] trial " << trial;
+      }
+    };
+    check(&h, gh, "dh");
+    check(&r, gr, "dr");
+    check(&t, gt, "dt");
+  }
+}
+
+TEST_P(ScoringFunctionTest, BackwardAccumulatesIntoBuffers) {
+  const int ew = scorer_->entity_width(dim_);
+  const int rw = scorer_->relation_width(dim_);
+  Rng rng(55);
+  const auto h = RandomVec(ew, &rng);
+  const auto r = RandomVec(rw, &rng);
+  const auto t = RandomVec(ew, &rng);
+
+  std::vector<float> gh1(ew, 0.0f), gr1(rw, 0.0f), gt1(ew, 0.0f);
+  scorer_->Backward(h.data(), r.data(), t.data(), dim_, 1.0f, gh1.data(),
+                    gr1.data(), gt1.data());
+  // Calling twice with coeff 1 must equal calling once with coeff 2.
+  std::vector<float> gh2(ew, 0.0f), gr2(rw, 0.0f), gt2(ew, 0.0f);
+  scorer_->Backward(h.data(), r.data(), t.data(), dim_, 1.0f, gh2.data(),
+                    gr2.data(), gt2.data());
+  scorer_->Backward(h.data(), r.data(), t.data(), dim_, 1.0f, gh2.data(),
+                    gr2.data(), gt2.data());
+  for (int i = 0; i < ew; ++i) {
+    EXPECT_NEAR(gh2[i], 2.0f * gh1[i], 1e-5);
+    EXPECT_NEAR(gt2[i], 2.0f * gt1[i], 1e-5);
+  }
+  for (int i = 0; i < rw; ++i) EXPECT_NEAR(gr2[i], 2.0f * gr1[i], 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScorers, ScoringFunctionTest,
+    ::testing::Combine(::testing::Values("transe", "transh", "transd",
+                                         "transr", "distmult", "complex",
+                                         "rescal", "hole"),
+                       ::testing::Values(4, 8, 16)),
+    [](const ::testing::TestParamInfo<ScorerParam>& info) {
+      return std::get<0>(info.param) + "_d" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---- Closed-form and structural checks -----------------------------------
+
+TEST(TransEClosedFormTest, PerfectTranslationScoresZero) {
+  TransE transe;
+  const std::vector<float> h = {0.1f, 0.2f}, r = {0.3f, -0.1f};
+  std::vector<float> t(2);
+  for (int i = 0; i < 2; ++i) t[i] = h[i] + r[i];
+  EXPECT_NEAR(transe.Score(h.data(), r.data(), t.data(), 2), 0.0, 1e-7);
+}
+
+TEST(TransEClosedFormTest, ScoreIsNegativeL1Distance) {
+  TransE transe;
+  const std::vector<float> h = {1.0f, 0.0f}, r = {0.0f, 0.0f},
+                           t = {0.0f, 2.0f};
+  EXPECT_NEAR(transe.Score(h.data(), r.data(), t.data(), 2), -3.0, 1e-6);
+}
+
+TEST(TransEClosedFormTest, ProjectionKeepsUnitBall) {
+  TransE transe;
+  std::vector<float> e = {3.0f, 4.0f};
+  transe.ProjectEntityRow(e.data(), 2);
+  EXPECT_NEAR(std::hypot(e[0], e[1]), 1.0, 1e-6);
+}
+
+TEST(DistMultStructureTest, SymmetricInHeadAndTail) {
+  auto dm = MakeScoringFunction("distmult");
+  Rng rng(7);
+  const auto h = RandomVec(8, &rng), r = RandomVec(8, &rng),
+             t = RandomVec(8, &rng);
+  EXPECT_NEAR(dm->Score(h.data(), r.data(), t.data(), 8),
+              dm->Score(t.data(), r.data(), h.data(), 8), 1e-6);
+}
+
+TEST(ComplExStructureTest, AsymmetricInHeadAndTail) {
+  auto cx = MakeScoringFunction("complex");
+  Rng rng(7);
+  const auto h = RandomVec(16, &rng), r = RandomVec(16, &rng),
+             t = RandomVec(16, &rng);
+  const double fwd = cx->Score(h.data(), r.data(), t.data(), 8);
+  const double bwd = cx->Score(t.data(), r.data(), h.data(), 8);
+  EXPECT_GT(std::fabs(fwd - bwd), 1e-4);
+}
+
+TEST(ComplExStructureTest, ZeroImaginaryReducesToDistMult) {
+  auto cx = MakeScoringFunction("complex");
+  auto dm = MakeScoringFunction("distmult");
+  Rng rng(9);
+  const int d = 6;
+  auto mk = [&] {
+    std::vector<float> v(2 * d, 0.0f);
+    for (int i = 0; i < d; ++i) v[i] = static_cast<float>(rng.Uniform(-1, 1));
+    return v;
+  };
+  const auto h = mk(), r = mk(), t = mk();
+  EXPECT_NEAR(cx->Score(h.data(), r.data(), t.data(), d),
+              dm->Score(h.data(), r.data(), t.data(), d), 1e-5);
+}
+
+TEST(RescalStructureTest, IdentityRelationGivesDotProduct) {
+  auto rescal = MakeScoringFunction("rescal");
+  const int d = 4;
+  std::vector<float> m(d * d, 0.0f);
+  for (int i = 0; i < d; ++i) m[i * d + i] = 1.0f;
+  const std::vector<float> h = {1.0f, 2.0f, 3.0f, 4.0f};
+  const std::vector<float> t = {0.5f, -1.0f, 2.0f, 0.0f};
+  EXPECT_NEAR(rescal->Score(h.data(), m.data(), t.data(), d),
+              1 * 0.5 - 2.0 + 6.0, 1e-5);
+}
+
+TEST(FamilyTest, TableIIIFamilies) {
+  EXPECT_EQ(MakeScoringFunction("transe")->family(),
+            ModelFamily::kTranslationalDistance);
+  EXPECT_EQ(MakeScoringFunction("transh")->family(),
+            ModelFamily::kTranslationalDistance);
+  EXPECT_EQ(MakeScoringFunction("transd")->family(),
+            ModelFamily::kTranslationalDistance);
+  EXPECT_EQ(MakeScoringFunction("distmult")->family(),
+            ModelFamily::kSemanticMatching);
+  EXPECT_EQ(MakeScoringFunction("complex")->family(),
+            ModelFamily::kSemanticMatching);
+  EXPECT_EQ(MakeScoringFunction("rescal")->family(),
+            ModelFamily::kSemanticMatching);
+}
+
+TEST(RegistryTest, UnknownNameGivesNull) {
+  EXPECT_EQ(MakeScoringFunction("nope"), nullptr);
+}
+
+TEST(RegistryTest, ListCoversAllConstructible) {
+  for (const std::string& name : ListScoringFunctions()) {
+    EXPECT_NE(MakeScoringFunction(name), nullptr) << name;
+  }
+  EXPECT_EQ(ListScoringFunctions().size(), 8u);
+}
+
+TEST(TransRStructureTest, IdentityMatrixReducesToTransE) {
+  auto transr = MakeScoringFunction("transr");
+  auto transe = MakeScoringFunction("transe");
+  const int d = 4;
+  Rng rng(31);
+  const auto h = RandomVec(d, &rng), t = RandomVec(d, &rng);
+  const auto rv = RandomVec(d, &rng);
+  std::vector<float> r_row(d + d * d, 0.0f);
+  for (int i = 0; i < d; ++i) {
+    r_row[i] = rv[i];
+    r_row[d + i * d + i] = 1.0f;  // M_r = I.
+  }
+  EXPECT_NEAR(transr->Score(h.data(), r_row.data(), t.data(), d),
+              transe->Score(h.data(), rv.data(), t.data(), d), 1e-5);
+}
+
+TEST(HolEStructureTest, AsymmetricInHeadAndTail) {
+  auto hole = MakeScoringFunction("hole");
+  Rng rng(33);
+  const auto h = RandomVec(8, &rng), r = RandomVec(8, &rng),
+             t = RandomVec(8, &rng);
+  EXPECT_GT(std::fabs(hole->Score(h.data(), r.data(), t.data(), 8) -
+                      hole->Score(t.data(), r.data(), h.data(), 8)),
+            1e-4);
+}
+
+TEST(HolEStructureTest, CircularCorrelationClosedForm) {
+  // d = 2: (h ⋆ t)_0 = h0 t0 + h1 t1; (h ⋆ t)_1 = h0 t1 + h1 t0.
+  auto hole = MakeScoringFunction("hole");
+  const std::vector<float> h = {2.0f, 3.0f}, t = {5.0f, 7.0f},
+                           r = {1.0f, 10.0f};
+  const double expected = 1.0 * (2 * 5 + 3 * 7) + 10.0 * (2 * 7 + 3 * 5);
+  EXPECT_NEAR(hole->Score(h.data(), r.data(), t.data(), 2), expected, 1e-5);
+}
+
+}  // namespace
+}  // namespace nsc

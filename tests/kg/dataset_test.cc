@@ -1,0 +1,102 @@
+#include "kg/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace nsc {
+namespace {
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/nsc_dataset_test";
+    std::remove((dir_ + "/train.txt").c_str());
+    ::system(("mkdir -p " + dir_).c_str());
+  }
+
+  void WriteSplit(const std::string& split, const std::string& content) {
+    std::ofstream out(dir_ + "/" + split + ".txt");
+    out << content;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DatasetTest, LoadBuildsSharedVocab) {
+  WriteSplit("train", "paris\tcapital_of\tfrance\nberlin\tcapital_of\tgermany\n");
+  WriteSplit("valid", "paris\tcapital_of\tfrance\n");
+  WriteSplit("test", "berlin\tcapital_of\tgermany\n");
+  auto ds = LoadDataset(dir_, "toy");
+  ASSERT_TRUE(ds.ok());
+  const Dataset& d = ds.value();
+  EXPECT_EQ(d.num_entities(), 4);
+  EXPECT_EQ(d.num_relations(), 1);
+  EXPECT_EQ(d.train.size(), 2u);
+  EXPECT_EQ(d.valid.size(), 1u);
+  EXPECT_EQ(d.test.size(), 1u);
+  EXPECT_EQ(d.entities.Find("paris"), 0);
+}
+
+TEST_F(DatasetTest, DropsEvalTriplesWithUnseenIds) {
+  WriteSplit("train", "a\tr\tb\n");
+  WriteSplit("valid", "a\tr\tb\nunseen\tr\tb\n");
+  WriteSplit("test", "a\tr2\tb\n");  // Relation unseen in train.
+  auto ds = LoadDataset(dir_, "toy");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds.value().valid.size(), 1u);
+  EXPECT_EQ(ds.value().test.size(), 0u);
+}
+
+TEST_F(DatasetTest, MalformedLineIsInvalidArgument) {
+  WriteSplit("train", "only_two\tfields\n");
+  WriteSplit("valid", "");
+  WriteSplit("test", "");
+  auto ds = LoadDataset(dir_, "toy");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatasetTest, MissingFileIsIOError) {
+  auto ds = LoadDataset(dir_ + "/does_not_exist", "toy");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(DatasetTest, SaveLoadRoundTrip) {
+  WriteSplit("train", "a\tr\tb\nb\tr\tc\nc\tr\ta\n");
+  WriteSplit("valid", "a\tr\tc\n");
+  WriteSplit("test", "b\tr\ta\n");
+  auto ds = LoadDataset(dir_, "toy");
+  ASSERT_TRUE(ds.ok());
+
+  const std::string out_dir = dir_ + "/out";
+  ::system(("mkdir -p " + out_dir).c_str());
+  ASSERT_TRUE(SaveDataset(ds.value(), out_dir).ok());
+  auto reloaded = LoadDataset(out_dir, "toy2");
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value().train.size(), ds.value().train.size());
+  EXPECT_EQ(reloaded.value().valid.size(), ds.value().valid.size());
+  EXPECT_EQ(reloaded.value().test.size(), ds.value().test.size());
+  EXPECT_EQ(reloaded.value().num_entities(), ds.value().num_entities());
+}
+
+TEST_F(DatasetTest, StatsMatchTableIIShape) {
+  WriteSplit("train", "a\tr\tb\nb\tr\tc\n");
+  WriteSplit("valid", "a\tr\tc\n");
+  WriteSplit("test", "b\tr\ta\n");
+  auto ds = LoadDataset(dir_, "toy");
+  ASSERT_TRUE(ds.ok());
+  const DatasetStats stats = ComputeStats(ds.value());
+  EXPECT_EQ(stats.name, "toy");
+  EXPECT_EQ(stats.num_entities, 3);
+  EXPECT_EQ(stats.num_relations, 1);
+  EXPECT_EQ(stats.num_train, 2u);
+  EXPECT_EQ(stats.num_valid, 1u);
+  EXPECT_EQ(stats.num_test, 1u);
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,212 @@
+#include "kg/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "kg/kg_index.h"
+
+namespace nsc {
+namespace {
+
+SyntheticKgConfig SmallConfig() {
+  SyntheticKgConfig c;
+  c.name = "small";
+  c.num_entities = 300;
+  c.num_relations = 6;
+  c.num_triples = 2000;
+  c.seed = 99;
+  return c;
+}
+
+TEST(SyntheticTest, RespectsUniverseSizes) {
+  const Dataset d = GenerateSyntheticKg(SmallConfig());
+  EXPECT_EQ(d.num_entities(), 300);
+  EXPECT_EQ(d.num_relations(), 6);
+  for (const Triple& x : d.train) {
+    EXPECT_GE(x.h, 0);
+    EXPECT_LT(x.h, 300);
+    EXPECT_GE(x.t, 0);
+    EXPECT_LT(x.t, 300);
+    EXPECT_GE(x.r, 0);
+    EXPECT_LT(x.r, 6);
+  }
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  const Dataset a = GenerateSyntheticKg(SmallConfig());
+  const Dataset b = GenerateSyntheticKg(SmallConfig());
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (size_t i = 0; i < a.train.size(); ++i) EXPECT_EQ(a.train[i], b.train[i]);
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticKgConfig c = SmallConfig();
+  const Dataset a = GenerateSyntheticKg(c);
+  c.seed = 100;
+  const Dataset b = GenerateSyntheticKg(c);
+  bool differs = a.train.size() != b.train.size();
+  if (!differs) {
+    for (size_t i = 0; i < a.train.size(); ++i) {
+      if (!(a.train[i] == b.train[i])) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticTest, NoDuplicateTriplesAcrossSplits) {
+  const Dataset d = GenerateSyntheticKg(SmallConfig());
+  std::unordered_set<uint64_t> seen;
+  for (const auto* split : {&d.train, &d.valid, &d.test}) {
+    for (const Triple& x : *split) {
+      EXPECT_TRUE(seen.insert(PackTriple(x)).second)
+          << "duplicate triple across splits";
+    }
+  }
+}
+
+TEST(SyntheticTest, NoSelfLoops) {
+  const Dataset d = GenerateSyntheticKg(SmallConfig());
+  for (const Triple& x : d.train) EXPECT_NE(x.h, x.t);
+}
+
+TEST(SyntheticTest, EvalIdsCoveredByTrain) {
+  const Dataset d = GenerateSyntheticKg(SmallConfig());
+  std::unordered_set<int32_t> entities, relations;
+  for (const Triple& x : d.train) {
+    entities.insert(x.h);
+    entities.insert(x.t);
+    relations.insert(x.r);
+  }
+  for (const auto* split : {&d.valid, &d.test}) {
+    for (const Triple& x : *split) {
+      EXPECT_TRUE(entities.count(x.h) > 0);
+      EXPECT_TRUE(entities.count(x.t) > 0);
+      EXPECT_TRUE(relations.count(x.r) > 0);
+    }
+  }
+}
+
+TEST(SyntheticTest, SplitFractionsApproximatelyHonored) {
+  SyntheticKgConfig c = SmallConfig();
+  c.valid_fraction = 0.05;
+  c.test_fraction = 0.05;
+  const Dataset d = GenerateSyntheticKg(c);
+  const double total = static_cast<double>(d.train.size() + d.valid.size() +
+                                           d.test.size());
+  EXPECT_NEAR(d.valid.size() / total, 0.05, 0.02);
+  EXPECT_NEAR(d.test.size() / total, 0.05, 0.02);
+}
+
+TEST(SyntheticTest, InverseTwinsCreateReversedFacts) {
+  SyntheticKgConfig c = SmallConfig();
+  c.num_relations = 8;
+  c.inverse_twin_fraction = 1.0;  // Twin every base relation.
+  const Dataset d = GenerateSyntheticKg(c);
+  // Some relation names must be marked as inverses.
+  bool has_inverse_name = false;
+  for (const std::string& name : d.relations.names()) {
+    if (name.find("_inv") != std::string::npos) has_inverse_name = true;
+  }
+  EXPECT_TRUE(has_inverse_name);
+
+  // And reversed duplicates must actually exist in the data.
+  const KgIndex index(std::vector<const TripleStore*>{&d.train, &d.valid,
+                                                      &d.test});
+  int reversed = 0, base_facts = 0;
+  for (const Triple& x : d.train) {
+    const std::string& name = d.relations.Name(x.r);
+    if (name.find("_inv") != std::string::npos) continue;
+    ++base_facts;
+    // The twin has id r+1 when it exists.
+    if (x.r + 1 < d.num_relations() &&
+        d.relations.Name(x.r + 1).find("_inv") != std::string::npos &&
+        index.Contains({x.t, x.r + 1, x.h})) {
+      ++reversed;
+    }
+  }
+  ASSERT_GT(base_facts, 0);
+  EXPECT_GT(reversed, base_facts / 2);  // ~90% are mirrored.
+}
+
+TEST(SyntheticTest, PresetsMatchTableIIShape) {
+  const Dataset wn = GenerateSyntheticKg(SynthWn18Config(0.3));
+  EXPECT_EQ(wn.num_relations(), 18);
+  EXPECT_EQ(wn.name, "synth-WN18");
+  const Dataset wnrr = GenerateSyntheticKg(SynthWn18RrConfig(0.3));
+  EXPECT_EQ(wnrr.num_relations(), 11);
+  // WN18RR must be smaller than WN18 in training triples (as in Table II).
+  EXPECT_LT(wnrr.train.size(), wn.train.size());
+  const Dataset fb = GenerateSyntheticKg(SynthFb15kConfig(0.3));
+  const Dataset fb237 = GenerateSyntheticKg(SynthFb15k237Config(0.3));
+  // FB15K has more relations and triples than FB15K237.
+  EXPECT_GT(fb.num_relations(), fb237.num_relations());
+  EXPECT_GT(fb.train.size(), fb237.train.size());
+}
+
+TEST(SyntheticTest, RelationCardinalityMixPresent) {
+  SyntheticKgConfig c = SmallConfig();
+  c.num_triples = 4000;
+  const Dataset d = GenerateSyntheticKg(c);
+  const KgIndex index(d.train);
+  // At least one relation should be clearly 1-N or N-1 (tph or hpt >> 1).
+  bool has_high_cardinality = false;
+  for (RelationId r = 0; r < d.num_relations(); ++r) {
+    if (index.TailsPerHead(r) > 1.5 || index.HeadsPerTail(r) > 1.5) {
+      has_high_cardinality = true;
+    }
+  }
+  EXPECT_TRUE(has_high_cardinality);
+}
+
+TEST(SyntheticTest, CompleteNeighborhoodsAreDeterministicPerHead) {
+  // With complete_neighborhoods (the default) the tails of a given (h, r)
+  // are a prefix of the deterministic nearest-neighbour ranking, so two
+  // generations with the same seed emit identical tail sets, and a
+  // non-emitted near-miss is genuinely false in the world model.
+  SyntheticKgConfig c = SmallConfig();
+  c.complete_neighborhoods = true;
+  const Dataset a = GenerateSyntheticKg(c);
+  c.complete_neighborhoods = false;
+  const Dataset b = GenerateSyntheticKg(c);
+  // Same world model, different emission rule -> different triple sets.
+  bool differs = a.train.size() != b.train.size();
+  if (!differs) {
+    for (size_t i = 0; i < a.train.size(); ++i) {
+      if (!(a.train[i] == b.train[i])) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ProfessionsKgTest, NamedEntitiesAndSplits) {
+  const Dataset d = GenerateProfessionsKg(200, 20, 3);
+  EXPECT_GT(d.train.size(), 200u);
+  EXPECT_FALSE(d.valid.empty());
+  EXPECT_FALSE(d.test.empty());
+  EXPECT_GE(d.entities.Find("actor"), 0);
+  EXPECT_GE(d.entities.Find("physician"), 0);
+  EXPECT_GE(d.entities.Find("ostrava"), 0);
+  EXPECT_GE(d.relations.Find("profession"), 0);
+}
+
+TEST(ProfessionsKgTest, ProfessionTriplesPointAtProfessionEntities) {
+  const Dataset d = GenerateProfessionsKg(150, 15, 4);
+  const RelationId r_prof = d.relations.Find("profession");
+  ASSERT_GE(r_prof, 0);
+  // The 24 profession entities were added first, so their ids are < 24.
+  for (const Triple& x : d.train) {
+    if (x.r == r_prof) {
+      EXPECT_LT(x.t, 24);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nsc

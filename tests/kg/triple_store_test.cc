@@ -1,0 +1,53 @@
+#include "kg/triple_store.h"
+
+#include <gtest/gtest.h>
+
+namespace nsc {
+namespace {
+
+TEST(TripleStoreTest, AddAndAccess) {
+  TripleStore store(10, 3);
+  store.Add({0, 1, 2});
+  store.Add({3, 0, 4});
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_EQ(store[0], (Triple{0, 1, 2}));
+  EXPECT_EQ(store[1], (Triple{3, 0, 4}));
+  EXPECT_FALSE(store.empty());
+}
+
+TEST(TripleStoreTest, EmptyStore) {
+  TripleStore store(5, 5);
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(TripleStoreTest, UniverseAccessors) {
+  TripleStore store(42, 7);
+  EXPECT_EQ(store.num_entities(), 42);
+  EXPECT_EQ(store.num_relations(), 7);
+  store.SetUniverse(100, 8);
+  EXPECT_EQ(store.num_entities(), 100);
+  EXPECT_EQ(store.num_relations(), 8);
+}
+
+TEST(TripleStoreTest, RangeForIteration) {
+  TripleStore store(10, 2);
+  store.Add({1, 0, 2});
+  store.Add({2, 1, 3});
+  int count = 0;
+  for (const Triple& x : store) {
+    EXPECT_LT(x.h, 10);
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(TripleStoreDeathTest, RejectsOutOfUniverseIds) {
+  TripleStore store(3, 2);
+  EXPECT_DEATH(store.Add({3, 0, 0}), "CHECK");
+  EXPECT_DEATH(store.Add({0, 2, 0}), "CHECK");
+  EXPECT_DEATH(store.Add({0, 0, -1}), "CHECK");
+}
+
+}  // namespace
+}  // namespace nsc

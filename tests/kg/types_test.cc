@@ -1,0 +1,67 @@
+#include "kg/types.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace nsc {
+namespace {
+
+TEST(TypesTest, PackUnpackRoundTrip) {
+  const Triple x{12345, 678, 2000000};
+  EXPECT_EQ(UnpackTriple(PackTriple(x)), x);
+}
+
+TEST(TypesTest, PackUnpackBoundaries) {
+  const Triple zero{0, 0, 0};
+  EXPECT_EQ(UnpackTriple(PackTriple(zero)), zero);
+  const Triple maxed{static_cast<EntityId>(kMaxId),
+                     static_cast<RelationId>(kMaxId),
+                     static_cast<EntityId>(kMaxId)};
+  EXPECT_EQ(UnpackTriple(PackTriple(maxed)), maxed);
+}
+
+TEST(TypesTest, PackIsInjectiveOnSamples) {
+  std::unordered_set<uint64_t> keys;
+  for (EntityId h = 0; h < 10; ++h) {
+    for (RelationId r = 0; r < 10; ++r) {
+      for (EntityId t = 0; t < 10; ++t) {
+        EXPECT_TRUE(keys.insert(PackTriple({h, r, t})).second);
+      }
+    }
+  }
+  EXPECT_EQ(keys.size(), 1000u);
+}
+
+TEST(TypesTest, PairKeysDistinguishOrderAndKind) {
+  // (h=1, r=2) vs (r=1, t=2): same ints, different packing functions must
+  // be used against *different* caches, but each is injective on its own.
+  EXPECT_NE(PackHr(1, 2), PackHr(2, 1));
+  EXPECT_NE(PackRt(1, 2), PackRt(2, 1));
+}
+
+TEST(TypesTest, TripleComparison) {
+  const Triple a{1, 2, 3}, b{1, 2, 4}, c{1, 2, 3};
+  EXPECT_TRUE(a == c);
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+}
+
+TEST(TypesTest, TripleHashUsableInSet) {
+  std::unordered_set<Triple, TripleHash> set;
+  set.insert({1, 2, 3});
+  set.insert({1, 2, 3});
+  set.insert({3, 2, 1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count({1, 2, 3}) > 0);
+  EXPECT_TRUE(set.count({9, 9, 9}) == 0);
+}
+
+TEST(TypesTest, CorruptionSideValues) {
+  EXPECT_NE(static_cast<int>(CorruptionSide::kHead),
+            static_cast<int>(CorruptionSide::kTail));
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,52 @@
+#include "kg/vocab.h"
+
+#include <gtest/gtest.h>
+
+namespace nsc {
+namespace {
+
+TEST(VocabTest, AssignsDenseIdsInOrder) {
+  Vocab v;
+  EXPECT_EQ(v.GetOrAdd("alpha"), 0);
+  EXPECT_EQ(v.GetOrAdd("beta"), 1);
+  EXPECT_EQ(v.GetOrAdd("gamma"), 2);
+  EXPECT_EQ(v.size(), 3);
+}
+
+TEST(VocabTest, GetOrAddIsIdempotent) {
+  Vocab v;
+  const int32_t id = v.GetOrAdd("x");
+  EXPECT_EQ(v.GetOrAdd("x"), id);
+  EXPECT_EQ(v.size(), 1);
+}
+
+TEST(VocabTest, FindReturnsMinusOneForUnknown) {
+  Vocab v;
+  v.GetOrAdd("known");
+  EXPECT_EQ(v.Find("known"), 0);
+  EXPECT_EQ(v.Find("unknown"), -1);
+}
+
+TEST(VocabTest, NameLookupInverse) {
+  Vocab v;
+  v.GetOrAdd("a");
+  v.GetOrAdd("b");
+  EXPECT_EQ(v.Name(0), "a");
+  EXPECT_EQ(v.Name(1), "b");
+}
+
+TEST(VocabTest, NamesVectorMatchesInsertOrder) {
+  Vocab v;
+  v.GetOrAdd("z");
+  v.GetOrAdd("a");
+  EXPECT_EQ(v.names(), (std::vector<std::string>{"z", "a"}));
+}
+
+TEST(VocabTest, EmptyStringIsAValidName) {
+  Vocab v;
+  EXPECT_EQ(v.GetOrAdd(""), 0);
+  EXPECT_EQ(v.Find(""), 0);
+}
+
+}  // namespace
+}  // namespace nsc

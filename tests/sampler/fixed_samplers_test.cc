@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "kg/kg_index.h"
+#include "sampler/bernoulli_sampler.h"
+#include "sampler/uniform_sampler.h"
+
+namespace nsc {
+namespace {
+
+// r0 is strongly 1-N (head 0 fans out to many tails); r1 is its N-1 mirror.
+TripleStore MakeSkewedStore() {
+  TripleStore store(20, 2);
+  for (EntityId t = 1; t <= 8; ++t) store.Add({0, 0, t});
+  for (EntityId h = 1; h <= 8; ++h) store.Add({h, 1, 9});
+  return store;
+}
+
+TEST(CorruptTest, ReplacesRequestedSide) {
+  const Triple pos{1, 2, 3};
+  EXPECT_EQ(Corrupt(pos, CorruptionSide::kHead, 7), (Triple{7, 2, 3}));
+  EXPECT_EQ(Corrupt(pos, CorruptionSide::kTail, 7), (Triple{1, 2, 7}));
+}
+
+TEST(SideChooserTest, DefaultIsFairCoin) {
+  SideChooser chooser;
+  EXPECT_FALSE(chooser.is_bernoulli());
+  Rng rng(1);
+  int heads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    heads += chooser.Choose({0, 0, 1}, &rng) == CorruptionSide::kHead;
+  }
+  EXPECT_NEAR(heads / double(n), 0.5, 0.02);
+}
+
+TEST(SideChooserTest, BernoulliFollowsRelationCardinality) {
+  const TripleStore store = MakeSkewedStore();
+  const KgIndex index(store);
+  SideChooser chooser(&index);
+  EXPECT_TRUE(chooser.is_bernoulli());
+  Rng rng(2);
+  int heads_r0 = 0, heads_r1 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    heads_r0 += chooser.Choose({0, 0, 1}, &rng) == CorruptionSide::kHead;
+    heads_r1 += chooser.Choose({1, 1, 9}, &rng) == CorruptionSide::kHead;
+  }
+  // r0 is 1-N: tph=8, hpt=1 -> p_head = 8/9.
+  EXPECT_NEAR(heads_r0 / double(n), 8.0 / 9.0, 0.02);
+  // r1 is N-1 -> p_head = 1/9.
+  EXPECT_NEAR(heads_r1 / double(n), 1.0 / 9.0, 0.02);
+}
+
+TEST(UniformSamplerTest, ProducesValidCorruptions) {
+  UniformSampler sampler(20);
+  Rng rng(3);
+  const Triple pos{0, 0, 5};
+  for (int i = 0; i < 500; ++i) {
+    const NegativeSample neg = sampler.Sample(pos, &rng);
+    EXPECT_EQ(neg.triple.r, pos.r);
+    if (neg.side == CorruptionSide::kHead) {
+      EXPECT_EQ(neg.triple.t, pos.t);
+      EXPECT_GE(neg.triple.h, 0);
+      EXPECT_LT(neg.triple.h, 20);
+    } else {
+      EXPECT_EQ(neg.triple.h, pos.h);
+      EXPECT_LT(neg.triple.t, 20);
+    }
+  }
+}
+
+TEST(UniformSamplerTest, CoversWholeEntitySpace) {
+  UniformSampler sampler(10);
+  Rng rng(4);
+  std::map<EntityId, int> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const NegativeSample neg = sampler.Sample({0, 0, 1}, &rng);
+    seen[neg.side == CorruptionSide::kHead ? neg.triple.h : neg.triple.t]++;
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(UniformSamplerTest, FilterRejectsKnownTriples) {
+  // Tiny universe where most corruptions are known: (0,0,t) for all t but
+  // one. The filter should concentrate sampled tail corruptions on the
+  // single unknown tail.
+  TripleStore store(4, 1);
+  store.Add({0, 0, 1});
+  store.Add({0, 0, 2});
+  store.Add({0, 0, 3});
+  const KgIndex index(store);
+  UniformSampler sampler(4, &index, /*max_retries=*/50);
+  Rng rng(5);
+  int known = 0, total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const NegativeSample neg = sampler.Sample({0, 0, 1}, &rng);
+    if (neg.side != CorruptionSide::kTail) continue;
+    ++total;
+    known += index.Contains(neg.triple);
+  }
+  ASSERT_GT(total, 0);
+  // With 50 retries the false-negative rate should be essentially zero.
+  EXPECT_LT(known / double(total), 0.01);
+}
+
+TEST(BernoulliSamplerTest, SideDistributionTracksTphHpt) {
+  const TripleStore store = MakeSkewedStore();
+  const KgIndex index(store);
+  BernoulliSampler sampler(20, &index);
+  Rng rng(6);
+  int head_corruptions = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    head_corruptions +=
+        sampler.Sample({0, 0, 1}, &rng).side == CorruptionSide::kHead;
+  }
+  EXPECT_NEAR(head_corruptions / double(n), 8.0 / 9.0, 0.02);
+}
+
+TEST(BernoulliSamplerTest, NameIsStable) {
+  const TripleStore store = MakeSkewedStore();
+  const KgIndex index(store);
+  BernoulliSampler sampler(20, &index);
+  EXPECT_EQ(sampler.name(), "bernoulli");
+  UniformSampler uniform(20);
+  EXPECT_EQ(uniform.name(), "uniform");
+}
+
+TEST(BernoulliSamplerTest, DeterministicGivenRngSeed) {
+  const TripleStore store = MakeSkewedStore();
+  const KgIndex index(store);
+  BernoulliSampler s1(20, &index), s2(20, &index);
+  Rng r1(7), r2(7);
+  for (int i = 0; i < 100; ++i) {
+    const NegativeSample a = s1.Sample({0, 0, 1}, &r1);
+    const NegativeSample b = s2.Sample({0, 0, 1}, &r2);
+    EXPECT_EQ(a.triple, b.triple);
+    EXPECT_EQ(a.side, b.side);
+  }
+}
+
+}  // namespace
+}  // namespace nsc

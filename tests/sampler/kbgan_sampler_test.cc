@@ -1,0 +1,136 @@
+#include "sampler/kbgan_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "kg/kg_index.h"
+
+namespace nsc {
+namespace {
+
+TripleStore MakeStore() {
+  TripleStore store(30, 2);
+  for (EntityId h = 0; h < 10; ++h) {
+    store.Add({h, 0, static_cast<EntityId>((h + 1) % 10)});
+    store.Add({h, 1, static_cast<EntityId>(10 + h)});
+  }
+  return store;
+}
+
+KbganConfig SmallConfig() {
+  KbganConfig c;
+  c.candidate_set_size = 8;
+  c.generator_dim = 6;
+  c.generator_lr = 0.05;
+  return c;
+}
+
+TEST(KbganSamplerTest, SamplesFromCandidateSet) {
+  const TripleStore store = MakeStore();
+  const KgIndex index(store);
+  KbganSampler sampler(30, 2, &index, SmallConfig());
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const NegativeSample neg = sampler.Sample({0, 0, 1}, &rng);
+    EXPECT_EQ(neg.triple.r, 0);
+    const EntityId corrupted =
+        neg.side == CorruptionSide::kHead ? neg.triple.h : neg.triple.t;
+    EXPECT_GE(corrupted, 0);
+    EXPECT_LT(corrupted, 30);
+  }
+}
+
+TEST(KbganSamplerTest, ExtraParametersMatchTableI) {
+  const TripleStore store = MakeStore();
+  const KgIndex index(store);
+  KbganConfig config = SmallConfig();
+  KbganSampler sampler(30, 2, &index, config);
+  // Generator is a TransE model: (|E| + |R|) * d_generator floats.
+  EXPECT_EQ(sampler.extra_parameters(), (30u + 2u) * 6u);
+}
+
+TEST(KbganSamplerTest, FeedbackMovesBaselineTowardReward) {
+  const TripleStore store = MakeStore();
+  const KgIndex index(store);
+  KbganSampler sampler(30, 2, &index, SmallConfig());
+  Rng rng(2);
+  const Triple pos{0, 0, 1};
+  const NegativeSample neg = sampler.Sample(pos, &rng);
+  sampler.Feedback(pos, neg, 5.0);
+  // First reward initialises the baseline.
+  EXPECT_NEAR(sampler.baseline(), 5.0, 1e-9);
+  const NegativeSample neg2 = sampler.Sample(pos, &rng);
+  sampler.Feedback(pos, neg2, 1.0);
+  EXPECT_LT(sampler.baseline(), 5.0);
+  EXPECT_GT(sampler.baseline(), 1.0);
+}
+
+TEST(KbganSamplerTest, FeedbackUpdatesGeneratorParameters) {
+  const TripleStore store = MakeStore();
+  const KgIndex index(store);
+  KbganSampler sampler(30, 2, &index, SmallConfig());
+  Rng rng(3);
+  const Triple pos{0, 0, 1};
+
+  const std::vector<float> before = sampler.generator().entity_table().data();
+  // Two feedbacks with different rewards guarantee a non-zero advantage on
+  // the second one.
+  NegativeSample neg = sampler.Sample(pos, &rng);
+  sampler.Feedback(pos, neg, 0.0);
+  neg = sampler.Sample(pos, &rng);
+  sampler.Feedback(pos, neg, 10.0);
+  const std::vector<float>& after = sampler.generator().entity_table().data();
+  EXPECT_NE(before, after);
+}
+
+TEST(KbganSamplerTest, FeedbackForMismatchedPositiveIgnored) {
+  const TripleStore store = MakeStore();
+  const KgIndex index(store);
+  KbganSampler sampler(30, 2, &index, SmallConfig());
+  Rng rng(4);
+  const NegativeSample neg = sampler.Sample({0, 0, 1}, &rng);
+  sampler.Feedback({5, 1, 15}, neg, 100.0);  // Different positive: dropped.
+  EXPECT_EQ(sampler.baseline(), 0.0);
+}
+
+TEST(KbganSamplerTest, GeneratorLearnsToPreferRewardedEntity) {
+  // Reward the generator only when it picks entity 7; its softmax
+  // probability of picking 7 should rise.
+  const TripleStore store = MakeStore();
+  const KgIndex index(store);
+  KbganConfig config = SmallConfig();
+  config.candidate_set_size = 30;  // Every entity is always a candidate
+                                   // (with duplicates; close enough).
+  KbganSampler sampler(30, 2, &index, config);
+  Rng rng(5);
+  const Triple pos{0, 0, 1};
+
+  int picked_7_late = 0;
+  const int rounds = 3000;
+  for (int i = 0; i < rounds; ++i) {
+    const NegativeSample neg = sampler.Sample(pos, &rng);
+    const EntityId e =
+        neg.side == CorruptionSide::kHead ? neg.triple.h : neg.triple.t;
+    const double reward = (e == 7) ? 4.0 : -4.0;
+    sampler.Feedback(pos, neg, reward);
+    if (i >= rounds / 2) picked_7_late += (e == 7);
+  }
+  // An untrained generator picks 7 with probability ~1/30 (entity 7 must
+  // land in the candidate set and win the softmax) — roughly 3%. The
+  // REINFORCE-trained generator must pick it far more often.
+  EXPECT_GT(picked_7_late, rounds / 2 / 10);  // > 10% of late rounds.
+}
+
+TEST(KbganSamplerTest, WarmStartCopiesGenerator) {
+  const TripleStore store = MakeStore();
+  const KgIndex index(store);
+  KbganSampler sampler(30, 2, &index, SmallConfig());
+  KgeModel pretrained(30, 2, 6, MakeScoringFunction("transe"));
+  Rng rng(6);
+  pretrained.InitXavier(&rng);
+  sampler.WarmStartGenerator(pretrained);
+  EXPECT_EQ(sampler.generator().entity_table().data(),
+            pretrained.entity_table().data());
+}
+
+}  // namespace
+}  // namespace nsc

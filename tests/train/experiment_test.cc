@@ -1,0 +1,117 @@
+#include "train/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "kg/synthetic.h"
+
+namespace nsc {
+namespace {
+
+Dataset SmallDataset() {
+  SyntheticKgConfig c;
+  c.num_entities = 100;
+  c.num_relations = 4;
+  c.num_triples = 700;
+  c.valid_fraction = 0.06;
+  c.test_fraction = 0.06;
+  c.seed = 77;
+  return GenerateSyntheticKg(c);
+}
+
+PipelineConfig SmallPipeline(SamplerKind kind) {
+  PipelineConfig c;
+  c.scorer = "transe";
+  c.sampler = kind;
+  c.train.dim = 10;
+  c.train.epochs = 6;
+  c.train.learning_rate = 0.05;
+  c.train.seed = 5;
+  c.nscaching.n1 = 8;
+  c.nscaching.n2 = 8;
+  c.kbgan.candidate_set_size = 8;
+  c.kbgan.generator_dim = 10;
+  c.eval_threads = 2;
+  return c;
+}
+
+TEST(ExperimentTest, SamplerKindNames) {
+  EXPECT_EQ(SamplerKindName(SamplerKind::kUniform), "uniform");
+  EXPECT_EQ(SamplerKindName(SamplerKind::kBernoulli), "bernoulli");
+  EXPECT_EQ(SamplerKindName(SamplerKind::kKbgan), "kbgan");
+  EXPECT_EQ(SamplerKindName(SamplerKind::kNSCaching), "nscaching");
+}
+
+TEST(ExperimentTest, RunsEverySamplerKind) {
+  const Dataset data = SmallDataset();
+  for (SamplerKind kind : {SamplerKind::kUniform, SamplerKind::kBernoulli,
+                           SamplerKind::kKbgan, SamplerKind::kNSCaching}) {
+    const PipelineResult result = RunPipeline(data, SmallPipeline(kind));
+    EXPECT_EQ(result.test_metrics.count(), 2 * data.test.size())
+        << SamplerKindName(kind);
+    EXPECT_GT(result.test_metrics.mrr(), 0.0) << SamplerKindName(kind);
+    EXPECT_EQ(result.epoch_stats.size(), 6u) << SamplerKindName(kind);
+    ASSERT_NE(result.model, nullptr);
+  }
+}
+
+TEST(ExperimentTest, TestSeriesRecordedAtRequestedCadence) {
+  const Dataset data = SmallDataset();
+  PipelineConfig config = SmallPipeline(SamplerKind::kBernoulli);
+  config.eval_test_every = 2;
+  const PipelineResult result = RunPipeline(data, config);
+  ASSERT_EQ(result.test_series.size(), 3u);  // Epochs 2, 4, 6.
+  EXPECT_EQ(result.test_series[0].epoch, 2);
+  EXPECT_EQ(result.test_series[2].epoch, 6);
+  // Cumulative seconds must be non-decreasing.
+  EXPECT_LE(result.test_series[0].seconds, result.test_series[1].seconds);
+  EXPECT_LE(result.test_series[1].seconds, result.test_series[2].seconds);
+}
+
+TEST(ExperimentTest, ValidationSelectsBestEpoch) {
+  const Dataset data = SmallDataset();
+  PipelineConfig config = SmallPipeline(SamplerKind::kBernoulli);
+  config.eval_valid_every = 2;
+  const PipelineResult result = RunPipeline(data, config);
+  EXPECT_GE(result.best_epoch, 2);
+  EXPECT_LE(result.best_epoch, 6);
+}
+
+TEST(ExperimentTest, NSCachingRecordsCacheCe) {
+  const Dataset data = SmallDataset();
+  const PipelineResult result =
+      RunPipeline(data, SmallPipeline(SamplerKind::kNSCaching));
+  ASSERT_EQ(result.cache_ce.size(), 6u);
+  for (double ce : result.cache_ce) {
+    EXPECT_GE(ce, 0.0);
+    EXPECT_LE(ce, 8.0);  // Can never exceed N1.
+  }
+}
+
+TEST(ExperimentTest, PretrainRegimeRuns) {
+  const Dataset data = SmallDataset();
+  PipelineConfig config = SmallPipeline(SamplerKind::kKbgan);
+  config.pretrain_epochs = 2;
+  const PipelineResult result = RunPipeline(data, config);
+  EXPECT_GT(result.test_metrics.mrr(), 0.0);
+}
+
+TEST(ExperimentTest, DeterministicForSeed) {
+  const Dataset data = SmallDataset();
+  const PipelineConfig config = SmallPipeline(SamplerKind::kNSCaching);
+  const PipelineResult a = RunPipeline(data, config);
+  const PipelineResult b = RunPipeline(data, config);
+  EXPECT_DOUBLE_EQ(a.test_metrics.mrr(), b.test_metrics.mrr());
+  EXPECT_DOUBLE_EQ(a.test_metrics.mr(), b.test_metrics.mr());
+}
+
+TEST(ExperimentTest, TrainingBeatsRandomRanking) {
+  const Dataset data = SmallDataset();
+  PipelineConfig config = SmallPipeline(SamplerKind::kBernoulli);
+  config.train.epochs = 15;
+  const PipelineResult result = RunPipeline(data, config);
+  // Random ranking over ~100 entities would give MRR around 0.05.
+  EXPECT_GT(result.test_metrics.mrr(), 0.15);
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,77 @@
+#include "train/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace nsc {
+namespace {
+
+TEST(RankingMetricsTest, SingleRank) {
+  RankingMetrics m;
+  m.AddRank(4);
+  EXPECT_EQ(m.count(), 1u);
+  EXPECT_DOUBLE_EQ(m.mrr(), 0.25);
+  EXPECT_DOUBLE_EQ(m.mr(), 4.0);
+  EXPECT_DOUBLE_EQ(m.hits_at(10), 100.0);
+  EXPECT_DOUBLE_EQ(m.hits_at(3), 0.0);
+}
+
+TEST(RankingMetricsTest, AggregatesCorrectly) {
+  RankingMetrics m;
+  m.AddRank(1);
+  m.AddRank(2);
+  m.AddRank(100);
+  EXPECT_EQ(m.count(), 3u);
+  EXPECT_NEAR(m.mrr(), (1.0 + 0.5 + 0.01) / 3.0, 1e-12);
+  EXPECT_NEAR(m.mr(), 103.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.hits_at(10), 200.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.hits_at(1), 100.0 / 3.0, 1e-9);
+}
+
+TEST(RankingMetricsTest, EmptyIsZero) {
+  RankingMetrics m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_EQ(m.mrr(), 0.0);
+  EXPECT_EQ(m.mr(), 0.0);
+  EXPECT_EQ(m.hits_at(10), 0.0);
+}
+
+TEST(RankingMetricsTest, MergeEqualsCombinedStream) {
+  RankingMetrics a, b, combined;
+  for (int64_t r : {1, 5, 9}) {
+    a.AddRank(r);
+    combined.AddRank(r);
+  }
+  for (int64_t r : {2, 50}) {
+    b.AddRank(r);
+    combined.AddRank(r);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.mrr(), combined.mrr());
+  EXPECT_DOUBLE_EQ(a.mr(), combined.mr());
+  EXPECT_DOUBLE_EQ(a.hits_at(10), combined.hits_at(10));
+  EXPECT_DOUBLE_EQ(a.hits_at(1), combined.hits_at(1));
+}
+
+TEST(RankingMetricsTest, HitsBoundaryAtK) {
+  RankingMetrics m;
+  m.AddRank(10);
+  m.AddRank(11);
+  EXPECT_DOUBLE_EQ(m.hits_at(10), 50.0);  // rank <= 10 counts.
+}
+
+TEST(RankingMetricsTest, ToStringContainsMetrics) {
+  RankingMetrics m;
+  m.AddRank(2);
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("MRR"), std::string::npos);
+  EXPECT_NE(s.find("Hit@10"), std::string::npos);
+}
+
+TEST(RankingMetricsDeathTest, RankMustBePositive) {
+  RankingMetrics m;
+  EXPECT_DEATH(m.AddRank(0), "CHECK");
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,183 @@
+#include "train/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "kg/kg_index.h"
+#include "kg/synthetic.h"
+#include "sampler/bernoulli_sampler.h"
+#include "sampler/uniform_sampler.h"
+
+namespace nsc {
+namespace {
+
+Dataset SmallDataset(uint64_t seed = 5) {
+  SyntheticKgConfig c;
+  c.num_entities = 120;
+  c.num_relations = 4;
+  c.num_triples = 900;
+  c.seed = seed;
+  return GenerateSyntheticKg(c);
+}
+
+TrainConfig SmallTrainConfig() {
+  TrainConfig c;
+  c.dim = 12;
+  c.learning_rate = 0.05;
+  c.epochs = 5;
+  c.margin = 2.0;
+  c.seed = 3;
+  return c;
+}
+
+TEST(TrainerTest, LossDecreasesOverEpochs) {
+  const Dataset data = SmallDataset();
+  const KgIndex index(data.train);
+  KgeModel model(data.num_entities(), data.num_relations(), 12,
+                 MakeScoringFunction("transe"));
+  Rng rng(1);
+  model.InitXavier(&rng);
+  BernoulliSampler sampler(data.num_entities(), &index);
+  Trainer trainer(&model, &data.train, &sampler, SmallTrainConfig());
+
+  const EpochStats first = trainer.RunEpoch();
+  EpochStats last = first;
+  for (int e = 1; e < 8; ++e) last = trainer.RunEpoch();
+  EXPECT_LT(last.mean_loss, first.mean_loss);
+  EXPECT_EQ(trainer.epoch(), 8);
+}
+
+TEST(TrainerTest, PositiveScoresRiseAboveCorruptions) {
+  const Dataset data = SmallDataset();
+  const KgIndex index(data.train);
+  KgeModel model(data.num_entities(), data.num_relations(), 12,
+                 MakeScoringFunction("transe"));
+  Rng rng(1);
+  model.InitXavier(&rng);
+  BernoulliSampler sampler(data.num_entities(), &index);
+  Trainer trainer(&model, &data.train, &sampler, SmallTrainConfig());
+  for (int e = 0; e < 10; ++e) trainer.RunEpoch();
+
+  // After training, a positive triple should on average outscore a random
+  // corruption of itself.
+  Rng probe(9);
+  int wins = 0, total = 0;
+  for (size_t i = 0; i < 200 && i < data.train.size(); ++i) {
+    const Triple& pos = data.train[i];
+    Triple neg = pos;
+    neg.t = static_cast<EntityId>(
+        probe.UniformInt(static_cast<uint64_t>(data.num_entities())));
+    if (neg.t == pos.t) continue;
+    wins += model.Score(pos) > model.Score(neg);
+    ++total;
+  }
+  EXPECT_GT(wins, total * 7 / 10);
+}
+
+TEST(TrainerTest, EntityConstraintsEnforcedForTransE) {
+  const Dataset data = SmallDataset();
+  const KgIndex index(data.train);
+  KgeModel model(data.num_entities(), data.num_relations(), 12,
+                 MakeScoringFunction("transe"));
+  Rng rng(1);
+  model.InitXavier(&rng);
+  BernoulliSampler sampler(data.num_entities(), &index);
+  TrainConfig config = SmallTrainConfig();
+  config.apply_entity_constraints = true;
+  Trainer trainer(&model, &data.train, &sampler, config);
+  for (int e = 0; e < 3; ++e) trainer.RunEpoch();
+  // The projection runs on touched rows; every entity appearing in a
+  // training triple is touched every epoch.
+  for (const Triple& x : data.train) {
+    EXPECT_LE(model.entity_table().RowNorm(x.h, 12), 1.0f + 1e-4);
+    EXPECT_LE(model.entity_table().RowNorm(x.t, 12), 1.0f + 1e-4);
+  }
+}
+
+TEST(TrainerTest, GradNormTrackingPopulatesStats) {
+  const Dataset data = SmallDataset();
+  const KgIndex index(data.train);
+  KgeModel model(data.num_entities(), data.num_relations(), 12,
+                 MakeScoringFunction("transe"));
+  Rng rng(1);
+  model.InitXavier(&rng);
+  BernoulliSampler sampler(data.num_entities(), &index);
+  TrainConfig config = SmallTrainConfig();
+  config.track_grad_norm = true;
+  Trainer trainer(&model, &data.train, &sampler, config);
+  const EpochStats stats = trainer.RunEpoch();
+  EXPECT_GT(stats.mean_grad_norm, 0.0);
+}
+
+TEST(TrainerTest, ObserverSeesEveryPair) {
+  const Dataset data = SmallDataset();
+  const KgIndex index(data.train);
+  KgeModel model(data.num_entities(), data.num_relations(), 12,
+                 MakeScoringFunction("transe"));
+  Rng rng(1);
+  model.InitXavier(&rng);
+  UniformSampler sampler(data.num_entities());
+  Trainer trainer(&model, &data.train, &sampler, SmallTrainConfig());
+  size_t observed = 0;
+  trainer.set_negative_observer(
+      [&](const Triple&, const NegativeSample&, double) { ++observed; });
+  trainer.RunEpoch();
+  EXPECT_EQ(observed, data.train.size());
+}
+
+TEST(TrainerTest, DeterministicForFixedSeed) {
+  const Dataset data = SmallDataset();
+  const KgIndex index(data.train);
+  auto run = [&] {
+    KgeModel model(data.num_entities(), data.num_relations(), 12,
+                   MakeScoringFunction("transe"));
+    Rng rng(1);
+    model.InitXavier(&rng);
+    BernoulliSampler sampler(data.num_entities(), &index);
+    Trainer trainer(&model, &data.train, &sampler, SmallTrainConfig());
+    trainer.RunEpoch();
+    trainer.RunEpoch();
+    return model.entity_table().data();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(TrainerTest, LogisticFamilyTrainsToo) {
+  const Dataset data = SmallDataset();
+  const KgIndex index(data.train);
+  KgeModel model(data.num_entities(), data.num_relations(), 12,
+                 MakeScoringFunction("complex"));
+  Rng rng(1);
+  model.InitXavier(&rng);
+  BernoulliSampler sampler(data.num_entities(), &index);
+  TrainConfig config = SmallTrainConfig();
+  config.l2_lambda = 0.01;
+  Trainer trainer(&model, &data.train, &sampler, config);
+  EXPECT_EQ(trainer.loss().name(), "logistic");
+  const EpochStats first = trainer.RunEpoch();
+  EpochStats last = first;
+  for (int e = 1; e < 6; ++e) last = trainer.RunEpoch();
+  EXPECT_LT(last.mean_loss, first.mean_loss);
+}
+
+TEST(TrainerTest, NonzeroLossRatioFallsAsModelSeparates) {
+  // With a margin loss, NZL should decay from ~1 toward smaller values as
+  // most uniform negatives become easy — the vanishing-gradient effect of
+  // §IV-E that motivates NSCaching.
+  const Dataset data = SmallDataset();
+  const KgIndex index(data.train);
+  KgeModel model(data.num_entities(), data.num_relations(), 12,
+                 MakeScoringFunction("transe"));
+  Rng rng(1);
+  model.InitXavier(&rng);
+  BernoulliSampler sampler(data.num_entities(), &index);
+  TrainConfig config = SmallTrainConfig();
+  config.epochs = 15;
+  Trainer trainer(&model, &data.train, &sampler, config);
+  const EpochStats first = trainer.RunEpoch();
+  EpochStats last = first;
+  for (int e = 1; e < 15; ++e) last = trainer.RunEpoch();
+  EXPECT_LT(last.nonzero_loss_ratio, first.nonzero_loss_ratio);
+}
+
+}  // namespace
+}  // namespace nsc

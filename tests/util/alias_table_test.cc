@@ -1,0 +1,64 @@
+#include "util/alias_table.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nsc {
+namespace {
+
+TEST(AliasTableTest, NormalizedProbabilities) {
+  AliasTable table({2.0, 3.0, 5.0});
+  EXPECT_NEAR(table.Probability(0), 0.2, 1e-12);
+  EXPECT_NEAR(table.Probability(1), 0.3, 1e-12);
+  EXPECT_NEAR(table.Probability(2), 0.5, 1e-12);
+}
+
+TEST(AliasTableTest, SampleFrequenciesMatchWeights) {
+  AliasTable table({1.0, 2.0, 3.0, 4.0});
+  Rng rng(42);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(&rng)];
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(counts[i] / double(n), table.Probability(i), 0.005);
+  }
+}
+
+TEST(AliasTableTest, SingleBucket) {
+  AliasTable table({7.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(&rng), 0u);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  AliasTable table({0.0, 1.0, 0.0, 1.0});
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const size_t s = table.Sample(&rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTableTest, UniformWeights) {
+  AliasTable table(std::vector<double>(16, 1.0));
+  Rng rng(3);
+  std::vector<int> counts(16, 0);
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c / double(n), 1.0 / 16, 0.005);
+}
+
+TEST(AliasTableTest, HighlySkewedWeights) {
+  std::vector<double> w(100, 1e-6);
+  w[37] = 1.0;
+  AliasTable table(w);
+  Rng rng(4);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += (table.Sample(&rng) == 37);
+  EXPECT_GT(hits, n * 0.99);
+}
+
+}  // namespace
+}  // namespace nsc

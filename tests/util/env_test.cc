@@ -1,0 +1,53 @@
+#include "util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace nsc {
+namespace {
+
+TEST(EnvTest, IntParsingAndFallback) {
+  ::setenv("NSC_TEST_INT", "42", 1);
+  EXPECT_EQ(GetEnvInt("NSC_TEST_INT", 7), 42);
+  ::unsetenv("NSC_TEST_INT");
+  EXPECT_EQ(GetEnvInt("NSC_TEST_INT", 7), 7);
+  ::setenv("NSC_TEST_INT", "notanumber", 1);
+  EXPECT_EQ(GetEnvInt("NSC_TEST_INT", 7), 7);
+  ::setenv("NSC_TEST_INT", "-13", 1);
+  EXPECT_EQ(GetEnvInt("NSC_TEST_INT", 7), -13);
+  ::unsetenv("NSC_TEST_INT");
+}
+
+TEST(EnvTest, DoubleParsing) {
+  ::setenv("NSC_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("NSC_TEST_DBL", 1.0), 2.5);
+  ::setenv("NSC_TEST_DBL", "bad", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("NSC_TEST_DBL", 1.0), 1.0);
+  ::unsetenv("NSC_TEST_DBL");
+}
+
+TEST(EnvTest, BoolParsing) {
+  for (const char* v : {"1", "true", "on", "yes"}) {
+    ::setenv("NSC_TEST_BOOL", v, 1);
+    EXPECT_TRUE(GetEnvBool("NSC_TEST_BOOL", false)) << v;
+  }
+  for (const char* v : {"0", "false", "off", "no"}) {
+    ::setenv("NSC_TEST_BOOL", v, 1);
+    EXPECT_FALSE(GetEnvBool("NSC_TEST_BOOL", true)) << v;
+  }
+  ::setenv("NSC_TEST_BOOL", "maybe", 1);
+  EXPECT_TRUE(GetEnvBool("NSC_TEST_BOOL", true));
+  ::unsetenv("NSC_TEST_BOOL");
+  EXPECT_FALSE(GetEnvBool("NSC_TEST_BOOL", false));
+}
+
+TEST(EnvTest, StringFallback) {
+  ::setenv("NSC_TEST_STR", "hello", 1);
+  EXPECT_EQ(GetEnvString("NSC_TEST_STR", "d"), "hello");
+  ::unsetenv("NSC_TEST_STR");
+  EXPECT_EQ(GetEnvString("NSC_TEST_STR", "d"), "d");
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,161 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace nsc {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(uint64_t{10}));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+}
+
+TEST(RngTest, UniformIntIsApproximatelyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(uint64_t{8})];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.125, 0.01);
+  }
+}
+
+TEST(RngTest, SignedUniformIntInclusive) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(int64_t{-2}, int64_t{2}));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(5.0, 0.1);
+  EXPECT_NEAR(sum / n, 5.0, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(18);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, CategoricalMatchesWeights) {
+  Rng rng(19);
+  std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_NEAR(counts[0] / double(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / double(n), 0.6, 0.01);
+}
+
+TEST(RngTest, CategoricalZeroWeightNeverSampled) {
+  Rng rng(21);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.Categorical(w), 1u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto sorted = v;
+  rng.Shuffle(&v);
+  EXPECT_FALSE(std::is_sorted(v.begin(), v.end()));  // Overwhelmingly likely.
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng b = a.Split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, GumbelIsFinite) {
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(std::isfinite(rng.Gumbel()));
+  }
+}
+
+TEST(RngTest, WorksWithStdAlgorithms) {
+  Rng rng(41);
+  std::vector<int> v(10);
+  std::iota(v.begin(), v.end(), 0);
+  std::shuffle(v.begin(), v.end(), rng);  // UniformRandomBitGenerator.
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(v[9], 9);
+}
+
+}  // namespace
+}  // namespace nsc

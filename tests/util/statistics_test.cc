@@ -1,0 +1,88 @@
+#include "util/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nsc {
+namespace {
+
+TEST(RunningStatTest, MeanVarianceMinMax) {
+  RunningStat stat;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.Add(x);
+  EXPECT_EQ(stat.count(), 8u);
+  EXPECT_NEAR(stat.mean(), 5.0, 1e-12);
+  // Sample variance with n-1 denominator: 32/7.
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stat.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(stat.min(), 2.0);
+  EXPECT_EQ(stat.max(), 9.0);
+  EXPECT_NEAR(stat.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStatTest, EmptyAndSingle) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+  stat.Add(3.5);
+  EXPECT_EQ(stat.mean(), 3.5);
+  EXPECT_EQ(stat.variance(), 0.0);
+  EXPECT_EQ(stat.min(), 3.5);
+  EXPECT_EQ(stat.max(), 3.5);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_NEAR(Quantile(v, 0.5), 3.0, 1e-12);
+  EXPECT_NEAR(Quantile(v, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(Quantile(v, 1.0), 5.0, 1e-12);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_NEAR(Quantile(v, 0.25), 2.5, 1e-12);
+}
+
+TEST(QuantileTest, EmptyReturnsZero) {
+  EXPECT_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(CcdfTest, StepFunctionValues) {
+  std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  auto ccdf = Ccdf(values, {0.0, 1.0, 2.5, 4.0, 5.0});
+  EXPECT_NEAR(ccdf[0], 1.0, 1e-12);   // All >= 0.
+  EXPECT_NEAR(ccdf[1], 1.0, 1e-12);   // All >= 1.
+  EXPECT_NEAR(ccdf[2], 0.5, 1e-12);   // {3,4} >= 2.5.
+  EXPECT_NEAR(ccdf[3], 0.25, 1e-12);  // {4} >= 4.
+  EXPECT_NEAR(ccdf[4], 0.0, 1e-12);
+}
+
+TEST(CcdfTest, MonotoneNonIncreasing) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(std::sin(i * 0.7) * 10);
+  auto grid = LinSpace(-10, 10, 21);
+  auto ccdf = Ccdf(values, grid);
+  for (size_t i = 1; i < ccdf.size(); ++i) EXPECT_LE(ccdf[i], ccdf[i - 1]);
+}
+
+TEST(CcdfTest, EmptyValuesGiveZeros) {
+  auto ccdf = Ccdf({}, {0.0, 1.0});
+  EXPECT_EQ(ccdf, (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(LinSpaceTest, EndpointsAndSpacing) {
+  auto grid = LinSpace(0.0, 1.0, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_EQ(grid.front(), 0.0);
+  EXPECT_EQ(grid.back(), 1.0);
+  EXPECT_NEAR(grid[1] - grid[0], 0.25, 1e-12);
+}
+
+TEST(LinSpaceTest, NegativeRange) {
+  auto grid = LinSpace(-2.0, 2.0, 3);
+  EXPECT_NEAR(grid[1], 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace nsc

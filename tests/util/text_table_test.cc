@@ -1,0 +1,61 @@
+#include "util/text_table.h"
+
+#include <gtest/gtest.h>
+
+namespace nsc {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable table;
+  table.SetHeader({"name", "mrr"});
+  table.AddRow({"bernoulli", "0.50"});
+  table.AddRow({"nscaching", "0.78"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("bernoulli"), std::string::npos);
+  EXPECT_NE(out.find("0.78"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAligned) {
+  TextTable table;
+  table.SetHeader({"a", "b"});
+  table.AddRow({"longvalue", "x"});
+  table.AddRow({"s", "y"});
+  const std::string out = table.Render();
+  // Both data rows start their second column at the same offset.
+  const size_t line1 = out.find("longvalue");
+  const size_t x_pos = out.find("x", line1);
+  const size_t line2 = out.find("\ns", x_pos) + 1;
+  const size_t y_pos = out.find("y", line2);
+  EXPECT_EQ(x_pos - line1, y_pos - line2);
+}
+
+TEST(TextTableTest, SeparatorLineDrawn) {
+  TextTable table;
+  table.SetHeader({"c1"});
+  table.AddRow({"v"});
+  table.AddSeparator();
+  table.AddRow({"w"});
+  const std::string out = table.Render();
+  // Header separator plus explicit one -> at least two dash runs.
+  size_t first = out.find("---");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(out.find("---", first + 3), std::string::npos);
+}
+
+TEST(TextTableTest, RowsShorterThanHeaderPad) {
+  TextTable table;
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"only"});
+  EXPECT_NE(table.Render().find("only"), std::string::npos);
+}
+
+TEST(TextTableTest, NumericHelpers) {
+  EXPECT_EQ(TextTable::Fixed(0.56789, 4), "0.5679");
+  EXPECT_EQ(TextTable::Fixed(-1.5, 1), "-1.5");
+  EXPECT_EQ(TextTable::Int(1234567), "1234567");
+  EXPECT_EQ(TextTable::Int(-42), "-42");
+}
+
+}  // namespace
+}  // namespace nsc

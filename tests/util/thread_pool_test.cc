@@ -1,0 +1,85 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace nsc {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllScheduledTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter](int) { ++counter; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WorkerIndexInRange) {
+  ThreadPool pool(3);
+  std::atomic<bool> bad{false};
+  for (int i = 0; i < 50; ++i) {
+    pool.Schedule([&](int worker) {
+      if (worker < 0 || worker >= 3) bad = true;
+    });
+  }
+  pool.Wait();
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, [&](size_t i, int) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPartialRange) {
+  ThreadPool pool(2);
+  std::atomic<long long> sum{0};
+  pool.ParallelFor(10, 20, [&](size_t i, int) { sum += static_cast<long long>(i); });
+  EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(5, 5, [&](size_t, int) { ++counter; });
+  pool.ParallelFor(7, 3, [&](size_t, int) { ++counter; });
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    pool.Schedule([&order, i](int) { order.push_back(i); });
+  }
+  pool.Wait();
+  // With one worker, tasks run in FIFO order.
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Schedule([&](int) { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Schedule([&](int) { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountPositive) {
+  EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,77 @@
+#include "util/tsv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace nsc {
+namespace {
+
+class TsvTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+};
+
+TEST_F(TsvTest, SplitBasic) {
+  auto fields = SplitTsvLine("a\tb\tc");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST_F(TsvTest, SplitPreservesEmptyFields) {
+  auto fields = SplitTsvLine("a\t\tc\t");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST_F(TsvTest, SplitSingleField) {
+  auto fields = SplitTsvLine("only");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "only");
+}
+
+TEST_F(TsvTest, RoundTrip) {
+  const std::string path = TempPath("roundtrip.tsv");
+  std::vector<std::vector<std::string>> rows = {
+      {"h1", "r1", "t1"}, {"h2", "r2", "t2"}, {"x", "y", "z"}};
+  ASSERT_TRUE(WriteTsvFile(path, rows).ok());
+  auto read = ReadTsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), rows);
+  std::remove(path.c_str());
+}
+
+TEST_F(TsvTest, ReadSkipsEmptyLinesAndHandlesCrLf) {
+  const std::string path = TempPath("crlf.tsv");
+  {
+    std::ofstream out(path);
+    out << "a\tb\r\n\r\nc\td\n\n";
+  }
+  auto read = ReadTsvFile(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read.value().size(), 2u);
+  EXPECT_EQ(read.value()[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(read.value()[1], (std::vector<std::string>{"c", "d"}));
+  std::remove(path.c_str());
+}
+
+TEST_F(TsvTest, MissingFileIsIOError) {
+  auto read = ReadTsvFile("/nonexistent/dir/file.tsv");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(TsvTest, WriteToBadPathIsIOError) {
+  Status st = WriteTsvFile("/nonexistent/dir/file.tsv", {{"a"}});
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace nsc
