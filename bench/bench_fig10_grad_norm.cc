@@ -17,7 +17,7 @@ int main() {
       "=== Figure 10: mean gradient l2-norm per epoch (%s) ===\n\n",
       dataset.name.c_str());
 
-  for (const std::string& scorer : {"transd", "complex"}) {
+  for (const std::string scorer : {"transd", "complex"}) {
     std::printf("--- %s ---\n", scorer.c_str());
     std::printf("  %-7s %-12s %-12s\n", "epoch", "Bernoulli", "NSCaching");
 

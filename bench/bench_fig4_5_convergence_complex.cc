@@ -14,7 +14,7 @@ int main() {
   std::printf(
       "=== Figures 4 & 5: test MRR / Hit@10 vs training time, ComplEx ===\n\n");
 
-  for (const std::string& dataset_name : {"wn18", "wn18rr", "fb15k",
+  for (const std::string dataset_name : {"wn18", "wn18rr", "fb15k",
                                           "fb15k237"}) {
     const Dataset dataset = bench::GetDataset(dataset_name, s);
     std::printf("--- dataset %s ---\n", dataset.name.c_str());

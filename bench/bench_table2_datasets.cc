@@ -17,7 +17,7 @@ int main() {
   TextTable table;
   table.SetHeader({"dataset", "#entity", "#relation", "#train", "#valid",
                    "#test"});
-  for (const std::string& name : {"wn18", "wn18rr", "fb15k", "fb15k237"}) {
+  for (const std::string name : {"wn18", "wn18rr", "fb15k", "fb15k237"}) {
     const Dataset d = bench::GetDataset(name, s);
     const DatasetStats st = ComputeStats(d);
     table.AddRow({st.name, TextTable::Int(st.num_entities),
@@ -35,7 +35,7 @@ int main() {
   std::printf("%s\n", table.Render().c_str());
 
   // Real data, if present.
-  for (const std::string& name : {"WN18", "WN18RR", "FB15K", "FB15K237"}) {
+  for (const std::string name : {"WN18", "WN18RR", "FB15K", "FB15K237"}) {
     auto real = LoadDataset("data/" + name, name);
     if (real.ok()) {
       const DatasetStats st = ComputeStats(real.value());

@@ -24,7 +24,7 @@ int main() {
   TextTable table;
   table.SetHeader({"scorer", "sampler", "MRR", "MR", "Hit@10"});
 
-  for (const std::string& scorer : {"transd", "complex"}) {
+  for (const std::string scorer : {"transd", "complex"}) {
     for (SamplerKind sampler : {SamplerKind::kBernoulli, SamplerKind::kKbgan,
                                 SamplerKind::kNSCaching}) {
       PipelineConfig config;

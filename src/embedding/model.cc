@@ -5,6 +5,23 @@
 
 namespace nsc {
 
+namespace {
+
+// Reused pointer-array scratch for the batched kernels. thread_local so
+// parallel evaluation and Hogwild workers don't race; after warm-up the
+// candidate-scoring hot path (NSCaching's cache refresh runs it twice
+// per trained triple) is allocation-free.
+struct BatchScratch {
+  std::vector<const float*> h, r, t;
+};
+
+BatchScratch& Scratch() {
+  static thread_local BatchScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
 KgeModel::KgeModel(int32_t num_entities, int32_t num_relations, int dim,
                    std::unique_ptr<ScoringFunction> scorer)
     : dim_(dim), scorer_(std::move(scorer)) {
@@ -24,26 +41,51 @@ double KgeModel::Score(EntityId h, RelationId r, EntityId t) const {
                         dim_);
 }
 
+void KgeModel::ScoreBatch(const Triple* triples, size_t n, double* out) const {
+  BatchScratch& s = Scratch();
+  s.h.resize(n);
+  s.r.resize(n);
+  s.t.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    s.h[i] = entities_.Row(triples[i].h);
+    s.r[i] = relations_.Row(triples[i].r);
+    s.t[i] = entities_.Row(triples[i].t);
+  }
+  scorer_->ScoreBatch(s.h.data(), s.r.data(), s.t.data(), dim_, n, out);
+}
+
+void KgeModel::ScoreBatch(const std::vector<Triple>& triples,
+                          std::vector<double>* out) const {
+  out->resize(triples.size());
+  ScoreBatch(triples.data(), triples.size(), out->data());
+}
+
 void KgeModel::ScoreHeadCandidates(RelationId r, EntityId t,
                                    const std::vector<EntityId>& candidates,
                                    std::vector<double>* out) const {
-  out->resize(candidates.size());
-  const float* rv = relations_.Row(r);
-  const float* tv = entities_.Row(t);
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    (*out)[i] = scorer_->Score(entities_.Row(candidates[i]), rv, tv, dim_);
-  }
+  const size_t n = candidates.size();
+  out->resize(n);
+  BatchScratch& s = Scratch();
+  s.h.resize(n);
+  s.r.assign(n, relations_.Row(r));
+  s.t.assign(n, entities_.Row(t));
+  for (size_t i = 0; i < n; ++i) s.h[i] = entities_.Row(candidates[i]);
+  scorer_->ScoreBatch(s.h.data(), s.r.data(), s.t.data(), dim_, n,
+                      out->data());
 }
 
 void KgeModel::ScoreTailCandidates(EntityId h, RelationId r,
                                    const std::vector<EntityId>& candidates,
                                    std::vector<double>* out) const {
-  out->resize(candidates.size());
-  const float* hv = entities_.Row(h);
-  const float* rv = relations_.Row(r);
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    (*out)[i] = scorer_->Score(hv, rv, entities_.Row(candidates[i]), dim_);
-  }
+  const size_t n = candidates.size();
+  out->resize(n);
+  BatchScratch& s = Scratch();
+  s.h.assign(n, entities_.Row(h));
+  s.r.assign(n, relations_.Row(r));
+  s.t.resize(n);
+  for (size_t i = 0; i < n; ++i) s.t[i] = entities_.Row(candidates[i]);
+  scorer_->ScoreBatch(s.h.data(), s.r.data(), s.t.data(), dim_, n,
+                      out->data());
 }
 
 KgeModel KgeModel::Clone() const {

@@ -32,7 +32,15 @@ class KgeModel {
   }
   double Score(EntityId h, RelationId r, EntityId t) const;
 
+  /// Scores n triples through the scorer's batched kernel (one virtual
+  /// dispatch per batch): out[i] = Score(triples[i]).
+  void ScoreBatch(const Triple* triples, size_t n, double* out) const;
+  void ScoreBatch(const std::vector<Triple>& triples,
+                  std::vector<double>* out) const;
+
   /// Scores every candidate head h̄ for fixed (r, t): out[i] = f(c[i], r, t).
+  /// Routed through ScoringFunction::ScoreBatch — this is NSCaching's cache
+  /// refresh hot path (the N1+N2 candidate scoring of Algorithm 3).
   void ScoreHeadCandidates(RelationId r, EntityId t,
                            const std::vector<EntityId>& candidates,
                            std::vector<double>* out) const;

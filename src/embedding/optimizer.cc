@@ -41,12 +41,13 @@ AdamOptimizer::AdamOptimizer(double lr, const EmbeddingTable& shape,
 void AdamOptimizer::Apply(EmbeddingTable* table, int32_t row,
                           const float* grad) {
   CHECK_EQ(table->width(), width_);
-  CHECK_GT(step_, 0) << "call BeginStep() before Apply()";
+  const int64_t step = step_.load(std::memory_order_relaxed);
+  CHECK_GT(step, 0) << "call BeginStep() before Apply()";
   float* p = table->Row(row);
   float* m = m_.data() + static_cast<size_t>(row) * width_;
   float* v = v_.data() + static_cast<size_t>(row) * width_;
-  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
-  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step));
   for (int i = 0; i < width_; ++i) {
     m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * grad[i]);
     v[i] = static_cast<float>(beta2_ * v[i] +

@@ -6,6 +6,8 @@
 #ifndef NSCACHING_EMBEDDING_OPTIMIZER_H_
 #define NSCACHING_EMBEDDING_OPTIMIZER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,14 +65,18 @@ class AdamOptimizer : public Optimizer {
   AdamOptimizer(double lr, const EmbeddingTable& shape, double beta1 = 0.9,
                 double beta2 = 0.999, double eps = 1e-8);
   std::string name() const override { return "adam"; }
-  void BeginStep() override { ++step_; }
+  /// Atomic so Hogwild workers can step concurrently; the count is exact,
+  /// and in single-thread mode this matches the plain increment exactly.
+  void BeginStep() override {
+    step_.fetch_add(1, std::memory_order_relaxed);
+  }
   void Apply(EmbeddingTable* table, int32_t row, const float* grad) override;
   double learning_rate() const override { return lr_; }
-  int64_t step() const { return step_; }
+  int64_t step() const { return step_.load(std::memory_order_relaxed); }
 
  private:
   double lr_, beta1_, beta2_, eps_;
-  int64_t step_ = 0;
+  std::atomic<int64_t> step_{0};
   std::vector<float> m_;  // First moment, same shape as the table.
   std::vector<float> v_;  // Second moment.
   int width_;

@@ -19,4 +19,37 @@ void DistMult::Backward(const float* h, const float* r, const float* t,
   }
 }
 
+void DistMult::ScoreBatch(const float* const* h, const float* const* r,
+                          const float* const* t, int dim, size_t n,
+                          double* out) const {
+  for (size_t i = 0; i < n; ++i) {
+    const float* hv = h[i];
+    const float* rv = r[i];
+    const float* tv = t[i];
+    double s = 0.0;
+    for (int k = 0; k < dim; ++k) s += double(hv[k]) * rv[k] * tv[k];
+    out[i] = s;
+  }
+}
+
+void DistMult::BackwardBatch(const float* const* h, const float* const* r,
+                             const float* const* t, int dim, size_t n,
+                             const float* coeff, float* const* gh,
+                             float* const* gr, float* const* gt) const {
+  for (size_t i = 0; i < n; ++i) {
+    const float* hv = h[i];
+    const float* rv = r[i];
+    const float* tv = t[i];
+    float* ghv = gh[i];
+    float* grv = gr[i];
+    float* gtv = gt[i];
+    const float c = coeff[i];
+    for (int k = 0; k < dim; ++k) {
+      ghv[k] += c * rv[k] * tv[k];
+      grv[k] += c * hv[k] * tv[k];
+      gtv[k] += c * hv[k] * rv[k];
+    }
+  }
+}
+
 }  // namespace nsc

@@ -16,6 +16,13 @@ class DistMult : public ScoringFunction {
                int dim) const override;
   void Backward(const float* h, const float* r, const float* t, int dim,
                 float coeff, float* gh, float* gr, float* gt) const override;
+  void ScoreBatch(const float* const* h, const float* const* r,
+                  const float* const* t, int dim, size_t n,
+                  double* out) const override;
+  void BackwardBatch(const float* const* h, const float* const* r,
+                     const float* const* t, int dim, size_t n,
+                     const float* coeff, float* const* gh, float* const* gr,
+                     float* const* gt) const override;
 };
 
 }  // namespace nsc

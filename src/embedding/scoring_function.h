@@ -9,6 +9,7 @@
 #ifndef NSCACHING_EMBEDDING_SCORING_FUNCTION_H_
 #define NSCACHING_EMBEDDING_SCORING_FUNCTION_H_
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +48,35 @@ class ScoringFunction {
   virtual void Backward(const float* h, const float* r, const float* t,
                         int dim, float coeff, float* gh, float* gr,
                         float* gt) const = 0;
+
+  /// Batched scoring over n triples given per-triple row pointers:
+  /// out[i] = Score(h[i], r[i], t[i], dim). Pointer entries may repeat
+  /// (e.g. the cache refresh broadcasts one (r, t) against many candidate
+  /// heads). The default is a correct generic loop; hot scorers override
+  /// it with a single non-virtual inner loop per batch.
+  virtual void ScoreBatch(const float* const* h, const float* const* r,
+                          const float* const* t, int dim, size_t n,
+                          double* out) const {
+    for (size_t i = 0; i < n; ++i) out[i] = Score(h[i], r[i], t[i], dim);
+  }
+
+  /// Batched gradient accumulation: for each triple i, accumulates
+  /// coeff[i] * ∂Score/∂{h,r,t} into gh[i]/gr[i]/gt[i]. Gradient pointers
+  /// may alias across triples (callers fold a shared entity's gradient
+  /// into one slot — see the aliasing contract test in
+  /// scorer_batch_test.cc), so implementations must process triples in
+  /// order. Consumed today by tests and the future fused-loss trainer
+  /// path (ROADMAP); the trainer's per-pair hot loop deliberately calls
+  /// the single-triple Backward to stay bit-compatible with the legacy
+  /// engine.
+  virtual void BackwardBatch(const float* const* h, const float* const* r,
+                             const float* const* t, int dim, size_t n,
+                             const float* coeff, float* const* gh,
+                             float* const* gr, float* const* gt) const {
+    for (size_t i = 0; i < n; ++i) {
+      Backward(h[i], r[i], t[i], dim, coeff[i], gh[i], gr[i], gt[i]);
+    }
+  }
 
   /// Hard constraint applied to an entity row after each update (e.g.
   /// TransE keeps entity norms ≤ 1). Default: none.

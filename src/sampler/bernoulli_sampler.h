@@ -23,6 +23,8 @@ class BernoulliSampler : public NegativeSampler {
 
   std::string name() const override { return "bernoulli"; }
   NegativeSample Sample(const Triple& pos, Rng* rng) override;
+  /// Depends only on (pos, rng) and the immutable KgIndex statistics.
+  bool stateless_sampling() const override { return true; }
 
  private:
   int32_t num_entities_;

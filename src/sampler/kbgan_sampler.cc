@@ -29,38 +29,62 @@ void KbganSampler::WarmStartGenerator(const KgeModel& pretrained) {
 }
 
 NegativeSample KbganSampler::Sample(const Triple& pos, Rng* rng) {
+  Pending p;
   const int n = config_.candidate_set_size;
-  pending_.candidates.resize(n);
+  p.candidates.resize(n);
   for (int i = 0; i < n; ++i) {
-    pending_.candidates[i] = static_cast<EntityId>(
+    p.candidates[i] = static_cast<EntityId>(
         rng->UniformInt(static_cast<uint64_t>(generator_->num_entities())));
   }
-  pending_.side = side_chooser_.Choose(pos, rng);
+  p.side = side_chooser_.Choose(pos, rng);
 
   std::vector<double> scores;
-  if (pending_.side == CorruptionSide::kHead) {
-    generator_->ScoreHeadCandidates(pos.r, pos.t, pending_.candidates, &scores);
+  if (p.side == CorruptionSide::kHead) {
+    generator_->ScoreHeadCandidates(pos.r, pos.t, p.candidates, &scores);
   } else {
-    generator_->ScoreTailCandidates(pos.h, pos.r, pending_.candidates, &scores);
+    generator_->ScoreTailCandidates(pos.h, pos.r, p.candidates, &scores);
   }
   SoftmaxInPlace(&scores);
-  pending_.probs = scores;
-  pending_.chosen = static_cast<int>(rng->Categorical(scores));
-  pending_.pos = pos;
-  pending_.valid = true;
+  p.chosen = static_cast<int>(rng->Categorical(scores));
+  p.probs = std::move(scores);
+  p.pos = pos;
 
   NegativeSample out;
-  out.side = pending_.side;
-  out.triple = Corrupt(pos, pending_.side,
-                       pending_.candidates[pending_.chosen]);
+  out.side = p.side;
+  out.triple = Corrupt(pos, p.side, p.candidates[p.chosen]);
+
+  // Bound the queue in case a caller samples without ever feeding back
+  // (a whole mini-batch in flight is normal; unbounded growth is not).
+  // The trainer delivers every batch's rewards before the next batch, so
+  // eviction only fires for batches beyond this bound — warn, since the
+  // evicted draws' REINFORCE updates are lost.
+  constexpr size_t kMaxPendingDraws = 65536;
+  if (pending_.size() >= kMaxPendingDraws) {
+    if (!eviction_warned_) {
+      LOG_WARNING << "KBGAN pending-reward queue exceeded "
+                  << kMaxPendingDraws
+                  << " draws; oldest draws lose their generator updates "
+                     "(batch_size larger than the queue bound?)";
+      eviction_warned_ = true;
+    }
+    pending_.pop_front();
+  }
+  pending_.push_back(std::move(p));
   return out;
 }
 
 void KbganSampler::Feedback(const Triple& pos, const NegativeSample& neg,
                             double neg_score) {
   (void)neg;
-  if (!pending_.valid || !(pending_.pos == pos)) return;
-  pending_.valid = false;
+  // Rewards arrive in draw order. Find this reward's draw (normally the
+  // front); older entries before it never got theirs and are dropped. If
+  // no entry matches (e.g. the draw was evicted by the queue bound),
+  // leave the queue untouched so younger draws still get their rewards.
+  size_t match = 0;
+  while (match < pending_.size() && !(pending_[match].pos == pos)) ++match;
+  if (match == pending_.size()) return;
+  const Pending pending = std::move(pending_[match]);
+  pending_.erase(pending_.begin(), pending_.begin() + match + 1);
 
   // Reward = discriminator plausibility of the generated negative; high
   // reward means the generator found a hard negative.
@@ -84,18 +108,18 @@ void KbganSampler::Feedback(const Triple& pos, const NegativeSample& neg,
   std::vector<float> g_rel(rel.width(), 0.0f);
   std::vector<float> g_fixed(ent.width(), 0.0f);
 
-  const bool head_side = pending_.side == CorruptionSide::kHead;
+  const bool head_side = pending.side == CorruptionSide::kHead;
   const EntityId fixed_entity = head_side ? pos.t : pos.h;
   const float* fixed_row = ent.Row(fixed_entity);
   const float* rel_row = rel.Row(pos.r);
 
-  for (size_t i = 0; i < pending_.candidates.size(); ++i) {
+  for (size_t i = 0; i < pending.candidates.size(); ++i) {
     const double dlogp =
-        (static_cast<int>(i) == pending_.chosen ? 1.0 : 0.0) - pending_.probs[i];
+        (static_cast<int>(i) == pending.chosen ? 1.0 : 0.0) - pending.probs[i];
     const float coeff = static_cast<float>(-advantage * dlogp);
     if (coeff == 0.0f) continue;
     std::fill(g_cand.begin(), g_cand.end(), 0.0f);
-    const float* cand_row = ent.Row(pending_.candidates[i]);
+    const float* cand_row = ent.Row(pending.candidates[i]);
     if (head_side) {
       scorer.Backward(cand_row, rel_row, fixed_row, dim, coeff, g_cand.data(),
                       g_rel.data(), g_fixed.data());
@@ -103,7 +127,7 @@ void KbganSampler::Feedback(const Triple& pos, const NegativeSample& neg,
       scorer.Backward(fixed_row, rel_row, cand_row, dim, coeff, g_fixed.data(),
                       g_rel.data(), g_cand.data());
     }
-    gen_entity_opt_->Apply(&ent, pending_.candidates[i], g_cand.data());
+    gen_entity_opt_->Apply(&ent, pending.candidates[i], g_cand.data());
   }
   gen_entity_opt_->Apply(&ent, fixed_entity, g_fixed.data());
   gen_relation_opt_->Apply(&rel, pos.r, g_rel.data());

@@ -11,6 +11,7 @@
 #ifndef NSCACHING_SAMPLER_KBGAN_SAMPLER_H_
 #define NSCACHING_SAMPLER_KBGAN_SAMPLER_H_
 
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -67,16 +68,19 @@ class KbganSampler : public NegativeSampler {
   double baseline_ = 0.0;
   bool baseline_initialized_ = false;
 
-  // Pending REINFORCE state between Sample() and Feedback().
+  // Pending REINFORCE state between Sample() and Feedback(). A FIFO
+  // queue, not a single slot: the batched trainer draws a whole
+  // mini-batch of samples before delivering the (in-order) feedback, so
+  // every draw must keep its policy state until its reward arrives.
   struct Pending {
-    bool valid = false;
     Triple pos;
     CorruptionSide side = CorruptionSide::kHead;
     std::vector<EntityId> candidates;
     std::vector<double> probs;
     int chosen = -1;
   };
-  Pending pending_;
+  std::deque<Pending> pending_;
+  bool eviction_warned_ = false;  // One warning per sampler on overflow.
 };
 
 }  // namespace nsc

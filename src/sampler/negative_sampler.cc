@@ -2,6 +2,11 @@
 
 namespace nsc {
 
+void NegativeSampler::SampleBatch(const Triple* pos, size_t n, Rng* rng,
+                                  NegativeSample* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = Sample(pos[i], rng);
+}
+
 Triple Corrupt(const Triple& pos, CorruptionSide side, EntityId entity) {
   Triple out = pos;
   if (side == CorruptionSide::kHead) {

@@ -9,6 +9,7 @@
 #ifndef NSCACHING_SAMPLER_NEGATIVE_SAMPLER_H_
 #define NSCACHING_SAMPLER_NEGATIVE_SAMPLER_H_
 
+#include <cstddef>
 #include <string>
 
 #include "kg/kg_index.h"
@@ -34,6 +35,20 @@ class NegativeSampler {
 
   /// Draws one negative for `pos`.
   virtual NegativeSample Sample(const Triple& pos, Rng* rng) = 0;
+
+  /// Draws one negative for each of pos[0..n) into out[0..n). The default
+  /// loops over Sample() in index order, so it consumes `rng` exactly like
+  /// n sequential Sample() calls — the batched trainer relies on this to
+  /// stay bit-for-bit compatible with the serial loop.
+  virtual void SampleBatch(const Triple* pos, size_t n, Rng* rng,
+                           NegativeSample* out);
+
+  /// True when Sample() depends only on (pos, rng) — no mutable sampler
+  /// state and no model parameters (uniform/Bernoulli). The trainer may
+  /// then pre-sample ahead of parameter updates without changing results
+  /// and call Sample() concurrently from worker threads. Model-coupled
+  /// samplers (NSCaching, KBGAN) must keep the default `false`.
+  virtual bool stateless_sampling() const { return false; }
 
   /// Post-update feedback: the discriminator's score of the sampled
   /// negative. KBGAN uses it as the REINFORCE reward; others ignore it.

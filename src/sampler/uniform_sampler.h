@@ -18,6 +18,8 @@ class UniformSampler : public NegativeSampler {
 
   std::string name() const override { return "uniform"; }
   NegativeSample Sample(const Triple& pos, Rng* rng) override;
+  /// Depends only on (pos, rng) and the immutable KgIndex.
+  bool stateless_sampling() const override { return true; }
 
  private:
   int32_t num_entities_;

@@ -1,0 +1,25 @@
+#include "train/grad_accumulator.h"
+
+#include <algorithm>
+
+namespace nsc {
+
+float* GradAccumulator::GradFor(EntityId e) {
+  const auto inserted = index_.emplace(e, active_);
+  if (!inserted.second) {
+    return grads_.data() + inserted.first->second * width_;
+  }
+  const size_t offset = active_ * static_cast<size_t>(width_);
+  if (grads_.size() < offset + width_) {
+    grads_.resize(offset + width_, 0.0f);
+  } else {
+    // Reused storage from an earlier, larger step: zero it explicitly.
+    std::fill(grads_.begin() + offset, grads_.begin() + offset + width_, 0.0f);
+  }
+  if (ids_.size() <= active_) ids_.resize(active_ + 1);
+  ids_[active_] = e;
+  ++active_;
+  return grads_.data() + offset;
+}
+
+}  // namespace nsc

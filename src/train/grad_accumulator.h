@@ -1,0 +1,64 @@
+// Hash-indexed sparse gradient accumulator for embedding rows.
+//
+// One training pair touches up to four entity rows (pos/neg head and
+// tail, with overlaps); a mini-batch touches up to 4·B. The accumulator
+// maps EntityId -> gradient slot in O(1) amortized — replacing the old
+// Trainer::EntityGradFor linear scan, which was O(k) per lookup and thus
+// quadratic in the number of touched entities per step — while keeping
+// slot storage flat and reusable across steps (no per-step allocation
+// once warm).
+#ifndef NSCACHING_TRAIN_GRAD_ACCUMULATOR_H_
+#define NSCACHING_TRAIN_GRAD_ACCUMULATOR_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/types.h"
+
+namespace nsc {
+
+/// Sparse {EntityId -> zero-initialised gradient row} map with flat,
+/// reusable storage. Not thread-safe; the trainer keeps one per worker.
+class GradAccumulator {
+ public:
+  /// Sets the gradient row width and drops all slots AND their storage
+  /// (stale floats from a previous width must never leak into reused
+  /// rows). Call once before first use, and again if the width changes.
+  void Configure(int width) {
+    width_ = width;
+    grads_.clear();
+    ids_.clear();
+    Clear();
+  }
+
+  /// Drops all active slots; storage is retained for reuse.
+  void Clear() {
+    index_.clear();
+    active_ = 0;
+  }
+
+  /// Returns the gradient row for entity `e`, zeroed on first touch this
+  /// step. Pointers are invalidated by subsequent GradFor calls (storage
+  /// may grow) — resolve every id before writing through any of them.
+  float* GradFor(EntityId e);
+
+  size_t size() const { return active_; }
+  EntityId id(size_t slot) const { return ids_[slot]; }
+  float* grad(size_t slot) { return grads_.data() + slot * width_; }
+  const float* grad(size_t slot) const {
+    return grads_.data() + slot * width_;
+  }
+  int width() const { return width_; }
+
+ private:
+  int width_ = 0;
+  size_t active_ = 0;                         // Slots live this step.
+  std::vector<EntityId> ids_;                 // id of each active slot.
+  std::vector<float> grads_;                  // active_ rows, flat.
+  std::unordered_map<EntityId, size_t> index_;  // id -> slot.
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_TRAIN_GRAD_ACCUMULATOR_H_

@@ -8,7 +8,8 @@ std::string TrainConfig::ToString() const {
   std::ostringstream out;
   out << "dim=" << dim << " lr=" << learning_rate << " opt=" << optimizer
       << " margin=" << margin << " lambda=" << l2_lambda
-      << " batch=" << batch_size << " epochs=" << epochs << " seed=" << seed;
+      << " batch=" << batch_size << " epochs=" << epochs
+      << " threads=" << num_threads << " seed=" << seed;
   return out.str();
 }
 

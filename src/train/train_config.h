@@ -20,6 +20,10 @@ struct TrainConfig {
   double l2_lambda = 0.0;
   int batch_size = 256;
   int epochs = 50;
+  /// Worker threads for the batched engine. 1 = serial reference
+  /// semantics (bit-for-bit reproducible); >1 = Hogwild-style lock-free
+  /// parallel execution of each mini-batch; <= 0 = hardware default.
+  int num_threads = 1;
   /// Project entity rows onto the scorer's norm constraint after updates.
   bool apply_entity_constraints = true;
   /// Track per-pair gradient l2 norms (Figure 10); small overhead.

@@ -26,123 +26,214 @@ Trainer::Trainer(KgeModel* model, const TripleStore* train_set,
   relation_opt_ = MakeOptimizer(config.optimizer, config.learning_rate,
                                 model->relation_table());
   CHECK(entity_opt_ != nullptr) << "unknown optimizer " << config.optimizer;
-  relation_grad_.resize(model->relation_table().width());
   order_.resize(train_set->size());
   std::iota(order_.begin(), order_.end(), size_t{0});
-}
 
-float* Trainer::EntityGradFor(EntityId e) {
-  for (auto& slot : entity_slots_) {
-    if (slot.id == e) return slot.grad.data();
+  num_threads_ =
+      config.num_threads <= 0 ? DefaultThreadCount() : config.num_threads;
+  workers_.resize(static_cast<size_t>(num_threads_));
+  // Worker streams come from a seeder distinct from rng_, so the main
+  // stream (shuffle + stateful sampling) is identical for every thread
+  // count — the 1-thread engine stays bit-for-bit equal to the serial
+  // reference no matter what num_threads was configured elsewhere.
+  Rng stream_seeder(config.seed ^ 0x517cc1b727220a95ULL);
+  for (WorkerState& ws : workers_) {
+    ws.entity_grads.Configure(model->entity_table().width());
+    ws.relation_grad.resize(model->relation_table().width());
+    ws.rng = stream_seeder.Split();
   }
-  entity_slots_.push_back(
-      {e, std::vector<float>(model_->entity_table().width(), 0.0f)});
-  return entity_slots_.back().grad.data();
+  if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
 }
 
-double Trainer::TrainPair(const Triple& pos, const NegativeSample& neg,
-                          double* grad_norm) {
+Trainer::PairOutcome Trainer::TrainPairStep(const Triple& pos,
+                                            const NegativeSample& neg,
+                                            WorkerState* ws) {
+  PairOutcome out;
   const double pos_score = model_->Score(pos);
   const double neg_score = model_->Score(neg.triple);
+  out.neg_score = neg_score;
   const LossGrad lg = loss_->Compute(pos_score, neg_score);
-
+  out.loss = lg.loss;
   if (lg.d_pos == 0.0 && lg.d_neg == 0.0 && config_.l2_lambda == 0.0) {
-    if (grad_norm != nullptr) *grad_norm = 0.0;
-    // Even a zero-gradient pair gives the GAN generator its reward signal.
-    sampler_->Feedback(pos, neg, neg_score);
-    return lg.loss;
+    return out;
   }
 
-  entity_slots_.clear();
-  std::fill(relation_grad_.begin(), relation_grad_.end(), 0.0f);
+  GradAccumulator& grads = ws->entity_grads;
+  grads.Clear();
+  std::fill(ws->relation_grad.begin(), ws->relation_grad.end(), 0.0f);
   const int dim = model_->dim();
   const ScoringFunction& scorer = model_->scorer();
   EmbeddingTable& ent = model_->entity_table();
   EmbeddingTable& rel = model_->relation_table();
 
-  // Resolve all gradient slots BEFORE taking row pointers: EntityGradFor
-  // may grow the slot vector, and Backward writes through these pointers.
-  float* g_pos_h = EntityGradFor(pos.h);
-  float* g_pos_t = EntityGradFor(pos.t);
-  float* g_neg_h = EntityGradFor(neg.triple.h);
-  float* g_neg_t = EntityGradFor(neg.triple.t);
+  // Register all four ids BEFORE taking gradient pointers: GradFor may
+  // grow the flat slot storage, invalidating earlier returned pointers.
+  grads.GradFor(pos.h);
+  grads.GradFor(pos.t);
+  grads.GradFor(neg.triple.h);
+  grads.GradFor(neg.triple.t);
+  float* g_pos_h = grads.GradFor(pos.h);
+  float* g_pos_t = grads.GradFor(pos.t);
+  float* g_neg_h = grads.GradFor(neg.triple.h);
+  float* g_neg_t = grads.GradFor(neg.triple.t);
+  float* g_rel = ws->relation_grad.data();
 
   if (lg.d_pos != 0.0) {
     scorer.Backward(ent.Row(pos.h), rel.Row(pos.r), ent.Row(pos.t), dim,
-                    static_cast<float>(lg.d_pos), g_pos_h, relation_grad_.data(),
-                    g_pos_t);
+                    static_cast<float>(lg.d_pos), g_pos_h, g_rel, g_pos_t);
   }
   if (lg.d_neg != 0.0) {
     scorer.Backward(ent.Row(neg.triple.h), rel.Row(neg.triple.r),
                     ent.Row(neg.triple.t), dim, static_cast<float>(lg.d_neg),
-                    g_neg_h, relation_grad_.data(), g_neg_t);
+                    g_neg_h, g_rel, g_neg_t);
   }
 
   // L2 penalty λ‖·‖² on every touched row (semantic matching models).
   if (config_.l2_lambda > 0.0) {
     const float two_lambda = static_cast<float>(2.0 * config_.l2_lambda);
-    for (auto& slot : entity_slots_) {
-      Axpy(two_lambda, ent.Row(slot.id), slot.grad.data(), ent.width());
+    for (size_t s = 0; s < grads.size(); ++s) {
+      Axpy(two_lambda, ent.Row(grads.id(s)), grads.grad(s), ent.width());
     }
-    Axpy(two_lambda, rel.Row(pos.r), relation_grad_.data(), rel.width());
+    Axpy(two_lambda, rel.Row(pos.r), g_rel, rel.width());
   }
 
-  if (grad_norm != nullptr) {
+  if (config_.track_grad_norm) {
     double sq = 0.0;
-    for (const auto& slot : entity_slots_) {
-      for (float g : slot.grad) sq += double(g) * g;
+    const int ew = ent.width();
+    for (size_t s = 0; s < grads.size(); ++s) {
+      const float* g = grads.grad(s);
+      for (int k = 0; k < ew; ++k) sq += double(g[k]) * g[k];
     }
-    for (float g : relation_grad_) sq += double(g) * g;
-    *grad_norm = std::sqrt(sq);
+    for (float g : ws->relation_grad) sq += double(g) * g;
+    out.grad_norm = std::sqrt(sq);
   }
 
   entity_opt_->BeginStep();
   relation_opt_->BeginStep();
-  for (auto& slot : entity_slots_) {
-    entity_opt_->Apply(&ent, slot.id, slot.grad.data());
+  for (size_t s = 0; s < grads.size(); ++s) {
+    entity_opt_->Apply(&ent, grads.id(s), grads.grad(s));
   }
-  relation_opt_->Apply(&rel, pos.r, relation_grad_.data());
+  relation_opt_->Apply(&rel, pos.r, g_rel);
 
   if (config_.apply_entity_constraints) {
-    for (const auto& slot : entity_slots_) model_->ProjectEntity(slot.id);
+    for (size_t s = 0; s < grads.size(); ++s) {
+      model_->ProjectEntity(grads.id(s));
+    }
     model_->ProjectRelation(pos.r);
   }
+  return out;
+}
 
-  sampler_->Feedback(pos, neg, neg_score);
-  return lg.loss;
+void Trainer::RunBatchSerial(size_t lo, size_t hi) {
+  const size_t b = hi - lo;
+  if (sampler_->stateless_sampling()) {
+    // A stateless sampler's draws depend only on the RNG stream, so
+    // pre-sampling the batch consumes rng_ exactly as the interleaved
+    // loop would and yields identical negatives.
+    pos_batch_.resize(b);
+    negs_.resize(b);
+    for (size_t i = 0; i < b; ++i) {
+      pos_batch_[i] = (*train_set_)[order_[lo + i]];
+    }
+    sampler_->SampleBatch(pos_batch_.data(), b, &rng_, negs_.data());
+    for (size_t i = 0; i < b; ++i) {
+      TrainSerialPair(pos_batch_[i], negs_[i]);
+    }
+  } else {
+    // Model-coupled samplers (NSCaching scores candidates against rows
+    // the previous pair just updated) must stay interleaved to preserve
+    // the serial semantics.
+    for (size_t i = lo; i < hi; ++i) {
+      const Triple& pos = (*train_set_)[order_[i]];
+      const NegativeSample neg = sampler_->Sample(pos, &rng_);
+      TrainSerialPair(pos, neg);
+    }
+  }
+}
+
+void Trainer::RunBatchParallel(size_t lo, size_t hi) {
+  const size_t b = hi - lo;
+  pos_batch_.resize(b);
+  negs_.resize(b);
+  outcomes_.resize(b);
+  for (size_t i = 0; i < b; ++i) {
+    pos_batch_[i] = (*train_set_)[order_[lo + i]];
+  }
+  if (sampler_->stateless_sampling()) {
+    // Full Hogwild: workers sample their own pairs from per-worker
+    // streams and race on the shared tables (sparse updates rarely
+    // collide, so the lost-update rate is negligible — the standard
+    // asynchronous-SGD argument).
+    pool_->ParallelFor(0, b, [this](size_t i, int w) {
+      WorkerState& ws = workers_[w];
+      negs_[i] = sampler_->Sample(pos_batch_[i], &ws.rng);
+      outcomes_[i] = TrainPairStep(pos_batch_[i], negs_[i], &ws);
+    });
+  } else {
+    // Stateful samplers are not thread-safe: draw the whole batch
+    // serially against the pre-batch parameters, then train in parallel.
+    sampler_->SampleBatch(pos_batch_.data(), b, &rng_, negs_.data());
+    pool_->ParallelFor(0, b, [this](size_t i, int w) {
+      outcomes_[i] = TrainPairStep(pos_batch_[i], negs_[i], &workers_[w]);
+    });
+  }
+  // Feedback and observer run serially, in pair order, after the barrier.
+  for (size_t i = 0; i < b; ++i) {
+    sampler_->Feedback(pos_batch_[i], negs_[i], outcomes_[i].neg_score);
+    Accumulate(outcomes_[i]);
+    if (observer_) observer_(pos_batch_[i], negs_[i], outcomes_[i].loss);
+  }
+}
+
+EpochStats Trainer::FinishEpoch(const Stopwatch& watch) {
+  EpochStats stats;
+  stats.epoch = epoch_;
+  const double n = static_cast<double>(order_.size());
+  stats.mean_loss = loss_sum_ / n;
+  stats.nonzero_loss_ratio = static_cast<double>(nonzero_) / n;
+  stats.mean_grad_norm = grad_norm_sum_ / n;
+  stats.seconds = watch.Seconds();
+  cumulative_seconds_ += stats.seconds;
+  ++epoch_;
+  return stats;
 }
 
 EpochStats Trainer::RunEpoch() {
   Stopwatch watch;
   sampler_->BeginEpoch(epoch_);
   rng_.Shuffle(&order_);
+  loss_sum_ = 0.0;
+  grad_norm_sum_ = 0.0;
+  nonzero_ = 0;
 
-  EpochStats stats;
-  stats.epoch = epoch_;
-  double loss_sum = 0.0;
-  double grad_norm_sum = 0.0;
-  size_t nonzero = 0;
   const size_t n = order_.size();
+  const size_t batch =
+      config_.batch_size > 0 ? static_cast<size_t>(config_.batch_size) : n;
+  for (size_t lo = 0; lo < n; lo += batch) {
+    const size_t hi = std::min(n, lo + batch);
+    if (num_threads_ > 1) {
+      RunBatchParallel(lo, hi);
+    } else {
+      RunBatchSerial(lo, hi);
+    }
+  }
+  return FinishEpoch(watch);
+}
 
-  for (size_t i = 0; i < n; ++i) {
+EpochStats Trainer::RunEpochSerial() {
+  Stopwatch watch;
+  sampler_->BeginEpoch(epoch_);
+  rng_.Shuffle(&order_);
+  loss_sum_ = 0.0;
+  grad_norm_sum_ = 0.0;
+  nonzero_ = 0;
+
+  for (size_t i = 0; i < order_.size(); ++i) {
     const Triple& pos = (*train_set_)[order_[i]];
     const NegativeSample neg = sampler_->Sample(pos, &rng_);
-    double grad_norm = 0.0;
-    const double pair_loss =
-        TrainPair(pos, neg, config_.track_grad_norm ? &grad_norm : nullptr);
-    loss_sum += pair_loss;
-    grad_norm_sum += grad_norm;
-    if (pair_loss > 1e-12) ++nonzero;
-    if (observer_) observer_(pos, neg, pair_loss);
+    TrainSerialPair(pos, neg);
   }
-
-  stats.mean_loss = loss_sum / static_cast<double>(n);
-  stats.nonzero_loss_ratio = static_cast<double>(nonzero) / static_cast<double>(n);
-  stats.mean_grad_norm = grad_norm_sum / static_cast<double>(n);
-  stats.seconds = watch.Seconds();
-  cumulative_seconds_ += stats.seconds;
-  ++epoch_;
-  return stats;
+  return FinishEpoch(watch);
 }
 
 }  // namespace nsc

@@ -5,6 +5,15 @@
 // updated by a sparse optimizer. The trainer is where NSCaching, KBGAN
 // and the fixed baselines meet the identical surrounding machinery, so
 // measured differences are attributable to the sampler alone.
+//
+// Execution engine: RunEpoch() walks the epoch in mini-batches of
+// TrainConfig::batch_size and, with TrainConfig::num_threads > 1, trains
+// each batch Hogwild-style — lock-free asynchronous SGD over the shared
+// embedding tables — on a ThreadPool with per-worker RNG streams and
+// per-worker gradient scratch. With num_threads == 1 the engine performs
+// exactly the operation sequence of the legacy serial loop (retained as
+// RunEpochSerial()), bit-for-bit, so convergence results remain
+// comparable across PRs.
 #ifndef NSCACHING_TRAIN_TRAINER_H_
 #define NSCACHING_TRAIN_TRAINER_H_
 
@@ -17,9 +26,11 @@
 #include "embedding/optimizer.h"
 #include "kg/triple_store.h"
 #include "sampler/negative_sampler.h"
+#include "train/grad_accumulator.h"
 #include "train/train_config.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace nsc {
 
@@ -39,7 +50,8 @@ struct EpochStats {
 };
 
 /// Observer of every sampled (positive, negative, loss) event; used by the
-/// analysis module to compute the repeat ratio (RR) of Figure 7.
+/// analysis module to compute the repeat ratio (RR) of Figure 7. Always
+/// invoked serially, in pair order, even under the parallel engine.
 using NegativeObserver =
     std::function<void(const Triple& pos, const NegativeSample& neg,
                        double pair_loss)>;
@@ -52,8 +64,18 @@ class Trainer {
   Trainer(KgeModel* model, const TripleStore* train_set,
           NegativeSampler* sampler, const TrainConfig& config);
 
-  /// Runs one full pass over the (shuffled) training set.
+  /// Runs one full pass over the (shuffled) training set through the
+  /// batched engine (config.batch_size, config.num_threads). With one
+  /// thread this reproduces RunEpochSerial() bit-for-bit; with more, each
+  /// mini-batch is trained Hogwild-style (results are run-to-run
+  /// nondeterministic but the sampling streams stay seeded).
   EpochStats RunEpoch();
+
+  /// The legacy pair-at-a-time reference loop (no batching, no threads).
+  /// Kept as the semantic baseline for parity tests and the serial
+  /// baseline of bench_throughput; uses the same RNG stream as
+  /// RunEpoch() with num_threads == 1.
+  EpochStats RunEpochSerial();
 
   /// Epochs completed so far.
   int epoch() const { return epoch_; }
@@ -68,11 +90,63 @@ class Trainer {
   const PairwiseLoss& loss() const { return *loss_; }
   KgeModel* model() { return model_; }
 
+  /// Worker threads the engine actually uses (resolves num_threads <= 0).
+  int num_threads() const { return num_threads_; }
+
  private:
-  /// One gradient step on a (positive, negative) pair; returns the loss
-  /// value, and the pair's gradient l2 norm via `grad_norm` if non-null.
-  double TrainPair(const Triple& pos, const NegativeSample& neg,
-                   double* grad_norm);
+  /// Everything one trained pair reports back to the epoch loop.
+  struct PairOutcome {
+    double loss = 0.0;
+    double grad_norm = 0.0;
+    double neg_score = 0.0;  // Discriminator score, for sampler Feedback.
+  };
+
+  /// Per-worker mutable state; workers_[0] doubles as the serial scratch.
+  struct WorkerState {
+    GradAccumulator entity_grads;
+    std::vector<float> relation_grad;
+    Rng rng{0};  // Independent stream; only used when num_threads_ > 1.
+  };
+
+  /// One gradient step on a (positive, negative) pair: scores, loss
+  /// gradient, sparse backward into ws's accumulator, optimizer update,
+  /// norm projection. Does NOT call sampler Feedback or the observer —
+  /// the epoch loops do, serially, preserving the legacy call order.
+  PairOutcome TrainPairStep(const Triple& pos, const NegativeSample& neg,
+                            WorkerState* ws);
+
+  /// The full serial treatment of one pair — step, Feedback, totals,
+  /// observer, in the legacy order. All serial code paths share this so
+  /// the bit-for-bit parity contract lives in exactly one place.
+  void TrainSerialPair(const Triple& pos, const NegativeSample& neg) {
+    const PairOutcome out = TrainPairStep(pos, neg, &workers_[0]);
+    sampler_->Feedback(pos, neg, out.neg_score);
+    Accumulate(out);
+    if (observer_) observer_(pos, neg, out.loss);
+  }
+
+  /// Serial mini-batch pass (num_threads == 1), bit-for-bit equal to the
+  /// legacy loop: stateless samplers are pre-sampled per batch (their
+  /// draws depend only on the RNG stream, so the interleaving is
+  /// immaterial); stateful samplers stay interleaved pair-by-pair.
+  void RunBatchSerial(size_t lo, size_t hi);
+
+  /// Hogwild mini-batch pass (num_threads > 1): stateless samplers are
+  /// drawn inside the workers from per-worker RNG streams; stateful
+  /// samplers are drawn serially up front, then the pairs train in
+  /// parallel. Feedback and the observer run serially after the barrier.
+  void RunBatchParallel(size_t lo, size_t hi);
+
+  /// Closes out the epoch in flight: derives EpochStats from the running
+  /// totals, advances the epoch counter and the cumulative clock.
+  EpochStats FinishEpoch(const Stopwatch& watch);
+
+  /// Folds one pair's outcome into the running epoch totals.
+  void Accumulate(const PairOutcome& outcome) {
+    loss_sum_ += outcome.loss;
+    grad_norm_sum_ += outcome.grad_norm;
+    if (outcome.loss > 1e-12) ++nonzero_;
+  }
 
   KgeModel* model_;
   const TripleStore* train_set_;
@@ -87,14 +161,19 @@ class Trainer {
   NegativeObserver observer_;
   std::vector<size_t> order_;  // Shuffled triple indices, reused.
 
-  // Reusable per-pair gradient slots (≤ 3 entity rows + 1 relation row).
-  struct EntitySlot {
-    EntityId id = -1;
-    std::vector<float> grad;
-  };
-  std::vector<EntitySlot> entity_slots_;
-  std::vector<float> relation_grad_;
-  float* EntityGradFor(EntityId e);
+  int num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // Created only when num_threads_ > 1.
+  std::vector<WorkerState> workers_;
+
+  // Per-batch scratch, reused across batches (no steady-state allocation).
+  std::vector<Triple> pos_batch_;
+  std::vector<NegativeSample> negs_;
+  std::vector<PairOutcome> outcomes_;
+
+  // Running totals of the epoch in flight.
+  double loss_sum_ = 0.0;
+  double grad_norm_sum_ = 0.0;
+  size_t nonzero_ = 0;
 };
 
 }  // namespace nsc

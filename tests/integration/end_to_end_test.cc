@@ -52,7 +52,7 @@ PipelineConfig BaseConfig(SamplerKind kind, const std::string& scorer) {
 
 TEST(EndToEndTest, EveryScorerTrainsWithNSCaching) {
   const Dataset data = MediumDataset();
-  for (const std::string& scorer :
+  for (const std::string scorer :
        {"transe", "transh", "transd", "distmult", "complex"}) {
     PipelineConfig config = BaseConfig(SamplerKind::kNSCaching, scorer);
     config.train.epochs = 6;
@@ -197,7 +197,7 @@ TEST(EndToEndTest, ExtensionScorersTrainEndToEnd) {
   // TransR / HolE / RESCAL are beyond the paper's Table III set but must
   // ride the same pipeline.
   const Dataset data = MediumDataset();
-  for (const std::string& scorer : {"transr", "hole", "rescal"}) {
+  for (const std::string scorer : {"transr", "hole", "rescal"}) {
     PipelineConfig config = BaseConfig(SamplerKind::kNSCaching, scorer);
     config.train.epochs = 6;
     config.train.dim = 8;  // d^2 relation rows stay small.
