@@ -32,9 +32,21 @@ EntityId CacheSelector::Pick(const std::vector<EntityId>& entry,
       return entry[rng->Categorical(probs)];
     }
     case CacheSelectStrategy::kTop: {
-      const size_t best =
-          std::max_element(scores.begin(), scores.end()) - scores.begin();
-      return entry[best];
+      // Break score ties uniformly at random. Ties are the common case at
+      // init (all entries are fresh uniform draws against an untrained
+      // model); always taking the first argmax would deterministically
+      // favor low cache slots. Single reservoir pass; the Rng is consumed
+      // only when a tie exists.
+      const double best = *std::max_element(scores.begin(), scores.end());
+      size_t chosen = 0;
+      uint64_t num_best = 0;
+      for (size_t i = 0; i < scores.size(); ++i) {
+        if (scores[i] != best) continue;
+        // Reservoir over the tied indices; no Rng draw when the argmax is
+        // unique, so untied streams stay unchanged.
+        if (++num_best == 1 || rng->UniformInt(num_best) == 0) chosen = i;
+      }
+      return entry[chosen];
     }
   }
   return entry[0];

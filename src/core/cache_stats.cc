@@ -1,4 +1,21 @@
 #include "core/cache_stats.h"
 
-// Header-only counters; this translation unit exists so the target has a
-// stable archive member for the struct's (future) out-of-line helpers.
+namespace nsc {
+
+void AtomicCacheStats::Reset() {
+  updates_.store(0, std::memory_order_relaxed);
+  changed_elements_.store(0, std::memory_order_relaxed);
+  selections_.store(0, std::memory_order_relaxed);
+  true_admissions_.store(0, std::memory_order_relaxed);
+}
+
+CacheStats AtomicCacheStats::Snapshot() const {
+  CacheStats s;
+  s.updates = updates_.load(std::memory_order_relaxed);
+  s.changed_elements = changed_elements_.load(std::memory_order_relaxed);
+  s.selections = selections_.load(std::memory_order_relaxed);
+  s.true_admissions = true_admissions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace nsc

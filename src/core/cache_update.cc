@@ -19,19 +19,26 @@ std::string CacheUpdateStrategyName(CacheUpdateStrategy s) {
   return "?";
 }
 
-void CacheUpdater::BuildPool(const std::vector<EntityId>& entry, Rng* rng,
-                             const std::function<bool(EntityId)>& is_known,
-                             std::vector<EntityId>* pool) const {
+int CacheUpdater::BuildPool(const std::vector<EntityId>& entry, Rng* rng,
+                            const std::function<bool(EntityId)>& is_known,
+                            std::vector<EntityId>* pool) const {
   pool->clear();
   pool->reserve(entry.size() + n2_);
   const uint64_t num_entities = static_cast<uint64_t>(model_->num_entities());
   const bool filter = filter_index_ != nullptr;
+  int true_admissions = 0;
   auto draw_fresh = [&]() {
     EntityId e = static_cast<EntityId>(rng->UniformInt(num_entities));
     if (filter) {
-      for (int retry = 0; retry < 10 && is_known(e); ++retry) {
+      bool known = is_known(e);
+      for (int retry = 0; retry < 10 && known; ++retry) {
         e = static_cast<EntityId>(rng->UniformInt(num_entities));
+        known = is_known(e);
       }
+      // Out of retries: the candidate space for this key is dominated by
+      // true triples, and a known-true entity enters the pool anyway.
+      // Count it so the filter's failure is observable.
+      if (known) ++true_admissions;
     }
     return e;
   };
@@ -41,6 +48,7 @@ void CacheUpdater::BuildPool(const std::vector<EntityId>& entry, Rng* rng,
     pool->push_back(filter && is_known(e) ? draw_fresh() : e);
   }
   for (int i = 0; i < n2_; ++i) pool->push_back(draw_fresh());
+  return true_admissions;
 }
 
 int CacheUpdater::Update(std::vector<EntityId>* entry, Rng* rng,
@@ -75,28 +83,34 @@ int CacheUpdater::Update(std::vector<EntityId>* entry, Rng* rng,
   return changed;
 }
 
-int CacheUpdater::UpdateHeadEntry(std::vector<EntityId>* entry, RelationId r,
-                                  EntityId t, Rng* rng) const {
+CacheRefreshResult CacheUpdater::UpdateHeadEntry(std::vector<EntityId>* entry,
+                                                 RelationId r, EntityId t,
+                                                 Rng* rng) const {
   std::vector<EntityId> pool;
   auto is_known = [&](EntityId h_bar) {
     return filter_index_ != nullptr && filter_index_->Contains({h_bar, r, t});
   };
-  BuildPool(*entry, rng, is_known, &pool);
+  CacheRefreshResult result;
+  result.true_admissions = BuildPool(*entry, rng, is_known, &pool);
   std::vector<double> scores;
   model_->ScoreHeadCandidates(r, t, pool, &scores);
-  return Update(entry, rng, scores, pool);
+  result.changed = Update(entry, rng, scores, pool);
+  return result;
 }
 
-int CacheUpdater::UpdateTailEntry(std::vector<EntityId>* entry, EntityId h,
-                                  RelationId r, Rng* rng) const {
+CacheRefreshResult CacheUpdater::UpdateTailEntry(std::vector<EntityId>* entry,
+                                                 EntityId h, RelationId r,
+                                                 Rng* rng) const {
   std::vector<EntityId> pool;
   auto is_known = [&](EntityId t_bar) {
     return filter_index_ != nullptr && filter_index_->Contains({h, r, t_bar});
   };
-  BuildPool(*entry, rng, is_known, &pool);
+  CacheRefreshResult result;
+  result.true_admissions = BuildPool(*entry, rng, is_known, &pool);
   std::vector<double> scores;
   model_->ScoreTailCandidates(h, r, pool, &scores);
-  return Update(entry, rng, scores, pool);
+  result.changed = Update(entry, rng, scores, pool);
+  return result;
 }
 
 }  // namespace nsc

@@ -32,6 +32,18 @@ enum class CacheUpdateStrategy {
 
 std::string CacheUpdateStrategyName(CacheUpdateStrategy s);
 
+/// What one entry refresh did.
+struct CacheRefreshResult {
+  /// Ids in the new entry that were not in the old one (the CE measure of
+  /// Figure 8).
+  int changed = 0;
+  /// Known-true candidates admitted into the pool because the
+  /// false-negative filter exhausted its redraw budget (0 when filtering
+  /// is off). Exposed so the filter's effectiveness is observable instead
+  /// of failing silently on keys whose candidate space is mostly true.
+  int true_admissions = 0;
+};
+
 /// Refreshes cache entries against a model's current scores.
 class CacheUpdater {
  public:
@@ -51,14 +63,13 @@ class CacheUpdater {
         filter_index_(filter_index) {}
 
   /// Refreshes a head-cache entry for key (r, t): entry holds candidate
-  /// heads h̄ scored by f(h̄, r, t). Returns the number of ids in the new
-  /// entry that were not in the old one (the CE measure of Figure 8).
-  int UpdateHeadEntry(std::vector<EntityId>* entry, RelationId r, EntityId t,
-                      Rng* rng) const;
+  /// heads h̄ scored by f(h̄, r, t).
+  CacheRefreshResult UpdateHeadEntry(std::vector<EntityId>* entry,
+                                     RelationId r, EntityId t, Rng* rng) const;
 
   /// Refreshes a tail-cache entry for key (h, r) with scores f(h, r, t̄).
-  int UpdateTailEntry(std::vector<EntityId>* entry, EntityId h, RelationId r,
-                      Rng* rng) const;
+  CacheRefreshResult UpdateTailEntry(std::vector<EntityId>* entry, EntityId h,
+                                     RelationId r, Rng* rng) const;
 
   CacheUpdateStrategy strategy() const { return strategy_; }
   int n2() const { return n2_; }
@@ -68,10 +79,11 @@ class CacheUpdater {
              const std::vector<double>& scores,
              const std::vector<EntityId>& pool) const;
   // Builds pool = entry ∪ N2 random entities and scores it. `is_known`
-  // tests whether a candidate would form a known-true triple.
-  void BuildPool(const std::vector<EntityId>& entry, Rng* rng,
-                 const std::function<bool(EntityId)>& is_known,
-                 std::vector<EntityId>* pool) const;
+  // tests whether a candidate would form a known-true triple. Returns the
+  // number of known-true candidates admitted after retry exhaustion.
+  int BuildPool(const std::vector<EntityId>& entry, Rng* rng,
+                const std::function<bool(EntityId)>& is_known,
+                std::vector<EntityId>* pool) const;
 
   const KgeModel* model_;
   CacheUpdateStrategy strategy_;

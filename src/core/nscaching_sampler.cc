@@ -8,8 +8,10 @@ NSCachingSampler::NSCachingSampler(const KgeModel* model, const KgIndex* index,
                                    const NSCachingConfig& config)
     : config_(config),
       model_(model),
-      head_cache_(config.n1, model->num_entities(), config.max_cache_entries),
-      tail_cache_(config.n1, model->num_entities(), config.max_cache_entries),
+      head_cache_(config.n1, model->num_entities(), config.max_cache_entries,
+                  config.ResolvedCacheShards()),
+      tail_cache_(config.n1, model->num_entities(), config.max_cache_entries,
+                  config.ResolvedCacheShards()),
       selector_(model, config.select_strategy),
       updater_(model, config.update_strategy, config.n2,
                config.filter_true_triples ? index : nullptr),
@@ -24,14 +26,37 @@ void NSCachingSampler::BeginEpoch(int epoch) {
 }
 
 NegativeSample NSCachingSampler::Sample(const Triple& pos, Rng* rng) {
-  // Step 5: index both caches.
-  auto& head_entry = head_cache_.GetOrInit(PackRt(pos.r, pos.t), rng);
-  auto& tail_entry = tail_cache_.GetOrInit(PackHr(pos.h, pos.r), rng);
-
-  // Step 6: sample h̄ and t̄ from the cached candidates.
-  const EntityId h_bar = selector_.SelectHead(head_entry, pos.r, pos.t, rng);
-  const EntityId t_bar = selector_.SelectTail(tail_entry, pos.h, pos.r, rng);
-  ++stats_.selections;
+  // Steps 5, 6 and 8 of Algorithm 2 run per cache side, each side under
+  // its entry's shard lock: index the cache (lazy init), sample the
+  // candidate, refresh the entry with the current model scores. The two
+  // sides lock sequentially — never both at once — so workers cannot
+  // deadlock however the keys map to shards.
+  EntityId h_bar;
+  {
+    TripletCache::LockedEntry head =
+        head_cache_.Acquire(PackRt(pos.r, pos.t), rng);
+    h_bar = selector_.SelectHead(head.candidates(), pos.r, pos.t, rng);
+    if (updates_enabled_) {
+      const CacheRefreshResult r =
+          updater_.UpdateHeadEntry(&head.candidates(), pos.r, pos.t, rng);
+      stats_.AddRefresh(r.changed, r.true_admissions);
+    }
+  }
+  EntityId t_bar;
+  {
+    TripletCache::LockedEntry tail =
+        tail_cache_.Acquire(PackHr(pos.h, pos.r), rng);
+    t_bar = selector_.SelectTail(tail.candidates(), pos.h, pos.r, rng);
+    if (updates_enabled_) {
+      const CacheRefreshResult r =
+          updater_.UpdateTailEntry(&tail.candidates(), pos.h, pos.r, rng);
+      stats_.AddRefresh(r.changed, r.true_admissions);
+    }
+  }
+  // Both h̄ and t̄ were drawn from the caches (step 6), so the "negatives
+  // drawn from the cache" counter advances by 2 — even though step 7 keeps
+  // only one of them.
+  stats_.AddSelections(2);
 
   // Step 7: choose between (h̄, r, t) and (h, r, t̄).
   NegativeSample out;
@@ -39,15 +64,6 @@ NegativeSample NSCachingSampler::Sample(const Triple& pos, Rng* rng) {
   out.triple = out.side == CorruptionSide::kHead
                    ? Corrupt(pos, CorruptionSide::kHead, h_bar)
                    : Corrupt(pos, CorruptionSide::kTail, t_bar);
-
-  // Step 8: refresh both entries with the current model scores.
-  if (updates_enabled_) {
-    stats_.changed_elements +=
-        updater_.UpdateHeadEntry(&head_entry, pos.r, pos.t, rng);
-    stats_.changed_elements +=
-        updater_.UpdateTailEntry(&tail_entry, pos.h, pos.r, rng);
-    stats_.updates += 2;
-  }
   return out;
 }
 

@@ -44,6 +44,20 @@ struct NSCachingConfig {
   /// the conclusion's "millions-scale KG" future-work knob — see
   /// TripletCache.
   size_t max_cache_entries = 0;
+  /// Lock-striping factor of each TripletCache, so Sample() can run
+  /// concurrently inside Hogwild workers. 0 = auto: 16 shards when the
+  /// cache is unbounded; 1 shard when max_cache_entries > 0 (a single
+  /// shard preserves the exact global-LRU eviction order — with more, the
+  /// bound and LRU order are maintained per shard). The shard count never
+  /// affects cache *content* for unbounded caches (lazy init consumes the
+  /// caller's Rng identically), only contention.
+  int cache_shards = 0;
+
+  /// cache_shards with the auto rule applied.
+  int ResolvedCacheShards() const {
+    if (cache_shards > 0) return cache_shards;
+    return max_cache_entries == 0 ? 16 : 1;
+  }
 };
 
 class NSCachingSampler : public NegativeSampler {
@@ -56,16 +70,26 @@ class NSCachingSampler : public NegativeSampler {
 
   std::string name() const override { return "nscaching"; }
 
+  /// Thread-safe: may be called concurrently from Hogwild workers with
+  /// per-worker Rng streams. Each cache side (select + refresh) runs under
+  /// its entry's shard lock; stats are accounted atomically.
   NegativeSample Sample(const Triple& pos, Rng* rng) override;
 
+  /// NSCaching opts into in-worker sampling (see NegativeSampler): the
+  /// caches are sharded and the counters atomic, so the trainer routes it
+  /// through the full-Hogwild path instead of a serial per-batch pre-pass.
+  bool thread_safe_sampling() const override { return true; }
+
+  /// Not thread-safe; call only between batches/epochs (the trainer does).
   void BeginEpoch(int epoch) override;
 
   /// Read access for analysis / the Table VI cache-evolution experiment.
   const TripletCache& head_cache() const { return head_cache_; }
   const TripletCache& tail_cache() const { return tail_cache_; }
 
-  /// Counters since the last ResetStats() (CE of Figure 8, etc.).
-  const CacheStats& stats() const { return stats_; }
+  /// Snapshot of the counters since the last ResetStats() (CE of
+  /// Figure 8, etc.). Exact whenever no worker is mid-Sample.
+  CacheStats stats() const { return stats_.Snapshot(); }
   void ResetStats() { stats_.Reset(); }
 
   const NSCachingConfig& config() const { return config_; }
@@ -79,7 +103,9 @@ class NSCachingSampler : public NegativeSampler {
   CacheSelector selector_;
   CacheUpdater updater_;
   SideChooser side_chooser_;
-  CacheStats stats_;
+  AtomicCacheStats stats_;
+  // Written by BeginEpoch (between batches), read by workers; the thread
+  // pool's task handoff orders those accesses.
   bool updates_enabled_ = true;
 };
 

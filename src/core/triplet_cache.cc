@@ -5,34 +5,56 @@
 namespace nsc {
 
 TripletCache::TripletCache(int capacity, int32_t num_entities,
-                           size_t max_entries)
+                           size_t max_entries, int num_shards)
     : capacity_(capacity),
       num_entities_(num_entities),
       max_entries_(max_entries) {
   CHECK_GT(capacity, 0);
   CHECK_GT(num_entities, 0);
+  CHECK_GT(num_shards, 0);
+  shard_max_entries_ =
+      max_entries == 0
+          ? 0
+          : (max_entries + static_cast<size_t>(num_shards) - 1) /
+                static_cast<size_t>(num_shards);
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
 }
 
-void TripletCache::Touch(uint64_t key, Entry* entry) {
-  if (max_entries_ == 0) return;
-  lru_.erase(entry->lru_pos);
-  lru_.push_front(key);
-  entry->lru_pos = lru_.begin();
+TripletCache::Shard& TripletCache::ShardFor(uint64_t key) const {
+  if (shards_.size() == 1) return *shards_[0];
+  // splitmix64 finalizer: cache keys are packed id pairs whose low bits
+  // carry little entropy, so mix before striping.
+  uint64_t k = key;
+  k = (k ^ (k >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  k = (k ^ (k >> 27)) * 0x94D049BB133111EBULL;
+  k ^= k >> 31;
+  return *shards_[k % shards_.size()];
 }
 
-std::vector<EntityId>& TripletCache::GetOrInit(uint64_t key, Rng* rng) {
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    Touch(key, &it->second);
-    return it->second.candidates;
+void TripletCache::Touch(Shard* shard, uint64_t key, Entry* entry) {
+  if (shard_max_entries_ == 0) return;
+  shard->lru.erase(entry->lru_pos);
+  shard->lru.push_front(key);
+  entry->lru_pos = shard->lru.begin();
+}
+
+std::vector<EntityId>* TripletCache::GetOrInitLocked(Shard* shard,
+                                                     uint64_t key, Rng* rng) {
+  auto it = shard->entries.find(key);
+  if (it != shard->entries.end()) {
+    Touch(shard, key, &it->second);
+    return &it->second.candidates;
   }
 
-  if (max_entries_ > 0 && entries_.size() >= max_entries_) {
+  if (shard_max_entries_ > 0 && shard->entries.size() >= shard_max_entries_) {
     // Evict the least-recently-touched key to stay within the bound.
-    const uint64_t victim = lru_.back();
-    lru_.pop_back();
-    entries_.erase(victim);
-    ++evictions_;
+    const uint64_t victim = shard->lru.back();
+    shard->lru.pop_back();
+    shard->entries.erase(victim);
+    ++shard->evictions;
   }
 
   Entry entry;
@@ -41,16 +63,57 @@ std::vector<EntityId>& TripletCache::GetOrInit(uint64_t key, Rng* rng) {
     entry.candidates[i] = static_cast<EntityId>(
         rng->UniformInt(static_cast<uint64_t>(num_entities_)));
   }
-  if (max_entries_ > 0) {
-    lru_.push_front(key);
-    entry.lru_pos = lru_.begin();
+  if (shard_max_entries_ > 0) {
+    shard->lru.push_front(key);
+    entry.lru_pos = shard->lru.begin();
   }
-  return entries_.emplace(key, std::move(entry)).first->second.candidates;
+  return &shard->entries.emplace(key, std::move(entry)).first->second.candidates;
+}
+
+TripletCache::LockedEntry TripletCache::Acquire(uint64_t key, Rng* rng) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  std::vector<EntityId>* candidates = GetOrInitLocked(&shard, key, rng);
+  return LockedEntry(std::move(lock), candidates);
+}
+
+std::vector<EntityId>& TripletCache::GetOrInit(uint64_t key, Rng* rng) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return *GetOrInitLocked(&shard, key, rng);
 }
 
 const std::vector<EntityId>* TripletCache::Find(uint64_t key) const {
-  auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : &it->second.candidates;
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  return it == shard.entries.end() ? nullptr : &it->second.candidates;
+}
+
+size_t TripletCache::num_entries() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+size_t TripletCache::evictions() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->evictions;
+  }
+  return total;
+}
+
+void TripletCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+    shard->lru.clear();
+  }
 }
 
 }  // namespace nsc

@@ -11,11 +11,22 @@
 // implementation. Because many positives share an (r, t) or (h, r) pair
 // (1-N/N-1/N-N relations), the number of entries is far below |S| — the
 // space argument of §III-B3.
+//
+// Sharding / thread safety: the key space is partitioned into `num_shards`
+// lock-striped shards (hashed key -> shard), each with its own map, LRU
+// list and mutex, so Hogwild workers can select from and refresh disjoint
+// entries concurrently. Acquire() hands out an entry together with its
+// shard lock; GetOrInit()/Find() are the legacy single-threaded accessors.
+// Lazy initialisation consumes the caller's Rng identically regardless of
+// the shard count, so an unbounded cache produces bit-for-bit the same
+// entries whether it has 1 shard or 64 (pinned by cache_stress_test).
 #ifndef NSCACHING_CORE_TRIPLET_CACHE_H_
 #define NSCACHING_CORE_TRIPLET_CACHE_H_
 
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -24,7 +35,8 @@
 
 namespace nsc {
 
-/// One key -> N1 candidate entities map with lazy random initialisation.
+/// One key -> N1 candidate entities map with lazy random initialisation,
+/// lock-striped into shards for concurrent access.
 ///
 /// The paper's conclusion flags cache memory as the obstacle at
 /// millions-scale KGs and names hashing as future work; `max_entries`
@@ -32,49 +44,94 @@ namespace nsc {
 /// and evicts the least-recently-touched one on overflow (an evicted key
 /// is re-initialised randomly if touched again — it simply restarts its
 /// warm-up). `max_entries = 0` keeps the paper's unbounded behaviour.
+/// With more than one shard the bound and the LRU order are maintained
+/// per shard (cap = ceil(max_entries / num_shards)); a single shard
+/// reproduces the exact global-LRU semantics.
 class TripletCache {
  public:
-  /// `capacity` is N1; `num_entities` bounds the random initial content.
-  TripletCache(int capacity, int32_t num_entities, size_t max_entries = 0);
+  /// `capacity` is N1; `num_entities` bounds the random initial content;
+  /// `num_shards` (>= 1) is the lock-striping factor.
+  TripletCache(int capacity, int32_t num_entities, size_t max_entries = 0,
+               int num_shards = 1);
+
+  /// An entry plus its held shard lock. The candidates vector may be read
+  /// and written freely until the handle is destroyed; the shard (and so
+  /// every other key hashing to it) stays locked for the handle's
+  /// lifetime, so keep the critical section short. Never hold two handles
+  /// from the same cache at once (self-deadlock when the keys share a
+  /// shard).
+  class LockedEntry {
+   public:
+    std::vector<EntityId>& candidates() const { return *candidates_; }
+
+   private:
+    friend class TripletCache;
+    LockedEntry(std::unique_lock<std::mutex> lock,
+                std::vector<EntityId>* candidates)
+        : lock_(std::move(lock)), candidates_(candidates) {}
+
+    std::unique_lock<std::mutex> lock_;
+    std::vector<EntityId>* candidates_;
+  };
+
+  /// Thread-safe GetOrInit: locks the key's shard, creates the entry with
+  /// `capacity` uniform random entities when absent, and returns it with
+  /// the lock held.
+  LockedEntry Acquire(uint64_t key, Rng* rng);
 
   /// Returns the entry for `key`, creating it with `capacity` uniform
-  /// random entities when absent.
+  /// random entities when absent. Single-threaded use only: the returned
+  /// reference is unguarded (it stays valid under later inserts — but not
+  /// under eviction when max_entries > 0, exactly as before sharding).
   std::vector<EntityId>& GetOrInit(uint64_t key, Rng* rng);
 
-  /// Returns the entry or nullptr when the key was never touched.
+  /// Returns the entry or nullptr when the key was never touched. The
+  /// shard lock is taken for the lookup but released on return, so only
+  /// call this while no other thread is mutating the cache.
   const std::vector<EntityId>* Find(uint64_t key) const;
 
   int capacity() const { return capacity_; }
-  size_t num_entries() const { return entries_.size(); }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Total live keys across all shards.
+  size_t num_entries() const;
 
   /// Total cached ids = num_entries() * N1 — the memory footprint
   /// discussed in §III-B3.
-  size_t num_cached_ids() const { return entries_.size() * capacity_; }
+  size_t num_cached_ids() const { return num_entries() * capacity_; }
 
-  void Clear() {
-    entries_.clear();
-    lru_.clear();
-  }
+  void Clear();
 
   size_t max_entries() const { return max_entries_; }
-  /// Number of entries discarded due to the memory bound.
-  size_t evictions() const { return evictions_; }
+  /// Number of entries discarded due to the memory bound (all shards).
+  size_t evictions() const;
 
  private:
   struct Entry {
     std::vector<EntityId> candidates;
-    // Position in lru_ (valid only when max_entries_ > 0).
+    // Position in the owning shard's lru (valid only when bounded).
     std::list<uint64_t>::iterator lru_pos;
   };
 
-  void Touch(uint64_t key, Entry* entry);
+  /// One lock stripe: its own map, LRU list and eviction counter.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Entry> entries;
+    std::list<uint64_t> lru;  // Front = most recently touched.
+    size_t evictions = 0;
+  };
+
+  Shard& ShardFor(uint64_t key) const;
+  /// GetOrInit body; the caller must hold `shard.mu`.
+  std::vector<EntityId>* GetOrInitLocked(Shard* shard, uint64_t key, Rng* rng);
+  void Touch(Shard* shard, uint64_t key, Entry* entry);
 
   int capacity_;
   int32_t num_entities_;
-  size_t max_entries_;
-  size_t evictions_ = 0;
-  std::unordered_map<uint64_t, Entry> entries_;
-  std::list<uint64_t> lru_;  // Front = most recently touched.
+  size_t max_entries_;        // Requested global bound (0 = unbounded).
+  size_t shard_max_entries_;  // Per-shard bound derived from it.
+  // unique_ptr because Shard owns a mutex (immovable).
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace nsc

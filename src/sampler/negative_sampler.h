@@ -24,9 +24,10 @@ struct NegativeSample {
   CorruptionSide side = CorruptionSide::kHead;
 };
 
-/// Stateful negative sampler. All methods are called from the (single)
-/// training thread; samplers needing the current embedding scores hold a
-/// pointer to the model they serve.
+/// Stateful negative sampler. Samplers needing the current embedding
+/// scores hold a pointer to the model they serve. Unless
+/// thread_safe_sampling() says otherwise, all methods are called from the
+/// (single) training thread.
 class NegativeSampler {
  public:
   virtual ~NegativeSampler() = default;
@@ -45,10 +46,20 @@ class NegativeSampler {
 
   /// True when Sample() depends only on (pos, rng) — no mutable sampler
   /// state and no model parameters (uniform/Bernoulli). The trainer may
-  /// then pre-sample ahead of parameter updates without changing results
-  /// and call Sample() concurrently from worker threads. Model-coupled
-  /// samplers (NSCaching, KBGAN) must keep the default `false`.
+  /// then pre-sample ahead of parameter updates without changing results.
+  /// Model-coupled samplers (NSCaching, KBGAN) must keep the default
+  /// `false`.
   virtual bool stateless_sampling() const { return false; }
+
+  /// True when Sample() may be called concurrently from multiple worker
+  /// threads (each with its own Rng stream). The parallel trainer then
+  /// routes the sampler through the full-Hogwild path — workers draw
+  /// their own negatives inline — instead of the serial per-batch
+  /// pre-pass. Stateless samplers are implicitly thread-safe (the
+  /// default); stateful samplers must opt in by guarding their state
+  /// (NSCaching's lock-striped caches + atomic stats do; KBGAN's
+  /// generator does not).
+  virtual bool thread_safe_sampling() const { return stateless_sampling(); }
 
   /// Post-update feedback: the discriminator's score of the sampled
   /// negative. KBGAN uses it as the REINFORCE reward; others ignore it.

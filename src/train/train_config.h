@@ -24,6 +24,12 @@ struct TrainConfig {
   /// semantics (bit-for-bit reproducible); >1 = Hogwild-style lock-free
   /// parallel execution of each mini-batch; <= 0 = hardware default.
   int num_threads = 1;
+  /// Force the serial per-batch sampling pre-pass even for samplers whose
+  /// thread_safe_sampling() trait would let workers draw negatives inline.
+  /// Benchmarking/debugging knob: bench_throughput's "serial refresh" rows
+  /// measure exactly the cost this removes for NSCaching. No effect with
+  /// num_threads == 1.
+  bool force_serial_sampling = false;
   /// Project entity rows onto the scorer's norm constraint after updates.
   bool apply_entity_constraints = true;
   /// Track per-pair gradient l2 norms (Figure 10); small overhead.

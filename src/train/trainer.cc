@@ -159,19 +159,23 @@ void Trainer::RunBatchParallel(size_t lo, size_t hi) {
   for (size_t i = 0; i < b; ++i) {
     pos_batch_[i] = (*train_set_)[order_[lo + i]];
   }
-  if (sampler_->stateless_sampling()) {
+  if (sampler_->thread_safe_sampling() && !config_.force_serial_sampling) {
     // Full Hogwild: workers sample their own pairs from per-worker
     // streams and race on the shared tables (sparse updates rarely
     // collide, so the lost-update rate is negligible — the standard
-    // asynchronous-SGD argument).
+    // asynchronous-SGD argument). Thread-safe stateful samplers
+    // (NSCaching) run their select/refresh inside the workers too — the
+    // cache refresh is the paper's dominant cost, so this is where the
+    // sampler itself finally scales with cores.
     pool_->ParallelFor(0, b, [this](size_t i, int w) {
       WorkerState& ws = workers_[w];
       negs_[i] = sampler_->Sample(pos_batch_[i], &ws.rng);
       outcomes_[i] = TrainPairStep(pos_batch_[i], negs_[i], &ws);
     });
   } else {
-    // Stateful samplers are not thread-safe: draw the whole batch
-    // serially against the pre-batch parameters, then train in parallel.
+    // Thread-hostile samplers (KBGAN's generator state): draw the whole
+    // batch serially against the pre-batch parameters, then train in
+    // parallel.
     sampler_->SampleBatch(pos_batch_.data(), b, &rng_, negs_.data());
     pool_->ParallelFor(0, b, [this](size_t i, int w) {
       outcomes_[i] = TrainPairStep(pos_batch_[i], negs_[i], &workers_[w]);

@@ -131,10 +131,13 @@ class Trainer {
   /// immaterial); stateful samplers stay interleaved pair-by-pair.
   void RunBatchSerial(size_t lo, size_t hi);
 
-  /// Hogwild mini-batch pass (num_threads > 1): stateless samplers are
-  /// drawn inside the workers from per-worker RNG streams; stateful
-  /// samplers are drawn serially up front, then the pairs train in
-  /// parallel. Feedback and the observer run serially after the barrier.
+  /// Hogwild mini-batch pass (num_threads > 1): samplers whose
+  /// thread_safe_sampling() trait allows it (stateless ones, and
+  /// NSCaching with its sharded cache) are drawn inside the workers from
+  /// per-worker RNG streams — select, corrupt AND cache refresh all
+  /// parallel; the rest (KBGAN) are drawn serially up front, then only
+  /// the gradient work fans out. Feedback and the observer run serially
+  /// after the barrier.
   void RunBatchParallel(size_t lo, size_t hi);
 
   /// Closes out the epoch in flight: derives EpochStats from the running

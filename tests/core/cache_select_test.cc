@@ -70,6 +70,38 @@ TEST(CacheSelectorTest, ImportanceSamplingTracksSoftmax) {
   EXPECT_NEAR(counts[2] / double(n), std::exp(2.0) / z, 0.01);
 }
 
+TEST(CacheSelectorTest, TopBreaksTiesUniformly) {
+  // All candidates score identically (the init-time situation: fresh
+  // uniform draws against a symmetric model). Top selection must not
+  // deterministically favor the first argmax — ties break uniformly at
+  // random via the Rng.
+  KgeModel model = MakeControlledModel(std::vector<float>(10, 0.0f));
+  CacheSelector selector(&model, CacheSelectStrategy::kTop);
+  const std::vector<EntityId> entry = {2, 5, 8};
+  Rng rng(6);
+  std::map<EntityId, int> counts;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[selector.SelectHead(entry, 0, 1, &rng)];
+  for (EntityId e : entry) {
+    EXPECT_NEAR(counts[e] / double(n), 1.0 / 3.0, 0.02) << "entity " << e;
+  }
+}
+
+TEST(CacheSelectorTest, TopTieBreakOnlyAmongTied) {
+  // One candidate strictly dominates: the tie-break must never divert the
+  // pick away from the true argmax, and the tied losers stay unchosen.
+  std::vector<float> values(10, 0.0f);
+  values[5] = 1.0f;  // Fixed tail value.
+  values[7] = 9.0f;  // Unique argmax among the entry.
+  KgeModel model = MakeControlledModel(values);
+  CacheSelector selector(&model, CacheSelectStrategy::kTop);
+  const std::vector<EntityId> entry = {1, 7, 2};  // 1 and 2 tie at 0.
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(selector.SelectHead(entry, 0, 5, &rng), 7);
+  }
+}
+
 TEST(CacheSelectorTest, SelectTailUsesTailScores) {
   // f(h=1, r, t) = value_t with value_1 = 1.
   std::vector<float> values(10, 0.0f);

@@ -80,8 +80,8 @@ TEST(CacheUpdaterTest, ImportanceSamplingStillExplores) {
   CacheUpdater updater(&model, CacheUpdateStrategy::kImportanceSampling, 8);
   std::vector<EntityId> entry = {0, 1, 2, 3, 4, 5, 6, 7};
   Rng rng(4);
-  const int changed = updater.UpdateHeadEntry(&entry, 0, 1, &rng);
-  EXPECT_GT(changed, 0);
+  const CacheRefreshResult result = updater.UpdateHeadEntry(&entry, 0, 1, &rng);
+  EXPECT_GT(result.changed, 0);
 }
 
 TEST(CacheUpdaterTest, TopUpdateStagnatesOnceConverged) {
@@ -98,7 +98,7 @@ TEST(CacheUpdaterTest, TopUpdateStagnatesOnceConverged) {
   Rng rng(5);
   int total_changed = 0;
   for (int round = 0; round < 10; ++round) {
-    total_changed += updater.UpdateHeadEntry(&entry, 0, 1, &rng);
+    total_changed += updater.UpdateHeadEntry(&entry, 0, 1, &rng).changed;
   }
   EXPECT_EQ(total_changed, 0);
 }
@@ -125,10 +125,10 @@ TEST(CacheUpdaterTest, ChangedElementsCountIsAccurate) {
   std::vector<EntityId> entry = {0, 1, 2};
   const std::set<EntityId> before(entry.begin(), entry.end());
   Rng rng(7);
-  const int changed = updater.UpdateHeadEntry(&entry, 0, 1, &rng);
+  const CacheRefreshResult result = updater.UpdateHeadEntry(&entry, 0, 1, &rng);
   int actually_new = 0;
   for (EntityId e : entry) actually_new += before.count(e) == 0;
-  EXPECT_EQ(changed, actually_new);
+  EXPECT_EQ(result.changed, actually_new);
 }
 
 TEST(CacheUpdaterTest, TailUpdateUsesTailScores) {
@@ -196,6 +196,58 @@ TEST(CacheUpdaterTest, WithoutFilterTrueTriplesDominate) {
   int known_true = 0;
   for (EntityId e : entry) known_true += index.Contains({e, 0, 1});
   EXPECT_GT(known_true, 2);
+}
+
+TEST(CacheUpdaterTest, TrueAdmissionsCountedWhenFilterExhausted) {
+  // Every entity is a known-true head for (r=0, t=1): the filter's redraw
+  // budget cannot help, and each fresh draw silently admits a known-true
+  // triple. The admission count must expose that instead of reporting the
+  // filter as fully effective.
+  const int32_t num_entities = 4;
+  std::vector<float> values(num_entities, 0.0f);
+  values[1] = 1.0f;
+  TripleStore known(num_entities, 1);
+  for (EntityId h = 0; h < num_entities; ++h) known.Add({h, 0, 1});
+  const KgIndex index(known);
+  KgeModel model = MakeControlledModel(values);
+  const int n2 = 6;
+  CacheUpdater updater(&model, CacheUpdateStrategy::kImportanceSampling, n2,
+                       &index);
+  std::vector<EntityId> entry = {0, 1, 2};
+  Rng rng(11);
+  const CacheRefreshResult result = updater.UpdateHeadEntry(&entry, 0, 1, &rng);
+  // All 3 stale entry members are known-true (redrawn, admission each) and
+  // all n2 fresh draws admit too.
+  EXPECT_EQ(result.true_admissions, 3 + n2);
+}
+
+TEST(CacheUpdaterTest, NoAdmissionsWhenFilterCanSucceed) {
+  // Plenty of clean entities: 10 retries find one with probability
+  // ~1 - (5/50)^10, so admissions stay at zero.
+  std::vector<float> values(50, 0.0f);
+  values[1] = 1.0f;
+  TripleStore known(50, 1);
+  for (EntityId h = 45; h < 50; ++h) known.Add({h, 0, 1});
+  const KgIndex index(known);
+  KgeModel model = MakeControlledModel(values);
+  CacheUpdater updater(&model, CacheUpdateStrategy::kImportanceSampling, 10,
+                       &index);
+  std::vector<EntityId> entry = {0, 2, 3};
+  Rng rng(12);
+  int admissions = 0;
+  for (int round = 0; round < 20; ++round) {
+    admissions += updater.UpdateHeadEntry(&entry, 0, 1, &rng).true_admissions;
+  }
+  EXPECT_EQ(admissions, 0);
+}
+
+TEST(CacheUpdaterTest, NoAdmissionsWithoutFilter) {
+  KgeModel model = MakeControlledModel(std::vector<float>(20, 0.0f));
+  CacheUpdater updater(&model, CacheUpdateStrategy::kUniform, 10,
+                       /*filter_index=*/nullptr);
+  std::vector<EntityId> entry = {0, 1, 2};
+  Rng rng(13);
+  EXPECT_EQ(updater.UpdateHeadEntry(&entry, 0, 1, &rng).true_admissions, 0);
 }
 
 TEST(CacheUpdateStrategyTest, Names) {

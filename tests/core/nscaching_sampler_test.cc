@@ -105,7 +105,42 @@ TEST(NSCachingSamplerTest, UpdatesRefreshBothCaches) {
   EXPECT_TRUE(sampler.updates_enabled());
   sampler.Sample({3, 0, 8}, &rng);
   EXPECT_EQ(sampler.stats().updates, 2);  // Head + tail entry refreshed.
-  EXPECT_EQ(sampler.stats().selections, 1);
+  EXPECT_EQ(sampler.stats().selections, 2);  // h̄ AND t̄ drawn from cache.
+}
+
+TEST(NSCachingSamplerTest, SelectionsCountBothCacheDraws) {
+  // Step 6 of Algorithm 2 draws a head candidate h̄ AND a tail candidate
+  // t̄ from the caches before step 7 keeps one of them, so the "negatives
+  // drawn from the cache" counter advances by exactly 2 per Sample() —
+  // counting 1 undercounted cache traffic by half.
+  KgeModel model = MakeModel();
+  const TripleStore store = MakeStore();
+  const KgIndex index(store);
+  NSCachingSampler sampler(&model, &index, SmallConfig());
+  Rng rng(12);
+  const int kSamples = 25;
+  for (int i = 0; i < kSamples; ++i) sampler.Sample({3, 0, 8}, &rng);
+  EXPECT_EQ(sampler.stats().selections, 2 * kSamples);
+}
+
+TEST(NSCachingSamplerTest, FilterDefeatAdmissionsAreCounted) {
+  // Pathological key: EVERY entity is a known-true head for (r=0, t=1),
+  // so the false-negative filter can never find a clean fresh candidate
+  // and must admit known-true triples after its redraw budget. Those
+  // silent admissions have to surface in the stats.
+  const int32_t num_entities = 4;
+  TripleStore store(num_entities, 2);
+  for (EntityId h = 0; h < num_entities; ++h) store.Add({h, 0, 1});
+  const KgIndex index(store);
+  KgeModel model(num_entities, 2, 8, MakeScoringFunction("transe"));
+  Rng init_rng(1);
+  model.InitXavier(&init_rng);
+  NSCachingConfig config = SmallConfig();
+  ASSERT_TRUE(config.filter_true_triples);
+  NSCachingSampler sampler(&model, &index, config);
+  Rng rng(13);
+  sampler.Sample({0, 0, 1}, &rng);  // Head-side pool: all draws admit.
+  EXPECT_GT(sampler.stats().true_admissions, 0);
 }
 
 TEST(NSCachingSamplerTest, LazyUpdateSchedule) {
@@ -190,6 +225,7 @@ TEST(NSCachingSamplerTest, StatsResetWorks) {
   EXPECT_EQ(sampler.stats().selections, 0);
   EXPECT_EQ(sampler.stats().updates, 0);
   EXPECT_EQ(sampler.stats().changed_elements, 0);
+  EXPECT_EQ(sampler.stats().true_admissions, 0);
 }
 
 TEST(CacheStatsTest, MeanChangedElements) {

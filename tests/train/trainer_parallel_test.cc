@@ -210,6 +210,60 @@ TEST(TrainerParallelTest, HogwildWithStatefulSamplerTrains) {
   EXPECT_LT(last.mean_loss, first.mean_loss);
 }
 
+TEST(TrainerParallelTest, HogwildNSCachingSamplesInsideWorkers) {
+  // With thread_safe_sampling(), NSCaching's select/refresh runs inside
+  // the Hogwild workers. The atomic stats pin the accounting: exactly two
+  // cache draws and two refreshes per positive, with nothing lost to
+  // concurrent increments.
+  const Dataset data = SmallDataset();
+  const KgIndex index(data.train);
+  KgeModel model(data.num_entities(), data.num_relations(), 12,
+                 MakeScoringFunction("transe"));
+  Rng rng(1);
+  model.InitXavier(&rng);
+  NSCachingConfig nsc_config;
+  nsc_config.n1 = 10;
+  nsc_config.n2 = 10;
+  NSCachingSampler sampler(&model, &index, nsc_config);
+  ASSERT_TRUE(sampler.thread_safe_sampling());
+  ASSERT_FALSE(sampler.stateless_sampling());
+  TrainConfig config = SmallTrainConfig();
+  config.batch_size = 64;
+  config.num_threads = 4;
+  Trainer trainer(&model, &data.train, &sampler, config);
+  trainer.RunEpoch();
+  const int64_t n = static_cast<int64_t>(data.train.size());
+  EXPECT_EQ(sampler.stats().selections, 2 * n);
+  EXPECT_EQ(sampler.stats().updates, 2 * n);
+}
+
+TEST(TrainerParallelTest, ForceSerialSamplingStillTrains) {
+  // The benchmarking knob that pins sampling to the serial pre-pass must
+  // keep working under threads (it is the "serial refresh" baseline of
+  // bench_throughput's NSCaching mode).
+  const Dataset data = SmallDataset();
+  const KgIndex index(data.train);
+  KgeModel model(data.num_entities(), data.num_relations(), 12,
+                 MakeScoringFunction("transe"));
+  Rng rng(1);
+  model.InitXavier(&rng);
+  NSCachingConfig nsc_config;
+  nsc_config.n1 = 10;
+  nsc_config.n2 = 10;
+  NSCachingSampler sampler(&model, &index, nsc_config);
+  TrainConfig config = SmallTrainConfig();
+  config.batch_size = 64;
+  config.num_threads = 3;
+  config.force_serial_sampling = true;
+  Trainer trainer(&model, &data.train, &sampler, config);
+  const EpochStats first = trainer.RunEpoch();
+  EpochStats last = first;
+  for (int e = 1; e < 8; ++e) last = trainer.RunEpoch();
+  EXPECT_LT(last.mean_loss, first.mean_loss);
+  EXPECT_EQ(sampler.stats().selections,
+            2 * static_cast<int64_t>(data.train.size()) * 8);
+}
+
 TEST(TrainerParallelTest, ObserverSeesEveryPairSeriallyUnderThreads) {
   const Dataset data = SmallDataset();
   KgeModel model(data.num_entities(), data.num_relations(), 12,
