@@ -16,10 +16,19 @@
 //   "sharded refresh" — select/corrupt/refresh run inside the Hogwild
 //                       workers against the lock-striped cache shards.
 //
+// A kernel microbench section precedes the training runs: raw ScoreBatch
+// and BackwardBatch throughput (triples/sec and effective GB/s) for the
+// SIMD-accelerated scorers, forced-scalar vs the active dispatch path, on
+// the padded table layout — the attribution row for any reported kernel
+// speedup. The banner names the dispatch path so recorded numbers are
+// attributable to a kernel variant (NSC_FORCE_SCALAR=1 re-runs everything
+// on the scalar path).
+//
 // Knobs: NSC_SCALE / NSC_EPOCHS / NSC_DIM / NSC_SEED (see bench_common.h)
 // plus NSC_THREADS (comma-free max thread count to sweep, default 4).
-// Args: --sampler=bernoulli|nscaching|all (default all) filters the
-// workload list.
+// Args: --sampler=bernoulli|nscaching|all (default all) and
+// --scorer=transe|distmult|complex|all (default all) filter the workload
+// and kernel lists.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -28,9 +37,12 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "embedding/initializer.h"
 #include "kg/kg_index.h"
 #include "sampler/bernoulli_sampler.h"
 #include "train/trainer.h"
+#include "util/simd.h"
+#include "util/stopwatch.h"
 #include "util/text_table.h"
 #include "util/thread_pool.h"
 
@@ -90,6 +102,113 @@ RunResult MeasureRun(const Dataset& data, const KgIndex& index,
   return result;
 }
 
+// ---- Kernel microbench -----------------------------------------------------
+
+struct KernelResult {
+  double score_tps = 0.0;     // ScoreBatch triples/sec.
+  double score_gbps = 0.0;    // Effective bandwidth of ScoreBatch.
+  double backward_tps = 0.0;  // BackwardBatch triples/sec.
+};
+
+// Raw batched-kernel throughput on a padded table: repeated ScoreBatch /
+// BackwardBatch calls over a fixed random pointer batch (the cache-refresh
+// shape: large n, reused rows), timed for ~0.2s each after warmup.
+KernelResult MeasureKernel(const std::string& scorer_name, int dim,
+                           simd::Path path, uint64_t seed) {
+  const std::unique_ptr<ScoringFunction> scorer =
+      MakeScoringFunction(scorer_name);
+  const int32_t kEntities = 4096;
+  const int32_t kRelations = 64;
+  const size_t n = 4096;
+  EmbeddingTable entities(kEntities, scorer->entity_width(dim),
+                          simd::kPadLanes);
+  EmbeddingTable relations(kRelations, scorer->relation_width(dim),
+                           simd::kPadLanes);
+  Rng rng(seed);
+  UniformInit(&entities, -0.5, 0.5, &rng);
+  UniformInit(&relations, -0.5, 0.5, &rng);
+
+  std::vector<const float*> h(n), r(n), t(n);
+  for (size_t i = 0; i < n; ++i) {
+    h[i] = entities.Row(static_cast<int32_t>(rng.UniformInt(kEntities)));
+    r[i] = relations.Row(static_cast<int32_t>(rng.UniformInt(kRelations)));
+    t[i] = entities.Row(static_cast<int32_t>(rng.UniformInt(kEntities)));
+  }
+  std::vector<double> out(n);
+  std::vector<float> coeff(n, 0.5f);
+  std::vector<std::vector<float>> gh(n), gr(n), gt(n);
+  std::vector<float*> pgh(n), pgr(n), pgt(n);
+  for (size_t i = 0; i < n; ++i) {
+    gh[i].assign(entities.width(), 0.0f);
+    gr[i].assign(relations.width(), 0.0f);
+    gt[i].assign(entities.width(), 0.0f);
+    pgh[i] = gh[i].data();
+    pgr[i] = gr[i].data();
+    pgt[i] = gt[i].data();
+  }
+
+  simd::ScopedForcePath force(path);
+  auto time_reps = [&](auto&& body) {
+    body();  // Warmup.
+    int reps = 0;
+    Stopwatch watch;
+    do {
+      body();
+      ++reps;
+    } while (watch.Seconds() < 0.2);
+    return static_cast<double>(reps) * n / watch.Seconds();
+  };
+
+  KernelResult result;
+  result.score_tps = time_reps([&] {
+    scorer->ScoreBatch(h.data(), r.data(), t.data(), dim, n, out.data());
+  });
+  // Bytes each scored triple touches: two entity rows + one relation row
+  // read (logical widths) + one double written.
+  const double bytes_per_triple =
+      (2.0 * entities.width() + relations.width()) * sizeof(float) +
+      sizeof(double);
+  result.score_gbps = result.score_tps * bytes_per_triple / 1e9;
+  result.backward_tps = time_reps([&] {
+    scorer->BackwardBatch(h.data(), r.data(), t.data(), dim, n, coeff.data(),
+                          pgh.data(), pgr.data(), pgt.data());
+  });
+  return result;
+}
+
+bool RunKernelMicrobench(const std::string& scorer_filter, int dim,
+                         uint64_t seed) {
+  std::printf("--- batched kernels, scalar vs %s (dim=%d, padded rows) ---\n",
+              simd::ActivePathName(), dim);
+  bool any = false;
+  TextTable table;
+  table.SetHeader({"kernel", "path", "score Mtriples/s", "score GB/s",
+                   "backward Mtriples/s", "score speedup"});
+  for (const char* name : {"transe", "distmult", "complex"}) {
+    if (scorer_filter != "all" && scorer_filter != name) continue;
+    any = true;
+    const KernelResult scalar =
+        MeasureKernel(name, dim, simd::Path::kScalar, seed);
+    auto add_row = [&](const char* path, const KernelResult& k) {
+      char s_tps[32], s_gbps[32], b_tps[32], sp[32];
+      std::snprintf(s_tps, sizeof(s_tps), "%.1f", k.score_tps / 1e6);
+      std::snprintf(s_gbps, sizeof(s_gbps), "%.2f", k.score_gbps);
+      std::snprintf(b_tps, sizeof(b_tps), "%.1f", k.backward_tps / 1e6);
+      std::snprintf(sp, sizeof(sp), "%.2fx",
+                    scalar.score_tps > 0.0 ? k.score_tps / scalar.score_tps
+                                           : 0.0);
+      table.AddRow({name, path, s_tps, s_gbps, b_tps, sp});
+    };
+    add_row("scalar", scalar);
+    if (simd::ActivePath() != simd::Path::kScalar) {
+      add_row(simd::ActivePathName(),
+              MeasureKernel(name, dim, simd::ActivePath(), seed));
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  return any;
+}
+
 }  // namespace
 }  // namespace nsc
 
@@ -97,15 +216,35 @@ int main(int argc, char** argv) {
   using namespace nsc;
 
   std::string sampler_filter = "all";
+  std::string scorer_filter = "all";
   for (int i = 1; i < argc; ++i) {
-    const char* kFlag = "--sampler=";
-    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
-      sampler_filter = argv[i] + std::strlen(kFlag);
+    const char* kSamplerFlag = "--sampler=";
+    const char* kScorerFlag = "--scorer=";
+    if (std::strncmp(argv[i], kSamplerFlag, std::strlen(kSamplerFlag)) == 0) {
+      sampler_filter = argv[i] + std::strlen(kSamplerFlag);
+    } else if (std::strncmp(argv[i], kScorerFlag, std::strlen(kScorerFlag)) ==
+               0) {
+      scorer_filter = argv[i] + std::strlen(kScorerFlag);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--sampler=bernoulli|nscaching|all]\n", argv[0]);
+                   "usage: %s [--sampler=bernoulli|nscaching|all]"
+                   " [--scorer=transe|distmult|complex|all]\n",
+                   argv[0]);
       return 1;
     }
+  }
+  // Reject unknown filter values up front — the kernel microbench always
+  // has work to do, so a typo would otherwise "succeed" while silently
+  // skipping every training workload.
+  if (sampler_filter != "all" && sampler_filter != "bernoulli" &&
+      sampler_filter != "nscaching") {
+    std::fprintf(stderr, "unknown --sampler=%s\n", sampler_filter.c_str());
+    return 1;
+  }
+  if (scorer_filter != "all" && scorer_filter != "transe" &&
+      scorer_filter != "distmult" && scorer_filter != "complex") {
+    std::fprintf(stderr, "unknown --scorer=%s\n", scorer_filter.c_str());
+    return 1;
   }
 
   bench::Settings s = bench::GetSettings();
@@ -122,8 +261,13 @@ int main(int argc, char** argv) {
               data.num_entities(), data.num_relations(), data.train.size(),
               s.dim, epochs);
   std::printf("hardware threads available: %d  (Hogwild speedup is bounded "
-              "by physical cores)\n\n",
+              "by physical cores)\n",
               DefaultThreadCount());
+  std::printf("simd dispatch: %s  (pad lanes %d floats, row alignment %zuB;"
+              " NSC_FORCE_SCALAR=1 forces scalar)\n\n",
+              simd::ActivePathName(), simd::kPadLanes, simd::kRowAlignment);
+
+  const bool any_kernel = RunKernelMicrobench(scorer_filter, s.dim, s.seed);
 
   struct Workload {
     std::string scorer;
@@ -133,6 +277,8 @@ int main(int argc, char** argv) {
   };
   const std::vector<Workload> workloads = {
       {"transe", SamplerKind::kBernoulli, "transe + bernoulli", "bernoulli"},
+      {"distmult", SamplerKind::kBernoulli, "distmult + bernoulli",
+       "bernoulli"},
       {"complex", SamplerKind::kBernoulli, "complex + bernoulli", "bernoulli"},
       {"transe", SamplerKind::kNSCaching, "transe + nscaching", "nscaching"},
   };
@@ -140,6 +286,7 @@ int main(int argc, char** argv) {
   bool any_run = false;
   for (const Workload& w : workloads) {
     if (sampler_filter != "all" && sampler_filter != w.filter_name) continue;
+    if (scorer_filter != "all" && scorer_filter != w.scorer) continue;
     any_run = true;
 
     std::vector<RunSpec> specs;
@@ -174,9 +321,9 @@ int main(int argc, char** argv) {
     std::printf("%s\n", table.Render().c_str());
   }
 
-  if (!any_run) {
-    std::fprintf(stderr, "no workload matches --sampler=%s\n",
-                 sampler_filter.c_str());
+  if (!any_run && !any_kernel) {
+    std::fprintf(stderr, "no workload matches --sampler=%s --scorer=%s\n",
+                 sampler_filter.c_str(), scorer_filter.c_str());
     return 1;
   }
 

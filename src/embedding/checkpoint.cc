@@ -8,6 +8,24 @@ namespace nsc {
 
 namespace {
 constexpr char kMagic[8] = {'N', 'S', 'C', 'K', 'P', 'T', '0', '1'};
+
+// Tables are serialised row-by-row over the logical width, so the on-disk
+// format is the compact layout regardless of the in-memory row stride
+// (padding is neither written nor read; files from pre-padding builds
+// load unchanged).
+void WriteTable(std::ofstream& out, const EmbeddingTable& table) {
+  for (int32_t r = 0; r < table.rows(); ++r) {
+    out.write(reinterpret_cast<const char*>(table.Row(r)),
+              static_cast<std::streamsize>(table.width() * sizeof(float)));
+  }
+}
+
+void ReadTable(std::ifstream& in, EmbeddingTable* table) {
+  for (int32_t r = 0; r < table->rows(); ++r) {
+    in.read(reinterpret_cast<char*>(table->Row(r)),
+            static_cast<std::streamsize>(table->width() * sizeof(float)));
+  }
+}
 }  // namespace
 
 Status SaveModel(const KgeModel& model, const std::string& path) {
@@ -22,12 +40,8 @@ Status SaveModel(const KgeModel& model, const std::string& path) {
   const int32_t shape[3] = {model.num_entities(), model.num_relations(),
                             model.dim()};
   out.write(reinterpret_cast<const char*>(shape), sizeof(shape));
-  const auto& ent = model.entity_table().data();
-  const auto& rel = model.relation_table().data();
-  out.write(reinterpret_cast<const char*>(ent.data()),
-            static_cast<std::streamsize>(ent.size() * sizeof(float)));
-  out.write(reinterpret_cast<const char*>(rel.data()),
-            static_cast<std::streamsize>(rel.size() * sizeof(float)));
+  WriteTable(out, model.entity_table());
+  WriteTable(out, model.relation_table());
   if (!out) return Status::IOError("write failed for " + path);
   return Status::OK();
 }
@@ -60,12 +74,8 @@ StatusOr<KgeModel> LoadModel(const std::string& path) {
     return Status::InvalidArgument(path + ": unknown scorer " + scorer_name);
   }
   KgeModel model(shape[0], shape[1], shape[2], std::move(scorer));
-  auto& ent = model.entity_table().data();
-  auto& rel = model.relation_table().data();
-  in.read(reinterpret_cast<char*>(ent.data()),
-          static_cast<std::streamsize>(ent.size() * sizeof(float)));
-  in.read(reinterpret_cast<char*>(rel.data()),
-          static_cast<std::streamsize>(rel.size() * sizeof(float)));
+  ReadTable(in, &model.entity_table());
+  ReadTable(in, &model.relation_table());
   if (!in) return Status::InvalidArgument(path + ": truncated tables");
   // The file must end exactly here.
   char extra;

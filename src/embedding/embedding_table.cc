@@ -6,6 +6,16 @@
 
 namespace nsc {
 
+void EmbeddingTable::CopyLogicalFrom(const EmbeddingTable& other) {
+  CHECK_EQ(rows_, other.rows());
+  CHECK_EQ(width_, other.width());
+  for (int32_t r = 0; r < rows_; ++r) {
+    const float* src = other.Row(r);
+    float* dst = Row(r);
+    for (int i = 0; i < width_; ++i) dst[i] = src[i];
+  }
+}
+
 void EmbeddingTable::ProjectRowToL2Ball(int32_t i, int prefix, float max_norm) {
   CHECK_LE(prefix, width_);
   float* row = Row(i);

@@ -23,12 +23,30 @@ BatchScratch& Scratch() {
 }  // namespace
 
 KgeModel::KgeModel(int32_t num_entities, int32_t num_relations, int dim,
-                   std::unique_ptr<ScoringFunction> scorer)
+                   std::unique_ptr<ScoringFunction> scorer,
+                   TableLayout layout)
     : dim_(dim), scorer_(std::move(scorer)) {
   CHECK(scorer_ != nullptr);
   CHECK_GT(dim, 0);
-  entities_ = EmbeddingTable(num_entities, scorer_->entity_width(dim));
-  relations_ = EmbeddingTable(num_relations, scorer_->relation_width(dim));
+  const int pad = layout == TableLayout::kPadded ? simd::kPadLanes : 1;
+  entities_ = EmbeddingTable(num_entities, scorer_->entity_width(dim), pad);
+  relations_ = EmbeddingTable(num_relations, scorer_->relation_width(dim), pad);
+}
+
+KgeModel::KgeModel(int dim, std::unique_ptr<ScoringFunction> scorer,
+                   EmbeddingTable entities, EmbeddingTable relations)
+    : dim_(dim),
+      scorer_(std::move(scorer)),
+      entities_(std::move(entities)),
+      relations_(std::move(relations)) {
+  CHECK(scorer_ != nullptr);
+  CHECK_GT(dim, 0);
+  CHECK_EQ(entities_.width(), scorer_->entity_width(dim))
+      << "entity table width does not match what scorer " << scorer_->name()
+      << " declares for dim " << dim;
+  CHECK_EQ(relations_.width(), scorer_->relation_width(dim))
+      << "relation table width does not match what scorer " << scorer_->name()
+      << " declares for dim " << dim;
 }
 
 void KgeModel::InitXavier(Rng* rng) {
@@ -89,11 +107,10 @@ void KgeModel::ScoreTailCandidates(EntityId h, RelationId r,
 }
 
 KgeModel KgeModel::Clone() const {
-  KgeModel copy(entities_.rows(), relations_.rows(), dim_,
-                MakeScoringFunction(scorer_->name()));
-  copy.entities_.data() = entities_.data();
-  copy.relations_.data() = relations_.data();
-  return copy;
+  // The adopting constructor takes exact table copies, so any layout
+  // (including non-default strides) is preserved verbatim.
+  return KgeModel(dim_, MakeScoringFunction(scorer_->name()), entities_,
+                  relations_);
 }
 
 }  // namespace nsc

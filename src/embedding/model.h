@@ -15,13 +15,28 @@
 
 namespace nsc {
 
+/// Row layout of a model's embedding tables. kPadded (the default) rounds
+/// each row stride up to simd::kPadLanes floats so rows are 64-byte
+/// aligned for the SIMD scorer kernels; kCompact is the legacy
+/// stride == width layout. Logical contents (and checkpoints, RNG
+/// streams, training trajectories) are identical under both.
+enum class TableLayout { kPadded, kCompact };
+
 /// Entity/relation embedding tables bound to a scorer.
 class KgeModel {
  public:
   /// Allocates tables sized by the scorer's widths; rows start at zero —
   /// call InitXavier (or copy from a pretrained model) before training.
   KgeModel(int32_t num_entities, int32_t num_relations, int dim,
-           std::unique_ptr<ScoringFunction> scorer);
+           std::unique_ptr<ScoringFunction> scorer,
+           TableLayout layout = TableLayout::kPadded);
+
+  /// Adopts externally built tables (checkpoint restore, future mmap
+  /// loaders). CHECK-fails unless each table's logical width matches the
+  /// width the scorer declares for `dim` — a scorer must never interpret
+  /// rows of the wrong shape.
+  KgeModel(int dim, std::unique_ptr<ScoringFunction> scorer,
+           EmbeddingTable entities, EmbeddingTable relations);
 
   /// Xavier-uniform initialisation of both tables (paper's "from scratch").
   void InitXavier(Rng* rng);
@@ -70,11 +85,13 @@ class KgeModel {
   int32_t num_relations() const { return relations_.rows(); }
 
   /// Total trainable floats — the "parameters" column of Table I.
+  /// Counts logical widths only; layout padding is not a parameter.
   size_t num_parameters() const {
-    return entities_.size() + relations_.size();
+    return entities_.logical_size() + relations_.logical_size();
   }
 
-  /// Deep copy (used to snapshot the best-validation model).
+  /// Deep copy (used to snapshot the best-validation model); preserves
+  /// the table layout.
   KgeModel Clone() const;
 
  private:

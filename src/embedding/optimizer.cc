@@ -15,13 +15,18 @@ void SgdOptimizer::Apply(EmbeddingTable* table, int32_t row,
 
 AdagradOptimizer::AdagradOptimizer(double lr, const EmbeddingTable& shape,
                                    double eps)
-    : lr_(lr), eps_(eps), accum_(shape.size(), 0.0f), width_(shape.width()) {}
+    : lr_(lr),
+      eps_(eps),
+      accum_(shape.size(), 0.0f),
+      width_(shape.width()),
+      stride_(shape.stride()) {}
 
 void AdagradOptimizer::Apply(EmbeddingTable* table, int32_t row,
                              const float* grad) {
   CHECK_EQ(table->width(), width_);
+  CHECK_EQ(table->stride(), stride_);
   float* p = table->Row(row);
-  float* a = accum_.data() + static_cast<size_t>(row) * width_;
+  float* a = accum_.data() + static_cast<size_t>(row) * stride_;
   for (int i = 0; i < width_; ++i) {
     a[i] += grad[i] * grad[i];
     p[i] -= static_cast<float>(lr_ * grad[i] / (std::sqrt(double(a[i])) + eps_));
@@ -36,16 +41,18 @@ AdamOptimizer::AdamOptimizer(double lr, const EmbeddingTable& shape,
       eps_(eps),
       m_(shape.size(), 0.0f),
       v_(shape.size(), 0.0f),
-      width_(shape.width()) {}
+      width_(shape.width()),
+      stride_(shape.stride()) {}
 
 void AdamOptimizer::Apply(EmbeddingTable* table, int32_t row,
                           const float* grad) {
   CHECK_EQ(table->width(), width_);
+  CHECK_EQ(table->stride(), stride_);
   const int64_t step = step_.load(std::memory_order_relaxed);
   CHECK_GT(step, 0) << "call BeginStep() before Apply()";
   float* p = table->Row(row);
-  float* m = m_.data() + static_cast<size_t>(row) * width_;
-  float* v = v_.data() + static_cast<size_t>(row) * width_;
+  float* m = m_.data() + static_cast<size_t>(row) * stride_;
+  float* v = v_.data() + static_cast<size_t>(row) * stride_;
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step));
   for (int i = 0; i < width_; ++i) {

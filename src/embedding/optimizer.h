@@ -54,8 +54,11 @@ class AdagradOptimizer : public Optimizer {
  private:
   double lr_;
   double eps_;
-  std::vector<float> accum_;
+  // Moment storage mirrors the table layout (rows × stride, aligned), so
+  // padded tables keep moment rows aligned too; `grad` stays logical-width.
+  AlignedFloatVector accum_;
   int width_;
+  int stride_;
 };
 
 /// Adam with default β₁=0.9, β₂=0.999 (the paper adopts Adam's defaults
@@ -77,9 +80,10 @@ class AdamOptimizer : public Optimizer {
  private:
   double lr_, beta1_, beta2_, eps_;
   std::atomic<int64_t> step_{0};
-  std::vector<float> m_;  // First moment, same shape as the table.
-  std::vector<float> v_;  // Second moment.
+  AlignedFloatVector m_;  // First moment, same rows × stride as the table.
+  AlignedFloatVector v_;  // Second moment.
   int width_;
+  int stride_;
 };
 
 /// Factory: "sgd" | "adagrad" | "adam"; `shape` supplies moment sizes.

@@ -1,5 +1,7 @@
 #include "embedding/scorers/complex.h"
 
+#include "util/simd.h"
+
 namespace nsc {
 
 // Layout: row[0..dim) = real part, row[dim..2*dim) = imaginary part.
@@ -42,46 +44,14 @@ void ComplEx::Backward(const float* h, const float* r, const float* t, int dim,
 void ComplEx::ScoreBatch(const float* const* h, const float* const* r,
                          const float* const* t, int dim, size_t n,
                          double* out) const {
-  for (size_t i = 0; i < n; ++i) {
-    const float* hr = h[i];
-    const float* hi = h[i] + dim;
-    const float* rr = r[i];
-    const float* ri = r[i] + dim;
-    const float* tr = t[i];
-    const float* ti = t[i] + dim;
-    double s = 0.0;
-    for (int k = 0; k < dim; ++k) {
-      s += double(hr[k]) * rr[k] * tr[k] + double(hi[k]) * rr[k] * ti[k] +
-           double(hr[k]) * ri[k] * ti[k] - double(hi[k]) * ri[k] * tr[k];
-    }
-    out[i] = s;
-  }
+  simd::Kernels().complex_score(h, r, t, dim, n, out);
 }
 
 void ComplEx::BackwardBatch(const float* const* h, const float* const* r,
                             const float* const* t, int dim, size_t n,
                             const float* coeff, float* const* gh,
                             float* const* gr, float* const* gt) const {
-  for (size_t i = 0; i < n; ++i) {
-    const float* hr = h[i];
-    const float* hi = h[i] + dim;
-    const float* rr = r[i];
-    const float* ri = r[i] + dim;
-    const float* tr = t[i];
-    const float* ti = t[i] + dim;
-    float* ghv = gh[i];
-    float* grv = gr[i];
-    float* gtv = gt[i];
-    const float c = coeff[i];
-    for (int k = 0; k < dim; ++k) {
-      ghv[k] += c * (rr[k] * tr[k] + ri[k] * ti[k]);
-      ghv[dim + k] += c * (rr[k] * ti[k] - ri[k] * tr[k]);
-      grv[k] += c * (hr[k] * tr[k] + hi[k] * ti[k]);
-      grv[dim + k] += c * (hr[k] * ti[k] - hi[k] * tr[k]);
-      gtv[k] += c * (hr[k] * rr[k] - hi[k] * ri[k]);
-      gtv[dim + k] += c * (hi[k] * rr[k] + hr[k] * ri[k]);
-    }
-  }
+  simd::Kernels().complex_backward(h, r, t, dim, n, coeff, gh, gr, gt);
 }
 
 }  // namespace nsc

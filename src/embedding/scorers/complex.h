@@ -25,6 +25,7 @@ class ComplEx : public ScoringFunction {
                      const float* const* t, int dim, size_t n,
                      const float* coeff, float* const* gh, float* const* gr,
                      float* const* gt) const override;
+  bool simd_accelerated() const override { return true; }
 };
 
 }  // namespace nsc

@@ -1,5 +1,7 @@
 #include "embedding/scorers/distmult.h"
 
+#include "util/simd.h"
+
 namespace nsc {
 
 double DistMult::Score(const float* h, const float* r, const float* t,
@@ -22,34 +24,14 @@ void DistMult::Backward(const float* h, const float* r, const float* t,
 void DistMult::ScoreBatch(const float* const* h, const float* const* r,
                           const float* const* t, int dim, size_t n,
                           double* out) const {
-  for (size_t i = 0; i < n; ++i) {
-    const float* hv = h[i];
-    const float* rv = r[i];
-    const float* tv = t[i];
-    double s = 0.0;
-    for (int k = 0; k < dim; ++k) s += double(hv[k]) * rv[k] * tv[k];
-    out[i] = s;
-  }
+  simd::Kernels().distmult_score(h, r, t, dim, n, out);
 }
 
 void DistMult::BackwardBatch(const float* const* h, const float* const* r,
                              const float* const* t, int dim, size_t n,
                              const float* coeff, float* const* gh,
                              float* const* gr, float* const* gt) const {
-  for (size_t i = 0; i < n; ++i) {
-    const float* hv = h[i];
-    const float* rv = r[i];
-    const float* tv = t[i];
-    float* ghv = gh[i];
-    float* grv = gr[i];
-    float* gtv = gt[i];
-    const float c = coeff[i];
-    for (int k = 0; k < dim; ++k) {
-      ghv[k] += c * rv[k] * tv[k];
-      grv[k] += c * hv[k] * tv[k];
-      gtv[k] += c * hv[k] * rv[k];
-    }
-  }
+  simd::Kernels().distmult_backward(h, r, t, dim, n, coeff, gh, gr, gt);
 }
 
 }  // namespace nsc

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/math.h"
+#include "util/simd.h"
 
 namespace nsc {
 
@@ -33,35 +34,14 @@ void TransE::Backward(const float* h, const float* r, const float* t, int dim,
 void TransE::ScoreBatch(const float* const* h, const float* const* r,
                         const float* const* t, int dim, size_t n,
                         double* out) const {
-  for (size_t i = 0; i < n; ++i) {
-    const float* hv = h[i];
-    const float* rv = r[i];
-    const float* tv = t[i];
-    double s = 0.0;
-    for (int k = 0; k < dim; ++k) s += std::fabs(hv[k] + rv[k] - tv[k]);
-    out[i] = -s;
-  }
+  simd::Kernels().transe_score(h, r, t, dim, n, out);
 }
 
 void TransE::BackwardBatch(const float* const* h, const float* const* r,
                            const float* const* t, int dim, size_t n,
                            const float* coeff, float* const* gh,
                            float* const* gr, float* const* gt) const {
-  for (size_t i = 0; i < n; ++i) {
-    const float* hv = h[i];
-    const float* rv = r[i];
-    const float* tv = t[i];
-    float* ghv = gh[i];
-    float* grv = gr[i];
-    float* gtv = gt[i];
-    const float c = coeff[i];
-    for (int k = 0; k < dim; ++k) {
-      const float sg = c * Sign(hv[k] + rv[k] - tv[k]);
-      ghv[k] -= sg;
-      grv[k] -= sg;
-      gtv[k] += sg;
-    }
-  }
+  simd::Kernels().transe_backward(h, r, t, dim, n, coeff, gh, gr, gt);
 }
 
 void TransE::ProjectEntityRow(float* row, int dim) const {

@@ -53,7 +53,8 @@ class ScoringFunction {
   /// out[i] = Score(h[i], r[i], t[i], dim). Pointer entries may repeat
   /// (e.g. the cache refresh broadcasts one (r, t) against many candidate
   /// heads). The default is a correct generic loop; hot scorers override
-  /// it with a single non-virtual inner loop per batch.
+  /// it to dispatch into the SIMD kernel layer (util/simd.h) — one
+  /// runtime-selected AVX2/NEON/scalar kernel call per batch.
   virtual void ScoreBatch(const float* const* h, const float* const* r,
                           const float* const* t, int dim, size_t n,
                           double* out) const {
@@ -77,6 +78,12 @@ class ScoringFunction {
       Backward(h[i], r[i], t[i], dim, coeff[i], gh[i], gr[i], gt[i]);
     }
   }
+
+  /// True when this scorer's batched kernels route through the SIMD
+  /// dispatch layer (util/simd.h). Scorers reporting false always run
+  /// the generic scalar loops, whatever simd::ActivePath() says — used
+  /// by the benches to attribute numbers to a kernel variant.
+  virtual bool simd_accelerated() const { return false; }
 
   /// Hard constraint applied to an entity row after each update (e.g.
   /// TransE keeps entity norms ≤ 1). Default: none.

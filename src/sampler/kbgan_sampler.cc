@@ -24,8 +24,10 @@ void KbganSampler::WarmStartGenerator(const KgeModel& pretrained) {
   CHECK_EQ(pretrained.dim(), generator_->dim())
       << "generator warm start requires matching dimension";
   CHECK(pretrained.scorer().name() == "transe");
-  generator_->entity_table().data() = pretrained.entity_table().data();
-  generator_->relation_table().data() = pretrained.relation_table().data();
+  // Row-wise logical copy: safe whatever layouts (padded/compact) the two
+  // models use, and CHECKs the row counts actually match.
+  generator_->entity_table().CopyLogicalFrom(pretrained.entity_table());
+  generator_->relation_table().CopyLogicalFrom(pretrained.relation_table());
 }
 
 NegativeSample KbganSampler::Sample(const Triple& pos, Rng* rng) {

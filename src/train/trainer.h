@@ -14,6 +14,15 @@
 // exactly the operation sequence of the legacy serial loop (retained as
 // RunEpochSerial()), bit-for-bit, so convergence results remain
 // comparable across PRs.
+//
+// The per-pair hot loop deliberately calls the single-triple scalar
+// Score/Backward (keeping the bit-for-bit contract independent of the
+// SIMD dispatch path), while all batch-shaped scoring — NSCaching's cache
+// refresh, evaluation, the future fused-loss path — flows through
+// ScoringFunction::ScoreBatch into the runtime-dispatched SIMD kernels
+// (util/simd.h). Both engines share that dispatch, so the 1-thread parity
+// holds on every path; tests that need ISA-independent numbers force the
+// scalar path via simd::ScopedForcePath.
 #ifndef NSCACHING_TRAIN_TRAINER_H_
 #define NSCACHING_TRAIN_TRAINER_H_
 

@@ -1,0 +1,227 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/simd_kernels.h"
+
+namespace nsc {
+namespace simd {
+
+namespace {
+
+// ---- Scalar kernels --------------------------------------------------------
+// These are the reference implementations: the exact loops the specialised
+// scorers ran before the dispatch layer existed. Per-triple terms are
+// formed in double precision where the originals did, so the scalar path
+// reproduces pre-SIMD training bit-for-bit.
+
+inline float Sign(float x) {
+  return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
+}
+
+void TransEScoreScalar(const float* const* h, const float* const* r,
+                       const float* const* t, int dim, std::size_t n,
+                       double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* hv = h[i];
+    const float* rv = r[i];
+    const float* tv = t[i];
+    double s = 0.0;
+    for (int k = 0; k < dim; ++k) s += std::fabs(hv[k] + rv[k] - tv[k]);
+    out[i] = -s;
+  }
+}
+
+void TransEBackwardScalar(const float* const* h, const float* const* r,
+                          const float* const* t, int dim, std::size_t n,
+                          const float* coeff, float* const* gh,
+                          float* const* gr, float* const* gt) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* hv = h[i];
+    const float* rv = r[i];
+    const float* tv = t[i];
+    float* ghv = gh[i];
+    float* grv = gr[i];
+    float* gtv = gt[i];
+    const float c = coeff[i];
+    for (int k = 0; k < dim; ++k) {
+      const float sg = c * Sign(hv[k] + rv[k] - tv[k]);
+      ghv[k] -= sg;
+      grv[k] -= sg;
+      gtv[k] += sg;
+    }
+  }
+}
+
+void DistMultScoreScalar(const float* const* h, const float* const* r,
+                         const float* const* t, int dim, std::size_t n,
+                         double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* hv = h[i];
+    const float* rv = r[i];
+    const float* tv = t[i];
+    double s = 0.0;
+    for (int k = 0; k < dim; ++k) s += double(hv[k]) * rv[k] * tv[k];
+    out[i] = s;
+  }
+}
+
+void DistMultBackwardScalar(const float* const* h, const float* const* r,
+                            const float* const* t, int dim, std::size_t n,
+                            const float* coeff, float* const* gh,
+                            float* const* gr, float* const* gt) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* hv = h[i];
+    const float* rv = r[i];
+    const float* tv = t[i];
+    float* ghv = gh[i];
+    float* grv = gr[i];
+    float* gtv = gt[i];
+    const float c = coeff[i];
+    for (int k = 0; k < dim; ++k) {
+      ghv[k] += c * rv[k] * tv[k];
+      grv[k] += c * hv[k] * tv[k];
+      gtv[k] += c * hv[k] * rv[k];
+    }
+  }
+}
+
+void ComplExScoreScalar(const float* const* h, const float* const* r,
+                        const float* const* t, int dim, std::size_t n,
+                        double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* hr = h[i];
+    const float* hi = h[i] + dim;
+    const float* rr = r[i];
+    const float* ri = r[i] + dim;
+    const float* tr = t[i];
+    const float* ti = t[i] + dim;
+    double s = 0.0;
+    for (int k = 0; k < dim; ++k) {
+      s += double(hr[k]) * rr[k] * tr[k] + double(hi[k]) * rr[k] * ti[k] +
+           double(hr[k]) * ri[k] * ti[k] - double(hi[k]) * ri[k] * tr[k];
+    }
+    out[i] = s;
+  }
+}
+
+void ComplExBackwardScalar(const float* const* h, const float* const* r,
+                           const float* const* t, int dim, std::size_t n,
+                           const float* coeff, float* const* gh,
+                           float* const* gr, float* const* gt) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* hr = h[i];
+    const float* hi = h[i] + dim;
+    const float* rr = r[i];
+    const float* ri = r[i] + dim;
+    const float* tr = t[i];
+    const float* ti = t[i] + dim;
+    float* ghv = gh[i];
+    float* grv = gr[i];
+    float* gtv = gt[i];
+    const float c = coeff[i];
+    for (int k = 0; k < dim; ++k) {
+      ghv[k] += c * (rr[k] * tr[k] + ri[k] * ti[k]);
+      ghv[dim + k] += c * (rr[k] * ti[k] - ri[k] * tr[k]);
+      grv[k] += c * (hr[k] * tr[k] + hi[k] * ti[k]);
+      grv[dim + k] += c * (hr[k] * ti[k] - hi[k] * tr[k]);
+      gtv[k] += c * (hr[k] * rr[k] - hi[k] * ri[k]);
+      gtv[dim + k] += c * (hi[k] * rr[k] + hr[k] * ri[k]);
+    }
+  }
+}
+
+const ScorerKernels kScalarKernels = {
+    TransEScoreScalar,   TransEBackwardScalar,  DistMultScoreScalar,
+    DistMultBackwardScalar, ComplExScoreScalar, ComplExBackwardScalar,
+};
+
+// ---- Dispatch --------------------------------------------------------------
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  // The kernels use explicit mul/add only (no FMA, by the parity
+  // contract), so AVX2 support alone is sufficient.
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+Path ResolveAutoPath() {
+  if (GetEnvBool("NSC_FORCE_SCALAR", false)) return Path::kScalar;
+  return BestAvailablePath();
+}
+
+// Forced override; -1 = none. Relaxed atomics suffice: tests force a path
+// from one thread before fanning work out.
+std::atomic<int> g_forced_path{-1};
+
+}  // namespace
+
+namespace internal {
+const ScorerKernels* GetScalarKernels() { return &kScalarKernels; }
+}  // namespace internal
+
+const char* PathName(Path path) {
+  switch (path) {
+    case Path::kScalar: return "scalar";
+    case Path::kAvx2: return "avx2";
+    case Path::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+bool PathAvailable(Path path) {
+  switch (path) {
+    case Path::kScalar:
+      return true;
+    case Path::kAvx2:
+      return internal::GetAvx2Kernels() != nullptr && CpuSupportsAvx2();
+    case Path::kNeon:
+      return internal::GetNeonKernels() != nullptr;
+  }
+  return false;
+}
+
+Path BestAvailablePath() {
+  if (PathAvailable(Path::kAvx2)) return Path::kAvx2;
+  if (PathAvailable(Path::kNeon)) return Path::kNeon;
+  return Path::kScalar;
+}
+
+Path ActivePath() {
+  const int forced = g_forced_path.load(std::memory_order_acquire);
+  if (forced >= 0) return static_cast<Path>(forced);
+  static const Path auto_path = ResolveAutoPath();
+  return auto_path;
+}
+
+const char* ActivePathName() { return PathName(ActivePath()); }
+
+void ForcePath(Path path) {
+  CHECK(PathAvailable(path)) << "SIMD path " << PathName(path)
+                             << " is not available on this host";
+  g_forced_path.store(static_cast<int>(path), std::memory_order_release);
+}
+
+void ClearForcedPath() {
+  g_forced_path.store(-1, std::memory_order_release);
+}
+
+const ScorerKernels& KernelsFor(Path path) {
+  CHECK(PathAvailable(path)) << "SIMD path " << PathName(path)
+                             << " is not available on this host";
+  switch (path) {
+    case Path::kAvx2: return *internal::GetAvx2Kernels();
+    case Path::kNeon: return *internal::GetNeonKernels();
+    case Path::kScalar: break;
+  }
+  return kScalarKernels;
+}
+
+}  // namespace simd
+}  // namespace nsc

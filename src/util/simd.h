@@ -1,0 +1,112 @@
+// Runtime-dispatched SIMD kernels for the batched scoring hot path.
+//
+// NSCaching makes sampling overhead negligible, so ScoreBatch/BackwardBatch
+// dominate every epoch. This layer gives the three specialised scorers
+// (TransE, DistMult, ComplEx) one vectorised inner loop per batch, chosen
+// once at runtime from what the binary was compiled with AND what the CPU
+// actually supports:
+//
+//   AVX2      — x86-64, 8-float lanes (simd_avx2.cc, built with -mavx2
+//               when the compiler supports it; safe to carry on any x86
+//               binary because the path is only taken after a CPUID check);
+//   NEON      — aarch64, 4-float lanes (baseline on that architecture);
+//   scalar    — everywhere, bit-identical to the pre-SIMD batch loops.
+//
+// Numerical contract: score kernels form each per-triple term in double
+// exactly as the scalar loops do (float products widened to double), so
+// SIMD and scalar scores differ only by reduction order — a few double
+// ULPs. Backward kernels mirror the scalar loops' float operation order
+// and do not use FMA contraction, so gradients agree to float-ULP level.
+// simd_parity_test fuzzes both claims across every scorer, dim tail, batch
+// size and table layout.
+//
+// Testing knobs: NSC_FORCE_SCALAR=1 forces the scalar path for the whole
+// process (read once, before first dispatch); ForcePath()/ScopedForcePath
+// override it programmatically within a test.
+#ifndef NSCACHING_UTIL_SIMD_H_
+#define NSCACHING_UTIL_SIMD_H_
+
+#include <cstddef>
+
+namespace nsc {
+namespace simd {
+
+/// Lane multiple (in floats) the padded EmbeddingTable layout rounds row
+/// widths up to: one AVX2 ymm register. NEON uses 4-float lanes but pads
+/// to the same multiple so the storage layout is ISA-independent — a
+/// process never mixes layouts no matter which dispatch path is active.
+inline constexpr int kPadLanes = 8;
+
+/// Byte alignment of every padded row (and of the table base pointer).
+inline constexpr std::size_t kRowAlignment = 64;
+
+/// `width` rounded up to the next multiple of kPadLanes.
+constexpr int PaddedWidth(int width) {
+  return (width + kPadLanes - 1) / kPadLanes * kPadLanes;
+}
+
+/// The dispatchable kernel implementations.
+enum class Path { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// Human-readable name ("scalar", "avx2", "neon").
+const char* PathName(Path path);
+
+/// True when `path`'s kernels are compiled into this binary and the CPU
+/// supports them (kScalar is always available).
+bool PathAvailable(Path path);
+
+/// The best available path ignoring NSC_FORCE_SCALAR and ForcePath().
+Path BestAvailablePath();
+
+/// The path batched scoring actually dispatches to right now: a forced
+/// override if one is active, else NSC_FORCE_SCALAR, else the best
+/// available path. The environment is consulted once and cached.
+Path ActivePath();
+const char* ActivePathName();
+
+/// Overrides dispatch for the whole process (CHECKs PathAvailable). Used
+/// by the parity tests to compare SIMD against forced-scalar in-process.
+void ForcePath(Path path);
+void ClearForcedPath();
+
+/// RAII override for tests.
+class ScopedForcePath {
+ public:
+  explicit ScopedForcePath(Path path) { ForcePath(path); }
+  ~ScopedForcePath() { ClearForcedPath(); }
+  ScopedForcePath(const ScopedForcePath&) = delete;
+  ScopedForcePath& operator=(const ScopedForcePath&) = delete;
+};
+
+/// Batched kernels over per-triple row pointers (the ScoringFunction
+/// ScoreBatch/BackwardBatch calling convention). `dim` is the model
+/// dimension: for ComplEx the rows are 2*dim wide ([re | im]); for TransE
+/// and DistMult they are dim wide. Backward kernels process triples in
+/// order (gradient pointers may alias across triples) and accumulate +=.
+struct ScorerKernels {
+  using ScoreFn = void (*)(const float* const* h, const float* const* r,
+                           const float* const* t, int dim, std::size_t n,
+                           double* out);
+  using BackwardFn = void (*)(const float* const* h, const float* const* r,
+                              const float* const* t, int dim, std::size_t n,
+                              const float* coeff, float* const* gh,
+                              float* const* gr, float* const* gt);
+
+  ScoreFn transe_score;
+  BackwardFn transe_backward;
+  ScoreFn distmult_score;
+  BackwardFn distmult_backward;
+  ScoreFn complex_score;
+  BackwardFn complex_backward;
+};
+
+/// Kernel table for an explicit path (CHECKs PathAvailable).
+const ScorerKernels& KernelsFor(Path path);
+
+/// Kernel table for ActivePath() — what the scorers call per batch.
+inline const ScorerKernels& Kernels() { return KernelsFor(ActivePath()); }
+
+}  // namespace simd
+}  // namespace nsc
+
+#endif  // NSCACHING_UTIL_SIMD_H_

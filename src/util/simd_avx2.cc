@@ -1,0 +1,292 @@
+// AVX2 implementations of the batched scorer kernels. This translation
+// unit is compiled with -mavx2 (see CMakeLists.txt) when the compiler
+// supports it; on other compilers/targets it degrades to a stub that
+// reports "not compiled in". The dispatcher only selects these kernels
+// after a runtime CPUID check, so shipping them in a generic x86 binary
+// is safe.
+//
+// Numerical contract (see simd.h): score terms are widened to double
+// before multiplying, exactly as the scalar loops do, so only the
+// reduction order differs; backward kernels mirror the scalar float
+// operation order (explicit mul/add intrinsics, no FMA contraction) and
+// store each gradient stream chunk-by-chunk so per-slot accumulation
+// order is preserved even when gradient pointers alias.
+#include "util/simd_kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace nsc {
+namespace simd {
+namespace {
+
+inline double HSum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d sum2 = _mm_add_pd(lo, hi);
+  const __m128d swapped = _mm_unpackhi_pd(sum2, sum2);
+  return _mm_cvtsd_f64(_mm_add_sd(sum2, swapped));
+}
+
+/// Widens the low/high halves of 8 floats to two 4-double vectors.
+inline void Widen(__m256 v, __m256d* lo, __m256d* hi) {
+  *lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+  *hi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+}
+
+/// Lane-wise sign(x) in {-1, 0, +1} as floats.
+inline __m256 SignPs(__m256 x) {
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 pos = _mm256_and_ps(_mm256_cmp_ps(x, zero, _CMP_GT_OQ), one);
+  const __m256 neg = _mm256_and_ps(_mm256_cmp_ps(zero, x, _CMP_GT_OQ), one);
+  return _mm256_sub_ps(pos, neg);
+}
+
+void TransEScoreAvx2(const float* const* h, const float* const* r,
+                     const float* const* t, int dim, std::size_t n,
+                     double* out) {
+  const __m256 abs_mask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* hv = h[i];
+    const float* rv = r[i];
+    const float* tv = t[i];
+    __m256d acc_lo = _mm256_setzero_pd();
+    __m256d acc_hi = _mm256_setzero_pd();
+    int k = 0;
+    for (; k + 8 <= dim; k += 8) {
+      const __m256 e = _mm256_sub_ps(
+          _mm256_add_ps(_mm256_loadu_ps(hv + k), _mm256_loadu_ps(rv + k)),
+          _mm256_loadu_ps(tv + k));
+      const __m256 a = _mm256_and_ps(e, abs_mask);
+      __m256d lo, hi;
+      Widen(a, &lo, &hi);
+      acc_lo = _mm256_add_pd(acc_lo, lo);
+      acc_hi = _mm256_add_pd(acc_hi, hi);
+    }
+    double s = HSum(_mm256_add_pd(acc_lo, acc_hi));
+    for (; k < dim; ++k) s += std::fabs(hv[k] + rv[k] - tv[k]);
+    out[i] = -s;
+  }
+}
+
+void TransEBackwardAvx2(const float* const* h, const float* const* r,
+                        const float* const* t, int dim, std::size_t n,
+                        const float* coeff, float* const* gh,
+                        float* const* gr, float* const* gt) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* hv = h[i];
+    const float* rv = r[i];
+    const float* tv = t[i];
+    float* ghv = gh[i];
+    float* grv = gr[i];
+    float* gtv = gt[i];
+    const float c = coeff[i];
+    const __m256 cv = _mm256_set1_ps(c);
+    int k = 0;
+    for (; k + 8 <= dim; k += 8) {
+      const __m256 e = _mm256_sub_ps(
+          _mm256_add_ps(_mm256_loadu_ps(hv + k), _mm256_loadu_ps(rv + k)),
+          _mm256_loadu_ps(tv + k));
+      const __m256 sg = _mm256_mul_ps(cv, SignPs(e));
+      _mm256_storeu_ps(ghv + k, _mm256_sub_ps(_mm256_loadu_ps(ghv + k), sg));
+      _mm256_storeu_ps(grv + k, _mm256_sub_ps(_mm256_loadu_ps(grv + k), sg));
+      _mm256_storeu_ps(gtv + k, _mm256_add_ps(_mm256_loadu_ps(gtv + k), sg));
+    }
+    for (; k < dim; ++k) {
+      const float d = hv[k] + rv[k] - tv[k];
+      const float sg = c * (d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f));
+      ghv[k] -= sg;
+      grv[k] -= sg;
+      gtv[k] += sg;
+    }
+  }
+}
+
+void DistMultScoreAvx2(const float* const* h, const float* const* r,
+                       const float* const* t, int dim, std::size_t n,
+                       double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* hv = h[i];
+    const float* rv = r[i];
+    const float* tv = t[i];
+    __m256d acc_lo = _mm256_setzero_pd();
+    __m256d acc_hi = _mm256_setzero_pd();
+    int k = 0;
+    for (; k + 8 <= dim; k += 8) {
+      __m256d h_lo, h_hi, r_lo, r_hi, t_lo, t_hi;
+      Widen(_mm256_loadu_ps(hv + k), &h_lo, &h_hi);
+      Widen(_mm256_loadu_ps(rv + k), &r_lo, &r_hi);
+      Widen(_mm256_loadu_ps(tv + k), &t_lo, &t_hi);
+      acc_lo = _mm256_add_pd(
+          acc_lo, _mm256_mul_pd(_mm256_mul_pd(h_lo, r_lo), t_lo));
+      acc_hi = _mm256_add_pd(
+          acc_hi, _mm256_mul_pd(_mm256_mul_pd(h_hi, r_hi), t_hi));
+    }
+    double s = HSum(_mm256_add_pd(acc_lo, acc_hi));
+    for (; k < dim; ++k) s += double(hv[k]) * rv[k] * tv[k];
+    out[i] = s;
+  }
+}
+
+void DistMultBackwardAvx2(const float* const* h, const float* const* r,
+                          const float* const* t, int dim, std::size_t n,
+                          const float* coeff, float* const* gh,
+                          float* const* gr, float* const* gt) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* hv = h[i];
+    const float* rv = r[i];
+    const float* tv = t[i];
+    float* ghv = gh[i];
+    float* grv = gr[i];
+    float* gtv = gt[i];
+    const float c = coeff[i];
+    const __m256 cv = _mm256_set1_ps(c);
+    int k = 0;
+    for (; k + 8 <= dim; k += 8) {
+      const __m256 hvv = _mm256_loadu_ps(hv + k);
+      const __m256 rvv = _mm256_loadu_ps(rv + k);
+      const __m256 tvv = _mm256_loadu_ps(tv + k);
+      // Scalar associativity: g += (c * x) * y.
+      const __m256 crv = _mm256_mul_ps(cv, rvv);
+      const __m256 chv = _mm256_mul_ps(cv, hvv);
+      _mm256_storeu_ps(ghv + k, _mm256_add_ps(_mm256_loadu_ps(ghv + k),
+                                              _mm256_mul_ps(crv, tvv)));
+      _mm256_storeu_ps(grv + k, _mm256_add_ps(_mm256_loadu_ps(grv + k),
+                                              _mm256_mul_ps(chv, tvv)));
+      _mm256_storeu_ps(gtv + k, _mm256_add_ps(_mm256_loadu_ps(gtv + k),
+                                              _mm256_mul_ps(chv, rvv)));
+    }
+    for (; k < dim; ++k) {
+      ghv[k] += c * rv[k] * tv[k];
+      grv[k] += c * hv[k] * tv[k];
+      gtv[k] += c * hv[k] * rv[k];
+    }
+  }
+}
+
+void ComplExScoreAvx2(const float* const* h, const float* const* r,
+                      const float* const* t, int dim, std::size_t n,
+                      double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* hr = h[i];
+    const float* hi = h[i] + dim;
+    const float* rr = r[i];
+    const float* ri = r[i] + dim;
+    const float* tr = t[i];
+    const float* ti = t[i] + dim;
+    __m256d acc = _mm256_setzero_pd();
+    int k = 0;
+    for (; k + 4 <= dim; k += 4) {
+      const __m256d hrd = _mm256_cvtps_pd(_mm_loadu_ps(hr + k));
+      const __m256d hid = _mm256_cvtps_pd(_mm_loadu_ps(hi + k));
+      const __m256d rrd = _mm256_cvtps_pd(_mm_loadu_ps(rr + k));
+      const __m256d rid = _mm256_cvtps_pd(_mm_loadu_ps(ri + k));
+      const __m256d trd = _mm256_cvtps_pd(_mm_loadu_ps(tr + k));
+      const __m256d tid = _mm256_cvtps_pd(_mm_loadu_ps(ti + k));
+      const __m256d t1 = _mm256_mul_pd(_mm256_mul_pd(hrd, rrd), trd);
+      const __m256d t2 = _mm256_mul_pd(_mm256_mul_pd(hid, rrd), tid);
+      const __m256d t3 = _mm256_mul_pd(_mm256_mul_pd(hrd, rid), tid);
+      const __m256d t4 = _mm256_mul_pd(_mm256_mul_pd(hid, rid), trd);
+      acc = _mm256_add_pd(
+          acc, _mm256_sub_pd(_mm256_add_pd(_mm256_add_pd(t1, t2), t3), t4));
+    }
+    double s = HSum(acc);
+    for (; k < dim; ++k) {
+      s += double(hr[k]) * rr[k] * tr[k] + double(hi[k]) * rr[k] * ti[k] +
+           double(hr[k]) * ri[k] * ti[k] - double(hi[k]) * ri[k] * tr[k];
+    }
+    out[i] = s;
+  }
+}
+
+void ComplExBackwardAvx2(const float* const* h, const float* const* r,
+                         const float* const* t, int dim, std::size_t n,
+                         const float* coeff, float* const* gh,
+                         float* const* gr, float* const* gt) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* hr = h[i];
+    const float* hi = h[i] + dim;
+    const float* rr = r[i];
+    const float* ri = r[i] + dim;
+    const float* tr = t[i];
+    const float* ti = t[i] + dim;
+    float* ghv = gh[i];
+    float* grv = gr[i];
+    float* gtv = gt[i];
+    const float c = coeff[i];
+    const __m256 cv = _mm256_set1_ps(c);
+    int k = 0;
+    for (; k + 8 <= dim; k += 8) {
+      const __m256 hrv = _mm256_loadu_ps(hr + k);
+      const __m256 hiv = _mm256_loadu_ps(hi + k);
+      const __m256 rrv = _mm256_loadu_ps(rr + k);
+      const __m256 riv = _mm256_loadu_ps(ri + k);
+      const __m256 trv = _mm256_loadu_ps(tr + k);
+      const __m256 tiv = _mm256_loadu_ps(ti + k);
+      // Scalar associativity: g += c * (x*y ± z*w).
+      const __m256 d_hr = _mm256_mul_ps(
+          cv, _mm256_add_ps(_mm256_mul_ps(rrv, trv), _mm256_mul_ps(riv, tiv)));
+      const __m256 d_hi = _mm256_mul_ps(
+          cv, _mm256_sub_ps(_mm256_mul_ps(rrv, tiv), _mm256_mul_ps(riv, trv)));
+      const __m256 d_rr = _mm256_mul_ps(
+          cv, _mm256_add_ps(_mm256_mul_ps(hrv, trv), _mm256_mul_ps(hiv, tiv)));
+      const __m256 d_ri = _mm256_mul_ps(
+          cv, _mm256_sub_ps(_mm256_mul_ps(hrv, tiv), _mm256_mul_ps(hiv, trv)));
+      const __m256 d_tr = _mm256_mul_ps(
+          cv, _mm256_sub_ps(_mm256_mul_ps(hrv, rrv), _mm256_mul_ps(hiv, riv)));
+      const __m256 d_ti = _mm256_mul_ps(
+          cv, _mm256_add_ps(_mm256_mul_ps(hiv, rrv), _mm256_mul_ps(hrv, riv)));
+      _mm256_storeu_ps(ghv + k,
+                       _mm256_add_ps(_mm256_loadu_ps(ghv + k), d_hr));
+      _mm256_storeu_ps(ghv + dim + k,
+                       _mm256_add_ps(_mm256_loadu_ps(ghv + dim + k), d_hi));
+      _mm256_storeu_ps(grv + k,
+                       _mm256_add_ps(_mm256_loadu_ps(grv + k), d_rr));
+      _mm256_storeu_ps(grv + dim + k,
+                       _mm256_add_ps(_mm256_loadu_ps(grv + dim + k), d_ri));
+      _mm256_storeu_ps(gtv + k,
+                       _mm256_add_ps(_mm256_loadu_ps(gtv + k), d_tr));
+      _mm256_storeu_ps(gtv + dim + k,
+                       _mm256_add_ps(_mm256_loadu_ps(gtv + dim + k), d_ti));
+    }
+    for (; k < dim; ++k) {
+      ghv[k] += c * (rr[k] * tr[k] + ri[k] * ti[k]);
+      ghv[dim + k] += c * (rr[k] * ti[k] - ri[k] * tr[k]);
+      grv[k] += c * (hr[k] * tr[k] + hi[k] * ti[k]);
+      grv[dim + k] += c * (hr[k] * ti[k] - hi[k] * tr[k]);
+      gtv[k] += c * (hr[k] * rr[k] - hi[k] * ri[k]);
+      gtv[dim + k] += c * (hi[k] * rr[k] + hr[k] * ri[k]);
+    }
+  }
+}
+
+const ScorerKernels kAvx2Kernels = {
+    TransEScoreAvx2,   TransEBackwardAvx2,  DistMultScoreAvx2,
+    DistMultBackwardAvx2, ComplExScoreAvx2, ComplExBackwardAvx2,
+};
+
+}  // namespace
+
+namespace internal {
+const ScorerKernels* GetAvx2Kernels() { return &kAvx2Kernels; }
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace nsc
+
+#else  // !defined(__AVX2__)
+
+namespace nsc {
+namespace simd {
+namespace internal {
+const ScorerKernels* GetAvx2Kernels() { return nullptr; }
+}  // namespace internal
+}  // namespace simd
+}  // namespace nsc
+
+#endif  // defined(__AVX2__)

@@ -1,0 +1,27 @@
+// Internal registry glue between simd.cc (dispatch) and the per-ISA
+// translation units. Each GetXxxKernels() returns nullptr when that ISA's
+// kernels are not compiled into this binary; availability of the CPU
+// feature itself is checked separately by the dispatcher.
+#ifndef NSCACHING_UTIL_SIMD_KERNELS_H_
+#define NSCACHING_UTIL_SIMD_KERNELS_H_
+
+#include "util/simd.h"
+
+namespace nsc {
+namespace simd {
+namespace internal {
+
+/// Always non-null; bit-identical to the pre-SIMD per-scorer batch loops.
+const ScorerKernels* GetScalarKernels();
+
+/// Non-null iff simd_avx2.cc was built with AVX2+FMA codegen.
+const ScorerKernels* GetAvx2Kernels();
+
+/// Non-null iff built for an aarch64/NEON target.
+const ScorerKernels* GetNeonKernels();
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace nsc
+
+#endif  // NSCACHING_UTIL_SIMD_KERNELS_H_

@@ -1,0 +1,285 @@
+// NEON (aarch64) implementations of the batched scorer kernels. NEON is
+// baseline on aarch64, so no special compile flags are needed; on other
+// targets this TU degrades to a "not compiled in" stub. Same numerical
+// contract as the AVX2 kernels (see simd.h): double-widened score terms,
+// scalar-order float backward, 4-float lanes.
+#include "util/simd_kernels.h"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+#include <cmath>
+
+namespace nsc {
+namespace simd {
+namespace {
+
+/// Lane-wise sign(x) in {-1, 0, +1} as floats.
+inline float32x4_t SignF32(float32x4_t x) {
+  const float32x4_t one = vdupq_n_f32(1.0f);
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  const float32x4_t pos = vbslq_f32(vcgtq_f32(x, zero), one, zero);
+  const float32x4_t neg = vbslq_f32(vcltq_f32(x, zero), one, zero);
+  return vsubq_f32(pos, neg);
+}
+
+/// Accumulates the 4 floats of `v`, widened to double, into lo/hi pairs.
+inline void AccumulateWide(float32x4_t v, float64x2_t* lo, float64x2_t* hi) {
+  *lo = vaddq_f64(*lo, vcvt_f64_f32(vget_low_f32(v)));
+  *hi = vaddq_f64(*hi, vcvt_high_f64_f32(v));
+}
+
+void TransEScoreNeon(const float* const* h, const float* const* r,
+                     const float* const* t, int dim, std::size_t n,
+                     double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* hv = h[i];
+    const float* rv = r[i];
+    const float* tv = t[i];
+    float64x2_t acc_lo = vdupq_n_f64(0.0);
+    float64x2_t acc_hi = vdupq_n_f64(0.0);
+    int k = 0;
+    for (; k + 4 <= dim; k += 4) {
+      const float32x4_t e = vsubq_f32(
+          vaddq_f32(vld1q_f32(hv + k), vld1q_f32(rv + k)), vld1q_f32(tv + k));
+      AccumulateWide(vabsq_f32(e), &acc_lo, &acc_hi);
+    }
+    double s = vaddvq_f64(vaddq_f64(acc_lo, acc_hi));
+    for (; k < dim; ++k) s += std::fabs(hv[k] + rv[k] - tv[k]);
+    out[i] = -s;
+  }
+}
+
+void TransEBackwardNeon(const float* const* h, const float* const* r,
+                        const float* const* t, int dim, std::size_t n,
+                        const float* coeff, float* const* gh,
+                        float* const* gr, float* const* gt) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* hv = h[i];
+    const float* rv = r[i];
+    const float* tv = t[i];
+    float* ghv = gh[i];
+    float* grv = gr[i];
+    float* gtv = gt[i];
+    const float c = coeff[i];
+    const float32x4_t cv = vdupq_n_f32(c);
+    int k = 0;
+    for (; k + 4 <= dim; k += 4) {
+      const float32x4_t e = vsubq_f32(
+          vaddq_f32(vld1q_f32(hv + k), vld1q_f32(rv + k)), vld1q_f32(tv + k));
+      const float32x4_t sg = vmulq_f32(cv, SignF32(e));
+      vst1q_f32(ghv + k, vsubq_f32(vld1q_f32(ghv + k), sg));
+      vst1q_f32(grv + k, vsubq_f32(vld1q_f32(grv + k), sg));
+      vst1q_f32(gtv + k, vaddq_f32(vld1q_f32(gtv + k), sg));
+    }
+    for (; k < dim; ++k) {
+      const float d = hv[k] + rv[k] - tv[k];
+      const float sg = c * (d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f));
+      ghv[k] -= sg;
+      grv[k] -= sg;
+      gtv[k] += sg;
+    }
+  }
+}
+
+void DistMultScoreNeon(const float* const* h, const float* const* r,
+                       const float* const* t, int dim, std::size_t n,
+                       double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* hv = h[i];
+    const float* rv = r[i];
+    const float* tv = t[i];
+    float64x2_t acc_lo = vdupq_n_f64(0.0);
+    float64x2_t acc_hi = vdupq_n_f64(0.0);
+    int k = 0;
+    for (; k + 4 <= dim; k += 4) {
+      const float32x4_t hvv = vld1q_f32(hv + k);
+      const float32x4_t rvv = vld1q_f32(rv + k);
+      const float32x4_t tvv = vld1q_f32(tv + k);
+      const float64x2_t h_lo = vcvt_f64_f32(vget_low_f32(hvv));
+      const float64x2_t h_hi = vcvt_high_f64_f32(hvv);
+      const float64x2_t r_lo = vcvt_f64_f32(vget_low_f32(rvv));
+      const float64x2_t r_hi = vcvt_high_f64_f32(rvv);
+      const float64x2_t t_lo = vcvt_f64_f32(vget_low_f32(tvv));
+      const float64x2_t t_hi = vcvt_high_f64_f32(tvv);
+      acc_lo = vaddq_f64(acc_lo, vmulq_f64(vmulq_f64(h_lo, r_lo), t_lo));
+      acc_hi = vaddq_f64(acc_hi, vmulq_f64(vmulq_f64(h_hi, r_hi), t_hi));
+    }
+    double s = vaddvq_f64(vaddq_f64(acc_lo, acc_hi));
+    for (; k < dim; ++k) s += double(hv[k]) * rv[k] * tv[k];
+    out[i] = s;
+  }
+}
+
+void DistMultBackwardNeon(const float* const* h, const float* const* r,
+                          const float* const* t, int dim, std::size_t n,
+                          const float* coeff, float* const* gh,
+                          float* const* gr, float* const* gt) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* hv = h[i];
+    const float* rv = r[i];
+    const float* tv = t[i];
+    float* ghv = gh[i];
+    float* grv = gr[i];
+    float* gtv = gt[i];
+    const float c = coeff[i];
+    const float32x4_t cv = vdupq_n_f32(c);
+    int k = 0;
+    for (; k + 4 <= dim; k += 4) {
+      const float32x4_t hvv = vld1q_f32(hv + k);
+      const float32x4_t rvv = vld1q_f32(rv + k);
+      const float32x4_t tvv = vld1q_f32(tv + k);
+      // Scalar associativity: g += (c * x) * y.
+      const float32x4_t crv = vmulq_f32(cv, rvv);
+      const float32x4_t chv = vmulq_f32(cv, hvv);
+      vst1q_f32(ghv + k,
+                vaddq_f32(vld1q_f32(ghv + k), vmulq_f32(crv, tvv)));
+      vst1q_f32(grv + k,
+                vaddq_f32(vld1q_f32(grv + k), vmulq_f32(chv, tvv)));
+      vst1q_f32(gtv + k,
+                vaddq_f32(vld1q_f32(gtv + k), vmulq_f32(chv, rvv)));
+    }
+    for (; k < dim; ++k) {
+      ghv[k] += c * rv[k] * tv[k];
+      grv[k] += c * hv[k] * tv[k];
+      gtv[k] += c * hv[k] * rv[k];
+    }
+  }
+}
+
+void ComplExScoreNeon(const float* const* h, const float* const* r,
+                      const float* const* t, int dim, std::size_t n,
+                      double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* hr = h[i];
+    const float* hi = h[i] + dim;
+    const float* rr = r[i];
+    const float* ri = r[i] + dim;
+    const float* tr = t[i];
+    const float* ti = t[i] + dim;
+    float64x2_t acc_lo = vdupq_n_f64(0.0);
+    float64x2_t acc_hi = vdupq_n_f64(0.0);
+    int k = 0;
+    for (; k + 4 <= dim; k += 4) {
+      const float32x4_t hrv = vld1q_f32(hr + k);
+      const float32x4_t hiv = vld1q_f32(hi + k);
+      const float32x4_t rrv = vld1q_f32(rr + k);
+      const float32x4_t riv = vld1q_f32(ri + k);
+      const float32x4_t trv = vld1q_f32(tr + k);
+      const float32x4_t tiv = vld1q_f32(ti + k);
+      for (int half = 0; half < 2; ++half) {
+        const float64x2_t hrd =
+            half ? vcvt_high_f64_f32(hrv) : vcvt_f64_f32(vget_low_f32(hrv));
+        const float64x2_t hid =
+            half ? vcvt_high_f64_f32(hiv) : vcvt_f64_f32(vget_low_f32(hiv));
+        const float64x2_t rrd =
+            half ? vcvt_high_f64_f32(rrv) : vcvt_f64_f32(vget_low_f32(rrv));
+        const float64x2_t rid =
+            half ? vcvt_high_f64_f32(riv) : vcvt_f64_f32(vget_low_f32(riv));
+        const float64x2_t trd =
+            half ? vcvt_high_f64_f32(trv) : vcvt_f64_f32(vget_low_f32(trv));
+        const float64x2_t tid =
+            half ? vcvt_high_f64_f32(tiv) : vcvt_f64_f32(vget_low_f32(tiv));
+        const float64x2_t t1 = vmulq_f64(vmulq_f64(hrd, rrd), trd);
+        const float64x2_t t2 = vmulq_f64(vmulq_f64(hid, rrd), tid);
+        const float64x2_t t3 = vmulq_f64(vmulq_f64(hrd, rid), tid);
+        const float64x2_t t4 = vmulq_f64(vmulq_f64(hid, rid), trd);
+        const float64x2_t term =
+            vsubq_f64(vaddq_f64(vaddq_f64(t1, t2), t3), t4);
+        if (half) {
+          acc_hi = vaddq_f64(acc_hi, term);
+        } else {
+          acc_lo = vaddq_f64(acc_lo, term);
+        }
+      }
+    }
+    double s = vaddvq_f64(vaddq_f64(acc_lo, acc_hi));
+    for (; k < dim; ++k) {
+      s += double(hr[k]) * rr[k] * tr[k] + double(hi[k]) * rr[k] * ti[k] +
+           double(hr[k]) * ri[k] * ti[k] - double(hi[k]) * ri[k] * tr[k];
+    }
+    out[i] = s;
+  }
+}
+
+void ComplExBackwardNeon(const float* const* h, const float* const* r,
+                         const float* const* t, int dim, std::size_t n,
+                         const float* coeff, float* const* gh,
+                         float* const* gr, float* const* gt) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* hr = h[i];
+    const float* hi = h[i] + dim;
+    const float* rr = r[i];
+    const float* ri = r[i] + dim;
+    const float* tr = t[i];
+    const float* ti = t[i] + dim;
+    float* ghv = gh[i];
+    float* grv = gr[i];
+    float* gtv = gt[i];
+    const float c = coeff[i];
+    const float32x4_t cv = vdupq_n_f32(c);
+    int k = 0;
+    for (; k + 4 <= dim; k += 4) {
+      const float32x4_t hrv = vld1q_f32(hr + k);
+      const float32x4_t hiv = vld1q_f32(hi + k);
+      const float32x4_t rrv = vld1q_f32(rr + k);
+      const float32x4_t riv = vld1q_f32(ri + k);
+      const float32x4_t trv = vld1q_f32(tr + k);
+      const float32x4_t tiv = vld1q_f32(ti + k);
+      // Scalar associativity: g += c * (x*y ± z*w).
+      const float32x4_t d_hr = vmulq_f32(
+          cv, vaddq_f32(vmulq_f32(rrv, trv), vmulq_f32(riv, tiv)));
+      const float32x4_t d_hi = vmulq_f32(
+          cv, vsubq_f32(vmulq_f32(rrv, tiv), vmulq_f32(riv, trv)));
+      const float32x4_t d_rr = vmulq_f32(
+          cv, vaddq_f32(vmulq_f32(hrv, trv), vmulq_f32(hiv, tiv)));
+      const float32x4_t d_ri = vmulq_f32(
+          cv, vsubq_f32(vmulq_f32(hrv, tiv), vmulq_f32(hiv, trv)));
+      const float32x4_t d_tr = vmulq_f32(
+          cv, vsubq_f32(vmulq_f32(hrv, rrv), vmulq_f32(hiv, riv)));
+      const float32x4_t d_ti = vmulq_f32(
+          cv, vaddq_f32(vmulq_f32(hiv, rrv), vmulq_f32(hrv, riv)));
+      vst1q_f32(ghv + k, vaddq_f32(vld1q_f32(ghv + k), d_hr));
+      vst1q_f32(ghv + dim + k, vaddq_f32(vld1q_f32(ghv + dim + k), d_hi));
+      vst1q_f32(grv + k, vaddq_f32(vld1q_f32(grv + k), d_rr));
+      vst1q_f32(grv + dim + k, vaddq_f32(vld1q_f32(grv + dim + k), d_ri));
+      vst1q_f32(gtv + k, vaddq_f32(vld1q_f32(gtv + k), d_tr));
+      vst1q_f32(gtv + dim + k, vaddq_f32(vld1q_f32(gtv + dim + k), d_ti));
+    }
+    for (; k < dim; ++k) {
+      ghv[k] += c * (rr[k] * tr[k] + ri[k] * ti[k]);
+      ghv[dim + k] += c * (rr[k] * ti[k] - ri[k] * tr[k]);
+      grv[k] += c * (hr[k] * tr[k] + hi[k] * ti[k]);
+      grv[dim + k] += c * (hr[k] * ti[k] - hi[k] * tr[k]);
+      gtv[k] += c * (hr[k] * rr[k] - hi[k] * ri[k]);
+      gtv[dim + k] += c * (hi[k] * rr[k] + hr[k] * ri[k]);
+    }
+  }
+}
+
+const ScorerKernels kNeonKernels = {
+    TransEScoreNeon,   TransEBackwardNeon,  DistMultScoreNeon,
+    DistMultBackwardNeon, ComplExScoreNeon, ComplExBackwardNeon,
+};
+
+}  // namespace
+
+namespace internal {
+const ScorerKernels* GetNeonKernels() { return &kNeonKernels; }
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace nsc
+
+#else  // !aarch64 NEON
+
+namespace nsc {
+namespace simd {
+namespace internal {
+const ScorerKernels* GetNeonKernels() { return nullptr; }
+}  // namespace internal
+}  // namespace simd
+}  // namespace nsc
+
+#endif  // defined(__aarch64__) && defined(__ARM_NEON)

@@ -3,6 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+
+#include "embedding/initializer.h"
+#include "embedding/model.h"
+#include "util/rng.h"
+#include "util/simd.h"
 
 namespace nsc {
 namespace {
@@ -11,8 +17,57 @@ TEST(EmbeddingTableTest, ShapeAndZeroInit) {
   EmbeddingTable table(5, 3);
   EXPECT_EQ(table.rows(), 5);
   EXPECT_EQ(table.width(), 3);
+  EXPECT_EQ(table.stride(), 3);
+  EXPECT_FALSE(table.padded());
   EXPECT_EQ(table.size(), 15u);
+  EXPECT_EQ(table.logical_size(), 15u);
   for (float v : table.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(EmbeddingTableTest, PaddedStrideRoundsUpToLaneMultiple) {
+  EmbeddingTable table(5, 3, simd::kPadLanes);
+  EXPECT_EQ(table.width(), 3);
+  EXPECT_EQ(table.stride(), simd::kPadLanes);
+  EXPECT_TRUE(table.padded());
+  EXPECT_EQ(table.size(), 5u * simd::kPadLanes);
+  EXPECT_EQ(table.logical_size(), 15u);
+  // A width already on the multiple gets no padding.
+  EmbeddingTable exact(5, 2 * simd::kPadLanes, simd::kPadLanes);
+  EXPECT_EQ(exact.stride(), exact.width());
+  EXPECT_FALSE(exact.padded());
+}
+
+TEST(EmbeddingTableTest, PaddedRowsAreAlignedAndDisjoint) {
+  EmbeddingTable table(7, 3, simd::kPadLanes);
+  for (int32_t r = 0; r < 7; ++r) {
+    // Every row of a padded table starts on the SIMD/cache alignment
+    // boundary (stride is a lane multiple and the base is aligned).
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(table.Row(r)) %
+                  (simd::kPadLanes * sizeof(float)),
+              0u)
+        << "row " << r;
+    for (int i = 0; i < 3; ++i) table.Row(r)[i] = r * 10.0f + i;
+  }
+  // Writes through one row never leak into the next row's logical floats.
+  EXPECT_EQ(table.Row(3)[0], 30.0f);
+  EXPECT_EQ(table.Row(4)[0], 40.0f);
+  EXPECT_EQ(table.Row(3) + table.stride(), table.Row(4));
+}
+
+TEST(EmbeddingTableTest, InitializersAreLayoutInvariantAndLeavePaddingZero) {
+  EmbeddingTable padded(6, 5, simd::kPadLanes);
+  EmbeddingTable compact(6, 5);
+  Rng rng_a(77), rng_b(77);
+  UniformInit(&padded, -1.0, 1.0, &rng_a);
+  UniformInit(&compact, -1.0, 1.0, &rng_b);
+  for (int32_t r = 0; r < 6; ++r) {
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(padded.Row(r)[i], compact.Row(r)[i]) << r << "," << i;
+    }
+    for (int i = 5; i < padded.stride(); ++i) {
+      EXPECT_EQ(padded.Row(r)[i], 0.0f) << "padding touched at " << r;
+    }
+  }
 }
 
 TEST(EmbeddingTableTest, RowViewsAreContiguousAndWritable) {
@@ -63,10 +118,70 @@ TEST(EmbeddingTableTest, ProjectPrefixLeavesSuffixAlone) {
   EXPECT_FLOAT_EQ(row[3], 7.0f);
 }
 
+TEST(EmbeddingTableTest, CopyLogicalFromCrossesLayouts) {
+  EmbeddingTable src(4, 5);  // Compact.
+  Rng rng(3);
+  UniformInit(&src, -1.0, 1.0, &rng);
+  EmbeddingTable dst(4, 5, simd::kPadLanes);  // Padded.
+  dst.CopyLogicalFrom(src);
+  for (int32_t r = 0; r < 4; ++r) {
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(dst.Row(r)[i], src.Row(r)[i]);
+    for (int i = 5; i < dst.stride(); ++i) EXPECT_EQ(dst.Row(r)[i], 0.0f);
+  }
+  // And back: padded → compact round-trips the logical contents.
+  EmbeddingTable back(4, 5);
+  back.CopyLogicalFrom(dst);
+  for (int32_t r = 0; r < 4; ++r) {
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(back.Row(r)[i], src.Row(r)[i]);
+  }
+}
+
+TEST(EmbeddingTableDeathTest, CopyLogicalFromRejectsShapeMismatch) {
+  EmbeddingTable a(4, 5);
+  EmbeddingTable fewer_rows(3, 5);
+  EmbeddingTable wider(4, 6);
+  EXPECT_DEATH(a.CopyLogicalFrom(fewer_rows), "CHECK");
+  EXPECT_DEATH(a.CopyLogicalFrom(wider), "CHECK");
+}
+
 TEST(EmbeddingTableDeathTest, OutOfRangeRowAborts) {
   EmbeddingTable table(2, 2);
   EXPECT_DEATH(table.Row(2), "CHECK");
   EXPECT_DEATH(table.Row(-1), "CHECK");
+}
+
+TEST(EmbeddingTableDeathTest, ScorerRejectsTableOfWrongLogicalWidth) {
+  // A scorer declared for dim d must refuse to adopt tables whose logical
+  // width disagrees with what it declares — interpreting mis-shaped rows
+  // would silently read the wrong floats. Padding does NOT change the
+  // logical width, so a padded table of the right width is accepted.
+  const int dim = 8;
+  EXPECT_DEATH(
+      {
+        // TransE declares entity_width(8) == 8; build a width-10 table.
+        KgeModel model(dim, MakeScoringFunction("transe"),
+                       EmbeddingTable(20, 10), EmbeddingTable(4, dim));
+      },
+      "entity table width");
+  EXPECT_DEATH(
+      {
+        // ComplEx declares relation_width(8) == 16, not 8.
+        KgeModel model(dim, MakeScoringFunction("complex"),
+                       EmbeddingTable(20, 16), EmbeddingTable(4, 8));
+      },
+      "relation table width");
+}
+
+TEST(EmbeddingTableTest, ModelAdoptsWidthMatchedTablesOfAnyLayout) {
+  const int dim = 8;
+  KgeModel compact(dim, MakeScoringFunction("transe"),
+                   EmbeddingTable(20, dim), EmbeddingTable(4, dim));
+  KgeModel padded(dim, MakeScoringFunction("complex"),
+                  EmbeddingTable(20, 2 * dim, simd::kPadLanes),
+                  EmbeddingTable(4, 2 * dim, simd::kPadLanes));
+  EXPECT_EQ(compact.entity_table().width(), dim);
+  EXPECT_EQ(padded.entity_table().width(), 2 * dim);
+  EXPECT_EQ(padded.num_parameters(), 20u * 16 + 4u * 16);
 }
 
 }  // namespace

@@ -1,0 +1,173 @@
+// Golden convergence regression — the tripwire for kernel rewrites
+// (ISSUE 3). Trains a seeded synthetic KG for a fixed number of epochs at
+// num_threads = 1 on the FORCED-SCALAR dispatch path (the scalar kernels
+// are the bit-stable reference across ISAs; SIMD-vs-scalar agreement is
+// simd_parity_test's job) and asserts the final mean loss and a handful
+// of embedding row norms against recorded goldens.
+//
+// The goldens were recorded with the scalar path on the CI toolchain
+// (gcc, -O2). Tolerances are relative 1e-3: wide enough to absorb
+// compiler-level float drift (e.g. contraction differences between
+// optimisation levels), tight enough that any real kernel or layout bug
+// — a dropped tail lane, a mis-strided row, a wrong gradient sign —
+// lands orders of magnitude outside them.
+//
+// To re-record after an INTENTIONAL semantic change, run with
+// NSC_PRINT_GOLDENS=1 and paste the printed block over the constants.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/nscaching_sampler.h"
+#include "kg/kg_index.h"
+#include "kg/synthetic.h"
+#include "sampler/bernoulli_sampler.h"
+#include "train/trainer.h"
+#include "util/env.h"
+#include "util/simd.h"
+
+namespace nsc {
+namespace {
+
+// Entity rows whose norms are pinned (spread across the id range so a
+// mis-strided table cannot slip through on row 0 alone).
+constexpr int32_t kProbeRows[] = {0, 7, 31, 64, 119};
+
+struct GoldenRun {
+  const char* scorer;
+  const char* sampler;
+  double final_loss;
+  double entity_norms[5];
+  double relation0_norm;
+};
+
+// Recorded on the reference toolchain; see file comment to re-record.
+constexpr GoldenRun kGoldens[] = {
+    {"transe", "bernoulli", 0.27288779560699167,
+     {1.00000011920929, 1, 1, 0.9999999403953552, 1},
+     3.518959283828735},
+    {"complex", "bernoulli", 0.68103991275880638,
+     {2.885035037994385, 2.774362087249756, 3.694580554962158,
+      3.8443763256073, 4.284825325012207},
+     2.767184019088745},
+    {"transe", "nscaching", 0.70533943870123406,
+     {1, 1, 0.9999999403953552, 0.9597378969192505, 1},
+     3.71933650970459},
+};
+
+Dataset GoldenDataset() {
+  SyntheticKgConfig c;
+  c.num_entities = 120;
+  c.num_relations = 4;
+  c.num_triples = 900;
+  c.seed = 11;
+  return GenerateSyntheticKg(c);
+}
+
+TrainConfig GoldenTrainConfig() {
+  TrainConfig c;
+  c.dim = 12;
+  c.learning_rate = 0.05;
+  c.margin = 2.0;
+  c.batch_size = 32;
+  c.num_threads = 1;
+  c.seed = 17;
+  return c;
+}
+
+struct RunOutcome {
+  double final_loss = 0.0;
+  std::vector<double> entity_norms;
+  double relation0_norm = 0.0;
+};
+
+RunOutcome TrainGoldenRun(const std::string& scorer,
+                          const std::string& sampler_name) {
+  const Dataset data = GoldenDataset();
+  const KgIndex index(data.train);
+  TrainConfig config = GoldenTrainConfig();
+  if (scorer == "complex") config.l2_lambda = 0.01;
+
+  KgeModel model(data.num_entities(), data.num_relations(), config.dim,
+                 MakeScoringFunction(scorer));
+  Rng rng(23);
+  model.InitXavier(&rng);
+
+  std::unique_ptr<NegativeSampler> sampler;
+  if (sampler_name == "bernoulli") {
+    sampler = std::make_unique<BernoulliSampler>(data.num_entities(), &index);
+  } else {
+    NSCachingConfig nsc_config;
+    nsc_config.n1 = 10;
+    nsc_config.n2 = 10;
+    sampler = std::make_unique<NSCachingSampler>(&model, &index, nsc_config);
+  }
+  Trainer trainer(&model, &data.train, sampler.get(), config);
+
+  RunOutcome out;
+  for (int e = 0; e < 5; ++e) out.final_loss = trainer.RunEpoch().mean_loss;
+  const int ew = model.entity_table().width();
+  for (int32_t row : kProbeRows) {
+    out.entity_norms.push_back(model.entity_table().RowNorm(row, ew));
+  }
+  out.relation0_norm =
+      model.relation_table().RowNorm(0, model.relation_table().width());
+  return out;
+}
+
+TEST(ConvergenceRegressionTest, MatchesRecordedGoldens) {
+  // Scalar path: the golden numbers are ISA-independent by construction.
+  simd::ScopedForcePath force(simd::Path::kScalar);
+
+  const bool print = GetEnvBool("NSC_PRINT_GOLDENS", false);
+  for (const GoldenRun& golden : kGoldens) {
+    SCOPED_TRACE(std::string(golden.scorer) + " + " + golden.sampler);
+    const RunOutcome out = TrainGoldenRun(golden.scorer, golden.sampler);
+
+    if (print) {
+      std::printf("    {\"%s\", \"%s\", %.17g,\n     {", golden.scorer,
+                  golden.sampler, out.final_loss);
+      for (size_t i = 0; i < out.entity_norms.size(); ++i) {
+        std::printf("%s%.16g", i ? ", " : "", out.entity_norms[i]);
+      }
+      std::printf("},\n     %.16g},\n", out.relation0_norm);
+      continue;
+    }
+
+    constexpr double kRelTol = 1e-3;
+    EXPECT_NEAR(out.final_loss, golden.final_loss,
+                kRelTol * golden.final_loss);
+    ASSERT_EQ(out.entity_norms.size(), 5u);
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_NEAR(out.entity_norms[i], golden.entity_norms[i],
+                  kRelTol * golden.entity_norms[i])
+          << "entity row " << kProbeRows[i];
+    }
+    EXPECT_NEAR(out.relation0_norm, golden.relation0_norm,
+                kRelTol * golden.relation0_norm);
+  }
+}
+
+TEST(ConvergenceRegressionTest, LossActuallyDecreased) {
+  // Sanity companion to the goldens: the recorded loss must reflect real
+  // training, not a silently diverged or frozen run.
+  simd::ScopedForcePath force(simd::Path::kScalar);
+  const Dataset data = GoldenDataset();
+  const KgIndex index(data.train);
+  KgeModel model(data.num_entities(), data.num_relations(), 12,
+                 MakeScoringFunction("transe"));
+  Rng rng(23);
+  model.InitXavier(&rng);
+  BernoulliSampler sampler(data.num_entities(), &index);
+  Trainer trainer(&model, &data.train, &sampler, GoldenTrainConfig());
+  const double first = trainer.RunEpoch().mean_loss;
+  double last = first;
+  for (int e = 1; e < 5; ++e) last = trainer.RunEpoch().mean_loss;
+  EXPECT_LT(last, 0.8 * first);
+}
+
+}  // namespace
+}  // namespace nsc

@@ -71,14 +71,14 @@ TEST(KbganSamplerTest, FeedbackUpdatesGeneratorParameters) {
   Rng rng(3);
   const Triple pos{0, 0, 1};
 
-  const std::vector<float> before = sampler.generator().entity_table().data();
+  const AlignedFloatVector before = sampler.generator().entity_table().data();
   // Two feedbacks with different rewards guarantee a non-zero advantage on
   // the second one.
   NegativeSample neg = sampler.Sample(pos, &rng);
   sampler.Feedback(pos, neg, 0.0);
   neg = sampler.Sample(pos, &rng);
   sampler.Feedback(pos, neg, 10.0);
-  const std::vector<float>& after = sampler.generator().entity_table().data();
+  const AlignedFloatVector& after = sampler.generator().entity_table().data();
   EXPECT_NE(before, after);
 }
 

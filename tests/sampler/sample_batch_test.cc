@@ -68,7 +68,7 @@ TEST(SampleBatchTest, KbganDeferredFeedbackUpdatesGeneratorForEveryDraw) {
 
   int updates = 0;
   for (size_t i = 0; i < n; ++i) {
-    const std::vector<float> before = sampler.generator().entity_table().data();
+    const AlignedFloatVector before = sampler.generator().entity_table().data();
     // Varying rewards so the advantage is nonzero after the first call
     // (which only initialises the moving-average baseline).
     sampler.Feedback(pos[i], negs[i], static_cast<double>(i) - 3.5);

@@ -45,8 +45,8 @@ TrainConfig SmallTrainConfig() {
 
 struct RunResult {
   std::vector<double> losses;
-  std::vector<float> entities;
-  std::vector<float> relations;
+  AlignedFloatVector entities;
+  AlignedFloatVector relations;
 };
 
 // Runs `epochs` epochs with a fresh model/sampler; `serial` picks the
