@@ -24,11 +24,21 @@
 // attributable to a kernel variant (NSC_FORCE_SCALAR=1 re-runs everything
 // on the scalar path).
 //
+// Every batched row comes in two flavours, isolating the fused hot path
+// (ISSUE 4): "pair" trains pair-at-a-time (per-pair virtual
+// Score/Backward, the pre-fusion engine), "fused" scores each fusion
+// block's positives and negatives in two ScoreBatch calls through the
+// SIMD dispatch and differentiates the loss batch in one
+// Loss::ComputeBatch before the per-pair update walk. On a SIMD dispatch
+// path the fused rows should beat their pair twins — that is the
+// end-to-end payoff of the batched kernels.
+//
 // Knobs: NSC_SCALE / NSC_EPOCHS / NSC_DIM / NSC_SEED (see bench_common.h)
 // plus NSC_THREADS (comma-free max thread count to sweep, default 4).
 // Args: --sampler=bernoulli|nscaching|all (default all) and
 // --scorer=transe|distmult|complex|all (default all) filter the workload
-// and kernel lists.
+// and kernel lists; --fused=on|off|both (default both) keeps only the
+// fused rows, only the pair rows, or both.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -54,6 +64,7 @@ struct RunSpec {
   bool serial = false;  // Legacy RunEpochSerial baseline.
   int threads = 1;
   bool force_serial_sampling = false;
+  bool fused = false;  // Fused ScoreBatch→Loss→BackwardBatch hot path.
 };
 
 struct RunResult {
@@ -71,6 +82,7 @@ RunResult MeasureRun(const Dataset& data, const KgIndex& index,
   PipelineConfig config = bench::BasePipeline(scorer, sampler_kind, s);
   config.train.num_threads = spec.threads;
   config.train.force_serial_sampling = spec.force_serial_sampling;
+  config.train.fused_scoring = spec.fused;
 
   KgeModel model(data.num_entities(), data.num_relations(), s.dim,
                  MakeScoringFunction(scorer));
@@ -217,18 +229,24 @@ int main(int argc, char** argv) {
 
   std::string sampler_filter = "all";
   std::string scorer_filter = "all";
+  std::string fused_filter = "both";
   for (int i = 1; i < argc; ++i) {
     const char* kSamplerFlag = "--sampler=";
     const char* kScorerFlag = "--scorer=";
+    const char* kFusedFlag = "--fused=";
     if (std::strncmp(argv[i], kSamplerFlag, std::strlen(kSamplerFlag)) == 0) {
       sampler_filter = argv[i] + std::strlen(kSamplerFlag);
     } else if (std::strncmp(argv[i], kScorerFlag, std::strlen(kScorerFlag)) ==
                0) {
       scorer_filter = argv[i] + std::strlen(kScorerFlag);
+    } else if (std::strncmp(argv[i], kFusedFlag, std::strlen(kFusedFlag)) ==
+               0) {
+      fused_filter = argv[i] + std::strlen(kFusedFlag);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--sampler=bernoulli|nscaching|all]"
-                   " [--scorer=transe|distmult|complex|all]\n",
+                   " [--scorer=transe|distmult|complex|all]"
+                   " [--fused=on|off|both]\n",
                    argv[0]);
       return 1;
     }
@@ -244,6 +262,10 @@ int main(int argc, char** argv) {
   if (scorer_filter != "all" && scorer_filter != "transe" &&
       scorer_filter != "distmult" && scorer_filter != "complex") {
     std::fprintf(stderr, "unknown --scorer=%s\n", scorer_filter.c_str());
+    return 1;
+  }
+  if (fused_filter != "both" && fused_filter != "on" && fused_filter != "off") {
+    std::fprintf(stderr, "unknown --fused=%s\n", fused_filter.c_str());
     return 1;
   }
 
@@ -290,16 +312,28 @@ int main(int argc, char** argv) {
     any_run = true;
 
     std::vector<RunSpec> specs;
-    specs.push_back({"serial (legacy loop)", true, 1, false});
+    specs.push_back({"serial (legacy loop)", true, 1, false, false});
+    const bool want_pair = fused_filter != "on";
+    const bool want_fused = fused_filter != "off";
     for (int t = 1; t <= max_threads; t *= 2) {
       const std::string base = "batched t=" + std::to_string(t);
+      // Every batched variant gets a pair-at-a-time row and a fused twin,
+      // so the fused speedup is attributable at each thread count.
+      auto add_rows = [&](const std::string& label, bool serial_sampling) {
+        if (want_pair) {
+          specs.push_back({label + " pair", false, t, serial_sampling, false});
+        }
+        if (want_fused) {
+          specs.push_back({label + " fused", false, t, serial_sampling, true});
+        }
+      };
       if (t > 1 && w.sampler == SamplerKind::kNSCaching) {
         // Isolate the sharded refresh: same thread count, refresh pinned
         // to one thread vs fanned out across the workers.
-        specs.push_back({base + " (serial refresh)", false, t, true});
-        specs.push_back({base + " (sharded refresh)", false, t, false});
+        add_rows(base + " (serial refresh)", true);
+        add_rows(base + " (sharded refresh)", false);
       } else {
-        specs.push_back({base, false, t, false});
+        add_rows(base, false);
       }
     }
 
@@ -328,10 +362,13 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "Note: the batched t=1 engine trains bit-for-bit identically to the\n"
-      "serial loop (see trainer_parallel_test); loss differences in t>1\n"
-      "rows are the expected Hogwild asynchrony. NSCaching t>1 rows\n"
-      "compare the pre-shard serial sampling pre-pass against in-worker\n"
-      "sampling over the sharded cache.\n");
+      "Note: the batched t=1 PAIR engine trains bit-for-bit identically to\n"
+      "the serial loop (see trainer_parallel_test); fused rows score each\n"
+      "fusion block through ScoreBatch + Loss::ComputeBatch (scores stale\n"
+      "by at most fused_block pairs — small loss deltas vs pair rows are\n"
+      "that staleness), and loss differences in t>1 rows are the expected\n"
+      "Hogwild asynchrony. NSCaching t>1 rows compare the pre-shard serial\n"
+      "sampling pre-pass against in-worker sampling over the sharded\n"
+      "cache.\n");
   return 0;
 }

@@ -40,6 +40,11 @@ int main() {
   config.nscaching.n1 = 20;  // Cache size per (h,r)/(r,t) key.
   config.nscaching.n2 = 20;  // Random candidates per cache refresh.
   config.eval_valid_every = 5;  // Snapshot the best-validation model.
+  // Training runs the fused batch-first hot path by default: each fusion
+  // block is scored through the SIMD ScoreBatch kernels and its loss
+  // differentiated in one Loss::ComputeBatch. Set
+  // config.train.fused_scoring = false to pin the paper's exact
+  // pair-at-a-time reference loop instead.
 
   // 3. Train and evaluate.
   const PipelineResult result = RunPipeline(dataset, config);

@@ -1,12 +1,16 @@
 #include "analysis/dynamics.h"
 
+#include "embedding/loss.h"
+
 namespace nsc {
 
 void DynamicsTracker::Observe(const Triple& pos, const NegativeSample& neg,
                               double pair_loss) {
   (void)pos;
   ++samples_this_epoch_;
-  if (pair_loss > 1e-12) ++nonzero_this_epoch_;
+  // Same threshold as Trainer::Accumulate (kNonzeroLossThreshold), so the
+  // tracker's NZL series and EpochStats::nonzero_loss_ratio agree exactly.
+  if (pair_loss > kNonzeroLossThreshold) ++nonzero_this_epoch_;
   const uint64_t key = PackTriple(neg.triple);
   auto it = last_seen_.find(key);
   if (it != last_seen_.end() && epoch_ - it->second <= window_) {

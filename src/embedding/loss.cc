@@ -1,32 +1,56 @@
 #include "embedding/loss.h"
 
+#include "util/logging.h"
 #include "util/math.h"
 
 namespace nsc {
 
-LossGrad MarginRankingLoss::Compute(double pos_score, double neg_score) const {
-  LossGrad g;
-  const double raw = margin_ - pos_score + neg_score;
-  if (raw > 0.0) {
-    g.loss = raw;
-    g.d_pos = -1.0;
-    g.d_neg = 1.0;
+LossGrad Loss::Compute(double pos_score, double neg_score) const {
+  // One-pair batch over reusable thread-local storage, so the serial
+  // per-pair training loop stays allocation-free after warm-up.
+  static thread_local LossBatchGrad scratch;
+  ComputeBatch(Span<const double>(&pos_score, 1),
+               Span<const double>(&neg_score, 1), &scratch);
+  return {scratch.loss[0], scratch.d_pos[0], scratch.d_neg[0]};
+}
+
+void MarginRankingLoss::ComputeBatch(Span<const double> pos_scores,
+                                     Span<const double> neg_scores,
+                                     LossBatchGrad* out) const {
+  const std::size_t n = pos_scores.size();
+  CHECK_EQ(n, neg_scores.size());
+  out->Resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double raw = margin_ - pos_scores[i] + neg_scores[i];
+    if (raw > 0.0) {
+      out->loss[i] = raw;
+      out->d_pos[i] = -1.0;
+      out->d_neg[i] = 1.0;
+    } else {
+      out->loss[i] = 0.0;
+      out->d_pos[i] = 0.0;
+      out->d_neg[i] = 0.0;
+    }
   }
-  return g;
 }
 
-LossGrad LogisticLoss::Compute(double pos_score, double neg_score) const {
-  LossGrad g;
-  // ℓ(+1, s) = log(1+exp(−s)); dℓ/ds = −σ(−s).
-  // ℓ(−1, s) = log(1+exp(+s)); dℓ/ds = +σ(+s).
-  g.loss = Log1pExp(-pos_score) + Log1pExp(neg_score);
-  g.d_pos = -Sigmoid(-pos_score);
-  g.d_neg = Sigmoid(neg_score);
-  return g;
+void LogisticLoss::ComputeBatch(Span<const double> pos_scores,
+                                Span<const double> neg_scores,
+                                LossBatchGrad* out) const {
+  const std::size_t n = pos_scores.size();
+  CHECK_EQ(n, neg_scores.size());
+  out->Resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // ℓ(+1, s) = log(1+exp(−s)); dℓ/ds = −σ(−s).
+    // ℓ(−1, s) = log(1+exp(+s)); dℓ/ds = +σ(+s).
+    out->loss[i] = Log1pExp(-pos_scores[i]) + Log1pExp(neg_scores[i]);
+    out->d_pos[i] = -Sigmoid(-pos_scores[i]);
+    out->d_neg[i] = Sigmoid(neg_scores[i]);
+  }
 }
 
-std::unique_ptr<PairwiseLoss> MakeDefaultLoss(const ScoringFunction& scorer,
-                                              double margin) {
+std::unique_ptr<Loss> MakeDefaultLoss(const ScoringFunction& scorer,
+                                      double margin) {
   if (scorer.family() == ModelFamily::kTranslationalDistance) {
     return std::make_unique<MarginRankingLoss>(margin);
   }

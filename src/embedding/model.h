@@ -48,7 +48,9 @@ class KgeModel {
   double Score(EntityId h, RelationId r, EntityId t) const;
 
   /// Scores n triples through the scorer's batched kernel (one virtual
-  /// dispatch per batch): out[i] = Score(triples[i]).
+  /// dispatch per batch): out[i] = Score(triples[i]). The fused trainer
+  /// path scores its mini-batch sides the same way, but builds the row
+  /// pointers itself (it reuses them for BackwardBatch).
   void ScoreBatch(const Triple* triples, size_t n, double* out) const;
   void ScoreBatch(const std::vector<Triple>& triples,
                   std::vector<double>* out) const;

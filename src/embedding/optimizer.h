@@ -7,6 +7,7 @@
 #define NSCACHING_EMBEDDING_OPTIMIZER_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -27,6 +28,19 @@ class Optimizer {
 
   /// Applies a descent update to `table` row `row` given ∂loss/∂row.
   virtual void Apply(EmbeddingTable* table, int32_t row, const float* grad) = 0;
+
+  /// Batched sparse apply: one update per (rows[i], grads + i*grad_stride)
+  /// slot, in slot order, within the current step (callers BeginStep()
+  /// once per mini-batch first). This is the shape the fused trainer path
+  /// drives straight from a GradAccumulator's flat slot storage. The
+  /// default loops Apply; stateful optimizers may override to amortize
+  /// per-step work (e.g. Adam's bias-correction terms).
+  virtual void ApplyBatch(EmbeddingTable* table, const int32_t* rows,
+                          size_t n, const float* grads, size_t grad_stride) {
+    for (size_t s = 0; s < n; ++s) {
+      Apply(table, rows[s], grads + s * grad_stride);
+    }
+  }
 
   virtual double learning_rate() const = 0;
 };

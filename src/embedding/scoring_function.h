@@ -66,9 +66,11 @@ class ScoringFunction {
   /// may alias across triples (callers fold a shared entity's gradient
   /// into one slot — see the aliasing contract test in
   /// scorer_batch_test.cc), so implementations must process triples in
-  /// order. Consumed today by tests and the future fused-loss trainer
-  /// path (ROADMAP); the trainer's per-pair hot loop deliberately calls
-  /// the single-triple Backward to stay bit-compatible with the legacy
+  /// order. This is the trainer's fused hot path
+  /// (TrainConfig::fused_scoring, the default): each worker sub-batch
+  /// drives one BackwardBatch call with per-pair loss gradients as the
+  /// coefficients; the legacy pair path (fused_scoring = false) calls the
+  /// single-triple Backward to stay bit-compatible with the pre-batch
   /// engine.
   virtual void BackwardBatch(const float* const* h, const float* const* r,
                              const float* const* t, int dim, size_t n,

@@ -45,6 +45,11 @@ class GradAccumulator {
 
   size_t size() const { return active_; }
   EntityId id(size_t slot) const { return ids_[slot]; }
+  /// Flat views over the active slots, for Optimizer::ApplyBatch: ids()
+  /// holds size() row ids; grads_flat() holds size() rows of width()
+  /// floats each, slot s at grads_flat() + s * width().
+  const EntityId* ids() const { return ids_.data(); }
+  const float* grads_flat() const { return grads_.data(); }
   float* grad(size_t slot) { return grads_.data() + slot * width_; }
   const float* grad(size_t slot) const {
     return grads_.data() + slot * width_;

@@ -9,7 +9,8 @@ std::string TrainConfig::ToString() const {
   out << "dim=" << dim << " lr=" << learning_rate << " opt=" << optimizer
       << " margin=" << margin << " lambda=" << l2_lambda
       << " batch=" << batch_size << " epochs=" << epochs
-      << " threads=" << num_threads << " seed=" << seed;
+      << " threads=" << num_threads << " fused=" << (fused_scoring ? 1 : 0)
+      << " fblock=" << fused_block << " seed=" << seed;
   return out.str();
 }
 

@@ -24,6 +24,27 @@ struct TrainConfig {
   /// semantics (bit-for-bit reproducible); >1 = Hogwild-style lock-free
   /// parallel execution of each mini-batch; <= 0 = hardware default.
   int num_threads = 1;
+  /// Batch-first fused hot path (the default): each worker's share of a
+  /// mini-batch is scored in two ScoreBatch calls through the SIMD
+  /// dispatch and the loss batch is differentiated in one
+  /// Loss::ComputeBatch; gradients then flow through BackwardBatch + a
+  /// batched sparse optimizer apply driven from the GradAccumulator,
+  /// keeping the paper's one-optimizer-step-per-pair dynamics (scores are
+  /// the sub-batch's, so they are stale by at most one batch — the same
+  /// asynchrony Hogwild already tolerates). `false` pins the legacy
+  /// pair-at-a-time path: per-pair scalar Score/Backward, which with
+  /// num_threads == 1 is bit-for-bit identical to RunEpochSerial().
+  bool fused_scoring = true;
+  /// Pairs scored ahead per fused block. Each block of a worker's
+  /// sub-range is scored (and its loss differentiated) in one batched
+  /// pass, then updated pair-by-pair before the next block is scored, so
+  /// loss gradients are computed from scores at most `fused_block` pairs
+  /// stale — large enough to amortize the SIMD kernels, small enough that
+  /// fused training tracks the pair path's convergence at the paper's
+  /// learning rates (unbounded staleness demonstrably diverges for the
+  /// logistic family at high lr × large batch). <= 0 means the whole
+  /// sub-range is one block.
+  int fused_block = 32;
   /// Force the serial per-batch sampling pre-pass even for samplers whose
   /// thread_safe_sampling() trait would let workers draw negatives inline.
   /// Benchmarking/debugging knob: bench_throughput's "serial refresh" rows

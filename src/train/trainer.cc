@@ -88,6 +88,16 @@ Trainer::PairOutcome Trainer::TrainPairStep(const Triple& pos,
                     g_neg_h, g_rel, g_neg_t);
   }
 
+  out.grad_norm = ApplyPairUpdate(pos, ws);
+  return out;
+}
+
+double Trainer::ApplyPairUpdate(const Triple& pos, WorkerState* ws) {
+  GradAccumulator& grads = ws->entity_grads;
+  float* g_rel = ws->relation_grad.data();
+  EmbeddingTable& ent = model_->entity_table();
+  EmbeddingTable& rel = model_->relation_table();
+
   // L2 penalty λ‖·‖² on every touched row (semantic matching models).
   if (config_.l2_lambda > 0.0) {
     const float two_lambda = static_cast<float>(2.0 * config_.l2_lambda);
@@ -97,6 +107,7 @@ Trainer::PairOutcome Trainer::TrainPairStep(const Triple& pos,
     Axpy(two_lambda, rel.Row(pos.r), g_rel, rel.width());
   }
 
+  double grad_norm = 0.0;
   if (config_.track_grad_norm) {
     double sq = 0.0;
     const int ew = ent.width();
@@ -105,14 +116,13 @@ Trainer::PairOutcome Trainer::TrainPairStep(const Triple& pos,
       for (int k = 0; k < ew; ++k) sq += double(g[k]) * g[k];
     }
     for (float g : ws->relation_grad) sq += double(g) * g;
-    out.grad_norm = std::sqrt(sq);
+    grad_norm = std::sqrt(sq);
   }
 
   entity_opt_->BeginStep();
   relation_opt_->BeginStep();
-  for (size_t s = 0; s < grads.size(); ++s) {
-    entity_opt_->Apply(&ent, grads.id(s), grads.grad(s));
-  }
+  entity_opt_->ApplyBatch(&ent, grads.ids(), grads.size(), grads.grads_flat(),
+                          static_cast<size_t>(grads.width()));
   relation_opt_->Apply(&rel, pos.r, g_rel);
 
   if (config_.apply_entity_constraints) {
@@ -121,7 +131,7 @@ Trainer::PairOutcome Trainer::TrainPairStep(const Triple& pos,
     }
     model_->ProjectRelation(pos.r);
   }
-  return out;
+  return grad_norm;
 }
 
 void Trainer::RunBatchSerial(size_t lo, size_t hi) {
@@ -151,7 +161,7 @@ void Trainer::RunBatchSerial(size_t lo, size_t hi) {
   }
 }
 
-void Trainer::RunBatchParallel(size_t lo, size_t hi) {
+void Trainer::GatherBatch(size_t lo, size_t hi) {
   const size_t b = hi - lo;
   pos_batch_.resize(b);
   negs_.resize(b);
@@ -159,6 +169,19 @@ void Trainer::RunBatchParallel(size_t lo, size_t hi) {
   for (size_t i = 0; i < b; ++i) {
     pos_batch_[i] = (*train_set_)[order_[lo + i]];
   }
+}
+
+void Trainer::DrainBatchOutcomes(size_t b) {
+  for (size_t i = 0; i < b; ++i) {
+    sampler_->Feedback(pos_batch_[i], negs_[i], outcomes_[i].neg_score);
+    Accumulate(outcomes_[i]);
+    if (observer_) observer_(pos_batch_[i], negs_[i], outcomes_[i].loss);
+  }
+}
+
+void Trainer::RunBatchParallel(size_t lo, size_t hi) {
+  const size_t b = hi - lo;
+  GatherBatch(lo, hi);
   if (sampler_->thread_safe_sampling() && !config_.force_serial_sampling) {
     // Full Hogwild: workers sample their own pairs from per-worker
     // streams and race on the shared tables (sparse updates rarely
@@ -182,11 +205,173 @@ void Trainer::RunBatchParallel(size_t lo, size_t hi) {
     });
   }
   // Feedback and observer run serially, in pair order, after the barrier.
-  for (size_t i = 0; i < b; ++i) {
-    sampler_->Feedback(pos_batch_[i], negs_[i], outcomes_[i].neg_score);
-    Accumulate(outcomes_[i]);
-    if (observer_) observer_(pos_batch_[i], negs_[i], outcomes_[i].loss);
+  DrainBatchOutcomes(b);
+}
+
+void Trainer::FusedSubStep(size_t lo, size_t hi, WorkerState* ws) {
+  // Process the sub-range in fusion blocks: each block's scores are
+  // computed in one batched pass against the rows as the previous block
+  // left them, bounding score staleness to config_.fused_block pairs.
+  const size_t block = config_.fused_block > 0
+                           ? static_cast<size_t>(config_.fused_block)
+                           : (hi - lo);
+  for (size_t blo = lo; blo < hi; blo += block) {
+    FusedBlockStep(blo, std::min(hi, blo + block), ws);
   }
+}
+
+void Trainer::FusedBlockStep(size_t lo, size_t hi, WorkerState* ws) {
+  const size_t n = hi - lo;
+  if (n == 0) return;
+  FusedScratch& fs = ws->fused;
+  EmbeddingTable& ent = model_->entity_table();
+  EmbeddingTable& rel = model_->relation_table();
+  const ScoringFunction& scorer = model_->scorer();
+  const int dim = model_->dim();
+
+  // Score each side of the sub-batch in one batched call through the
+  // runtime SIMD dispatch, then differentiate the whole loss batch at
+  // once — the fused replacement for two virtual Score calls and a
+  // scalar loss per pair.
+  fs.pos_h.resize(n);
+  fs.pos_r.resize(n);
+  fs.pos_t.resize(n);
+  fs.neg_h.resize(n);
+  fs.neg_r.resize(n);
+  fs.neg_t.resize(n);
+  fs.pos_scores.resize(n);
+  fs.neg_scores.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Triple& pos = pos_batch_[lo + i];
+    const Triple& neg = negs_[lo + i].triple;
+    fs.pos_h[i] = ent.Row(pos.h);
+    fs.pos_r[i] = rel.Row(pos.r);
+    fs.pos_t[i] = ent.Row(pos.t);
+    fs.neg_h[i] = ent.Row(neg.h);
+    fs.neg_r[i] = rel.Row(neg.r);
+    fs.neg_t[i] = ent.Row(neg.t);
+  }
+  scorer.ScoreBatch(fs.pos_h.data(), fs.pos_r.data(), fs.pos_t.data(), dim, n,
+                    fs.pos_scores.data());
+  scorer.ScoreBatch(fs.neg_h.data(), fs.neg_r.data(), fs.neg_t.data(), dim, n,
+                    fs.neg_scores.data());
+  loss_->ComputeBatch(fs.pos_scores, fs.neg_scores, &fs.loss_grad);
+
+  // Backward entries for one pair: at most the positive and negative side.
+  fs.bh.resize(2);
+  fs.br.resize(2);
+  fs.bt.resize(2);
+  fs.coeff.resize(2);
+  fs.gh.resize(2);
+  fs.gr.resize(2);
+  fs.gt.resize(2);
+
+  // Gradient + update pass. Scores (and the loss gradients derived from
+  // them) are the block's, computed against the pre-block parameters; the
+  // update pass itself stays PER PAIR — one sparse optimizer step per
+  // pair, exactly the paper's Algorithm 1/2 dynamics — so fused training
+  // converges like the pair path at the paper's hyper-parameters instead
+  // of taking batch-count-many optimizer steps per epoch. Within-block
+  // staleness of the scores is the same asynchrony the Hogwild engine
+  // already tolerates across workers. Each pair drives one BackwardBatch
+  // call (its active sides, shared entity rows folded by the accumulator)
+  // and a batched sparse apply straight from the accumulator slots. The
+  // relation gradient reuses the pair path's shared one-row buffer: a
+  // corruption never changes the relation, so both sides fold into the
+  // single pos.r row (the pair path encodes the same invariant).
+  GradAccumulator& eg = ws->entity_grads;
+  const bool l2 = config_.l2_lambda > 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    PairOutcome& out = outcomes_[lo + i];
+    out.loss = fs.loss_grad.loss[i];
+    out.grad_norm = 0.0;
+    out.neg_score = fs.neg_scores[i];
+    const double d_pos = fs.loss_grad.d_pos[i];
+    const double d_neg = fs.loss_grad.d_neg[i];
+    if (d_pos == 0.0 && d_neg == 0.0 && !l2) continue;
+    const Triple& pos = pos_batch_[lo + i];
+    const Triple& neg = negs_[lo + i].triple;
+
+    // Register all ids BEFORE taking gradient pointers: GradFor may grow
+    // the flat slot storage, invalidating earlier returned pointers.
+    eg.Clear();
+    std::fill(ws->relation_grad.begin(), ws->relation_grad.end(), 0.0f);
+    float* g_rel = ws->relation_grad.data();
+    eg.GradFor(pos.h);
+    eg.GradFor(pos.t);
+    eg.GradFor(neg.h);
+    eg.GradFor(neg.t);
+
+    size_t e = 0;
+    if (d_pos != 0.0) {
+      fs.bh[e] = fs.pos_h[i];
+      fs.br[e] = fs.pos_r[i];
+      fs.bt[e] = fs.pos_t[i];
+      fs.coeff[e] = static_cast<float>(d_pos);
+      fs.gh[e] = eg.GradFor(pos.h);
+      fs.gr[e] = g_rel;
+      fs.gt[e] = eg.GradFor(pos.t);
+      ++e;
+    }
+    if (d_neg != 0.0) {
+      fs.bh[e] = fs.neg_h[i];
+      fs.br[e] = fs.neg_r[i];
+      fs.bt[e] = fs.neg_t[i];
+      fs.coeff[e] = static_cast<float>(d_neg);
+      fs.gh[e] = eg.GradFor(neg.h);
+      fs.gr[e] = g_rel;
+      fs.gt[e] = eg.GradFor(neg.t);
+      ++e;
+    }
+    if (e > 0) {
+      scorer.BackwardBatch(fs.bh.data(), fs.br.data(), fs.bt.data(), dim, e,
+                           fs.coeff.data(), fs.gh.data(), fs.gr.data(),
+                           fs.gt.data());
+    }
+
+    // The shared tail — L2, grad norm, batched sparse apply, projection —
+    // runs through the same ApplyPairUpdate as the pair path.
+    out.grad_norm = ApplyPairUpdate(pos, ws);
+  }
+}
+
+void Trainer::RunBatchFusedSerial(size_t lo, size_t hi) {
+  const size_t b = hi - lo;
+  GatherBatch(lo, hi);
+  // One sampling pre-pass: stateless samplers consume rng_ exactly as the
+  // interleaved loop would; model-coupled samplers draw against the
+  // pre-batch parameters — the fused semantic (the parallel engine already
+  // samples ahead of the batch's updates the same way).
+  sampler_->SampleBatch(pos_batch_.data(), b, &rng_, negs_.data());
+  FusedSubStep(0, b, &workers_[0]);
+  DrainBatchOutcomes(b);
+}
+
+void Trainer::RunBatchFusedParallel(size_t lo, size_t hi) {
+  const size_t b = hi - lo;
+  GatherBatch(lo, hi);
+  // One contiguous sub-range per worker; sub-steps race on the shared
+  // tables across workers exactly as the pair path races across pairs.
+  const size_t chunks =
+      std::min(b, static_cast<size_t>(num_threads_ > 0 ? num_threads_ : 1));
+  const auto chunk_lo = [b, chunks](size_t c) { return c * b / chunks; };
+  if (sampler_->thread_safe_sampling() && !config_.force_serial_sampling) {
+    pool_->ParallelFor(0, chunks, [this, &chunk_lo](size_t c, int w) {
+      WorkerState& ws = workers_[w];
+      const size_t clo = chunk_lo(c), chi = chunk_lo(c + 1);
+      for (size_t i = clo; i < chi; ++i) {
+        negs_[i] = sampler_->Sample(pos_batch_[i], &ws.rng);
+      }
+      FusedSubStep(clo, chi, &ws);
+    });
+  } else {
+    sampler_->SampleBatch(pos_batch_.data(), b, &rng_, negs_.data());
+    pool_->ParallelFor(0, chunks, [this, &chunk_lo](size_t c, int w) {
+      FusedSubStep(chunk_lo(c), chunk_lo(c + 1), &workers_[w]);
+    });
+  }
+  // Feedback and observer run serially, in pair order, after the barrier.
+  DrainBatchOutcomes(b);
 }
 
 EpochStats Trainer::FinishEpoch(const Stopwatch& watch) {
@@ -215,7 +400,13 @@ EpochStats Trainer::RunEpoch() {
       config_.batch_size > 0 ? static_cast<size_t>(config_.batch_size) : n;
   for (size_t lo = 0; lo < n; lo += batch) {
     const size_t hi = std::min(n, lo + batch);
-    if (num_threads_ > 1) {
+    if (config_.fused_scoring) {
+      if (num_threads_ > 1) {
+        RunBatchFusedParallel(lo, hi);
+      } else {
+        RunBatchFusedSerial(lo, hi);
+      }
+    } else if (num_threads_ > 1) {
       RunBatchParallel(lo, hi);
     } else {
       RunBatchSerial(lo, hi);

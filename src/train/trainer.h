@@ -15,14 +15,23 @@
 // RunEpochSerial()), bit-for-bit, so convergence results remain
 // comparable across PRs.
 //
-// The per-pair hot loop deliberately calls the single-triple scalar
-// Score/Backward (keeping the bit-for-bit contract independent of the
-// SIMD dispatch path), while all batch-shaped scoring — NSCaching's cache
-// refresh, evaluation, the future fused-loss path — flows through
-// ScoringFunction::ScoreBatch into the runtime-dispatched SIMD kernels
-// (util/simd.h). Both engines share that dispatch, so the 1-thread parity
-// holds on every path; tests that need ISA-independent numbers force the
-// scalar path via simd::ScopedForcePath.
+// Hot path: with TrainConfig::fused_scoring (the default) each worker's
+// share of a mini-batch runs as a FUSED step — positives and negatives
+// are each scored in a single ScoringFunction::ScoreBatch call through
+// the runtime-dispatched SIMD kernels (util/simd.h) and the loss batch
+// is differentiated in one Loss::ComputeBatch; the update pass then
+// walks the pairs driving BackwardBatch + a batched sparse optimizer
+// apply (Optimizer::ApplyBatch) through the per-worker GradAccumulator,
+// keeping the paper's one-optimizer-step-per-pair dynamics. Scores are
+// computed against the parameters as the previous fusion block left
+// them, so they are stale by at most TrainConfig::fused_block pairs —
+// the same kind of asynchrony the Hogwild engine already tolerates
+// across workers.
+// fused_scoring = false pins the legacy pair-at-a-time loop: per-pair
+// scalar Score/Backward, which with num_threads == 1 stays bit-for-bit
+// identical to RunEpochSerial() independent of the SIMD dispatch path.
+// The two paths coincide exactly at batch_size == 1 on the forced-scalar
+// path (pinned ULP-bounded by trainer_parallel_test).
 #ifndef NSCACHING_TRAIN_TRAINER_H_
 #define NSCACHING_TRAIN_TRAINER_H_
 
@@ -50,7 +59,7 @@ struct EpochStats {
   /// Fraction of (pos, neg) pairs with non-zero loss — the NZL measure of
   /// Figures 7/8 (exploitation: a useful negative produces gradient).
   double nonzero_loss_ratio = 0.0;
-  /// Mini-batch average gradient l2 norm (Figure 10); 0 unless
+  /// Mean per-pair gradient l2 norm (Figure 10); 0 unless
   /// TrainConfig::track_grad_norm.
   double mean_grad_norm = 0.0;
   /// Wall-clock seconds spent training this epoch (sampling included,
@@ -74,16 +83,20 @@ class Trainer {
           NegativeSampler* sampler, const TrainConfig& config);
 
   /// Runs one full pass over the (shuffled) training set through the
-  /// batched engine (config.batch_size, config.num_threads). With one
-  /// thread this reproduces RunEpochSerial() bit-for-bit; with more, each
-  /// mini-batch is trained Hogwild-style (results are run-to-run
-  /// nondeterministic but the sampling streams stay seeded).
+  /// batched engine (config.batch_size, config.num_threads,
+  /// config.fused_scoring). With fused_scoring = false and one thread
+  /// this reproduces RunEpochSerial() bit-for-bit; with fused_scoring on
+  /// each worker sub-range runs the fused ScoreBatch→ComputeBatch→
+  /// BackwardBatch step; with more threads, each mini-batch is trained
+  /// Hogwild-style (results are run-to-run nondeterministic but the
+  /// sampling streams stay seeded).
   EpochStats RunEpoch();
 
-  /// The legacy pair-at-a-time reference loop (no batching, no threads).
-  /// Kept as the semantic baseline for parity tests and the serial
-  /// baseline of bench_throughput; uses the same RNG stream as
-  /// RunEpoch() with num_threads == 1.
+  /// The legacy pair-at-a-time reference loop (no batching, no threads,
+  /// never fused — fused_scoring is ignored here). Kept as the semantic
+  /// baseline for parity tests and the serial baseline of
+  /// bench_throughput; uses the same RNG stream as RunEpoch() with
+  /// num_threads == 1.
   EpochStats RunEpochSerial();
 
   /// Epochs completed so far.
@@ -96,7 +109,7 @@ class Trainer {
     observer_ = std::move(observer);
   }
 
-  const PairwiseLoss& loss() const { return *loss_; }
+  const Loss& loss() const { return *loss_; }
   KgeModel* model() { return model_; }
 
   /// Worker threads the engine actually uses (resolves num_threads <= 0).
@@ -110,10 +123,25 @@ class Trainer {
     double neg_score = 0.0;  // Discriminator score, for sampler Feedback.
   };
 
+  /// Reusable fused-step buffers: per-pair row pointers and score/loss
+  /// batches, plus the BackwardBatch entry arrays (≤ 2 entries per pair —
+  /// the active positive and negative sides). Capacity is retained across
+  /// batches, so the fused hot path is allocation-free once warm.
+  struct FusedScratch {
+    std::vector<const float*> pos_h, pos_r, pos_t;
+    std::vector<const float*> neg_h, neg_r, neg_t;
+    std::vector<double> pos_scores, neg_scores;
+    LossBatchGrad loss_grad;
+    std::vector<const float*> bh, br, bt;
+    std::vector<float> coeff;
+    std::vector<float*> gh, gr, gt;
+  };
+
   /// Per-worker mutable state; workers_[0] doubles as the serial scratch.
   struct WorkerState {
     GradAccumulator entity_grads;
-    std::vector<float> relation_grad;
+    std::vector<float> relation_grad;  // The pair's one touched relation row.
+    FusedScratch fused;
     Rng rng{0};  // Independent stream; only used when num_threads_ > 1.
   };
 
@@ -123,6 +151,13 @@ class Trainer {
   /// the epoch loops do, serially, preserving the legacy call order.
   PairOutcome TrainPairStep(const Triple& pos, const NegativeSample& neg,
                             WorkerState* ws);
+
+  /// The shared tail of one pair's update over ws's gradient state (the
+  /// entity accumulator plus the relation-row buffer): L2 penalty,
+  /// optional gradient norm (returned), batched sparse optimizer step,
+  /// norm projection. Both the pair path and the fused walk end here, so
+  /// the parity-critical ordering lives in exactly one place.
+  double ApplyPairUpdate(const Triple& pos, WorkerState* ws);
 
   /// The full serial treatment of one pair — step, Feedback, totals,
   /// observer, in the legacy order. All serial code paths share this so
@@ -149,22 +184,60 @@ class Trainer {
   /// after the barrier.
   void RunBatchParallel(size_t lo, size_t hi);
 
+  /// Fused mini-batch pass, one thread: pre-sample the batch, then one
+  /// fused sub-step over the whole batch.
+  void RunBatchFusedSerial(size_t lo, size_t hi);
+
+  /// Fused mini-batch pass, Hogwild: the batch is partitioned into
+  /// num_threads contiguous sub-ranges; each worker samples its sub-range
+  /// (per-worker RNG, when the sampler's trait allows — else a serial
+  /// pre-pass) and runs one fused sub-step on it. Workers race on the
+  /// shared tables across sub-steps exactly as the pair path races across
+  /// pairs. Feedback and the observer run serially after the barrier.
+  void RunBatchFusedParallel(size_t lo, size_t hi);
+
+  /// The fused training step over batch-local pairs [lo, hi) of
+  /// pos_batch_/negs_: runs FusedBlockStep over blocks of at most
+  /// config_.fused_block pairs, so each block's batched scoring sees the
+  /// previous block's updates. Fills outcomes_[lo, hi); Feedback and the
+  /// observer are the callers' job, as with TrainPairStep.
+  void FusedSubStep(size_t lo, size_t hi, WorkerState* ws);
+
+  /// One fusion block: two ScoreBatch calls (positives, negatives)
+  /// through the SIMD dispatch and one Loss::ComputeBatch, then a
+  /// per-pair update walk — BackwardBatch over the pair's active sides
+  /// into ws's entity accumulator (shared rows folded per unique id) and
+  /// the shared relation-row buffer, batched sparse optimizer apply from
+  /// the accumulator slots, norm projection of every touched row.
+  void FusedBlockStep(size_t lo, size_t hi, WorkerState* ws);
+
+  /// Fills pos_batch_ from the shuffled order and sizes negs_/outcomes_
+  /// for one mini-batch [lo, hi) of the epoch.
+  void GatherBatch(size_t lo, size_t hi);
+
+  /// The serial, in-pair-order epilogue every batch engine must run:
+  /// sampler Feedback, epoch totals, the analysis observer — the parity-
+  /// critical accounting contract, in exactly one place.
+  void DrainBatchOutcomes(size_t b);
+
   /// Closes out the epoch in flight: derives EpochStats from the running
   /// totals, advances the epoch counter and the cumulative clock.
   EpochStats FinishEpoch(const Stopwatch& watch);
 
-  /// Folds one pair's outcome into the running epoch totals.
+  /// Folds one pair's outcome into the running epoch totals. The NZL
+  /// threshold is shared with analysis/DynamicsTracker so the two
+  /// measurements of Figures 7/8 cannot drift.
   void Accumulate(const PairOutcome& outcome) {
     loss_sum_ += outcome.loss;
     grad_norm_sum_ += outcome.grad_norm;
-    if (outcome.loss > 1e-12) ++nonzero_;
+    if (outcome.loss > kNonzeroLossThreshold) ++nonzero_;
   }
 
   KgeModel* model_;
   const TripleStore* train_set_;
   NegativeSampler* sampler_;
   TrainConfig config_;
-  std::unique_ptr<PairwiseLoss> loss_;
+  std::unique_ptr<Loss> loss_;
   std::unique_ptr<Optimizer> entity_opt_;
   std::unique_ptr<Optimizer> relation_opt_;
   Rng rng_;

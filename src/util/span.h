@@ -1,0 +1,46 @@
+// Minimal non-owning view over a contiguous range — the C++17 stand-in
+// for std::span used by batch-shaped APIs (Loss::ComputeBatch). Carries a
+// pointer and a length; never owns, never allocates.
+#ifndef NSCACHING_UTIL_SPAN_H_
+#define NSCACHING_UTIL_SPAN_H_
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace nsc {
+
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, std::size_t size) : data_(data), size_(size) {}
+
+  /// From a vector of the element type (or, for Span<const T>, a vector
+  /// of the non-const element type).
+  Span(std::vector<std::remove_const_t<T>>& v)  // NOLINT(runtime/explicit)
+      : data_(v.data()), size_(v.size()) {}
+  template <typename U = T,
+            typename = std::enable_if_t<std::is_const<U>::value>>
+  Span(const std::vector<std::remove_const_t<T>>& v)  // NOLINT
+      : data_(v.data()), size_(v.size()) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr T& operator[](std::size_t i) const { return data_[i]; }
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+  constexpr Span subspan(std::size_t offset, std::size_t count) const {
+    return Span(data_ + offset, count);
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_UTIL_SPAN_H_

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "util/math.h"
+#include "util/rng.h"
 
 namespace nsc {
 namespace {
@@ -76,6 +78,94 @@ TEST(LogisticLossTest, StableForExtremeScores) {
   const LossGrad g = loss.Compute(1000.0, -1000.0);
   EXPECT_TRUE(std::isfinite(g.loss));
   EXPECT_NEAR(g.loss, 0.0, 1e-9);
+}
+
+// ---- Batch API -----------------------------------------------------------
+
+// ComputeBatch must agree with the per-pair scalar adapter element-wise
+// (the implementations share the arithmetic, so the agreement is exact).
+void ExpectBatchMatchesPerPair(const Loss& loss,
+                               const std::vector<double>& pos,
+                               const std::vector<double>& neg) {
+  LossBatchGrad batch;
+  loss.ComputeBatch(pos, neg, &batch);
+  ASSERT_EQ(batch.size(), pos.size());
+  ASSERT_EQ(batch.d_pos.size(), pos.size());
+  ASSERT_EQ(batch.d_neg.size(), pos.size());
+  for (size_t i = 0; i < pos.size(); ++i) {
+    const LossGrad g = loss.Compute(pos[i], neg[i]);
+    EXPECT_EQ(batch.loss[i], g.loss) << "pair " << i;
+    EXPECT_EQ(batch.d_pos[i], g.d_pos) << "pair " << i;
+    EXPECT_EQ(batch.d_neg[i], g.d_neg) << "pair " << i;
+  }
+}
+
+TEST(LossBatchTest, ComputeBatchMatchesPerPairOnRandomScores) {
+  Rng rng(42);
+  MarginRankingLoss margin(2.0);
+  LogisticLoss logistic;
+  for (size_t n : {size_t{1}, size_t{3}, size_t{32}, size_t{257}}) {
+    std::vector<double> pos(n), neg(n);
+    for (size_t i = 0; i < n; ++i) {
+      pos[i] = rng.Uniform(-5.0, 5.0);
+      neg[i] = rng.Uniform(-5.0, 5.0);
+    }
+    SCOPED_TRACE(n);
+    ExpectBatchMatchesPerPair(margin, pos, neg);
+    ExpectBatchMatchesPerPair(logistic, pos, neg);
+  }
+}
+
+TEST(LossBatchTest, ComputeBatchZeroGradientRegime) {
+  // Pairs separated by more than the margin must produce exactly zero
+  // loss AND zero gradients in the batch output — the vanishing-gradient
+  // regime the NZL measure counts.
+  MarginRankingLoss margin(1.0);
+  const std::vector<double> pos = {5.0, 1.0, 0.0};
+  const std::vector<double> neg = {0.0, 0.5, 2.0};  // sep, active, active
+  LossBatchGrad out;
+  margin.ComputeBatch(pos, neg, &out);
+  EXPECT_EQ(out.loss[0], 0.0);
+  EXPECT_EQ(out.d_pos[0], 0.0);
+  EXPECT_EQ(out.d_neg[0], 0.0);
+  EXPECT_GT(out.loss[1], 0.0);
+  EXPECT_EQ(out.d_pos[1], -1.0);
+  EXPECT_EQ(out.d_neg[1], 1.0);
+  EXPECT_GT(out.loss[2], 0.0);
+  // Mixed batch: the separated pair must not bleed into its neighbours.
+  ExpectBatchMatchesPerPair(margin, pos, neg);
+}
+
+TEST(LossBatchTest, OutputBufferIsReusedAndResized) {
+  MarginRankingLoss margin(2.0);
+  LossBatchGrad out;
+  std::vector<double> pos(8, 1.0), neg(8, 0.5);
+  margin.ComputeBatch(pos, neg, &out);
+  EXPECT_EQ(out.size(), 8u);
+  // Shrinking reuse: stale tail values must not survive into size().
+  pos.assign(2, 0.0);
+  neg.assign(2, 5.0);
+  margin.ComputeBatch(pos, neg, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.loss[1], 7.0);  // 2 - 0 + 5.
+}
+
+TEST(LossBatchTest, SpanOverlaysRawArrays) {
+  // The batch API takes spans, so callers can point straight into scratch
+  // buffers without copying.
+  LogisticLoss logistic;
+  const double pos[3] = {0.7, -0.2, 3.0};
+  const double neg[3] = {-0.3, 0.1, -4.0};
+  LossBatchGrad out;
+  logistic.ComputeBatch(Span<const double>(pos, 3), Span<const double>(neg, 3),
+                        &out);
+  ASSERT_EQ(out.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    const LossGrad g = logistic.Compute(pos[i], neg[i]);
+    EXPECT_EQ(out.loss[i], g.loss);
+    EXPECT_EQ(out.d_pos[i], g.d_pos);
+    EXPECT_EQ(out.d_neg[i], g.d_neg);
+  }
 }
 
 TEST(DefaultLossTest, FamilySelectsLoss) {

@@ -74,6 +74,9 @@ TrainConfig GoldenTrainConfig() {
   c.margin = 2.0;
   c.batch_size = 32;
   c.num_threads = 1;
+  // The goldens pin the legacy per-pair reference semantics; the fused
+  // engine's parity with it is trainer_parallel_test's job.
+  c.fused_scoring = false;
   c.seed = 17;
   return c;
 }

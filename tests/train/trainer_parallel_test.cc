@@ -1,15 +1,25 @@
 // Batched-engine parity and parallel-execution tests.
 //
-// The contract under test: RunEpoch() with num_threads == 1 reproduces the
-// legacy serial loop (RunEpochSerial) bit-for-bit — same losses, same
-// embedding tables — for both stateless (Bernoulli) and model-coupled
-// (NSCaching) samplers and any batch size; with num_threads > 1 the
-// Hogwild engine still trains (loss decreases, observer sees every pair)
-// even though float races make it run-to-run nondeterministic.
+// Contracts under test:
+//   * RunEpoch() with num_threads == 1 and fused_scoring = false
+//     reproduces the legacy serial loop (RunEpochSerial) bit-for-bit —
+//     same losses, same embedding tables — for both stateless (Bernoulli)
+//     and model-coupled (NSCaching) samplers and any batch size;
+//   * the fused engine (fused_scoring = true) coincides with the pair
+//     path at batch_size == 1 on the forced-scalar dispatch path
+//     (ULP-bounded), and still trains at real batch sizes and under
+//     Hogwild threads;
+//   * with num_threads > 1 both engines keep training (loss decreases,
+//     observer sees every pair) even though float races make runs
+//     nondeterministic.
 #include "train/trainer.h"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -20,6 +30,7 @@
 #include "sampler/kbgan_sampler.h"
 #include "sampler/uniform_sampler.h"
 #include "train/grad_accumulator.h"
+#include "util/simd.h"
 
 namespace nsc {
 namespace {
@@ -40,7 +51,24 @@ TrainConfig SmallTrainConfig() {
   c.epochs = 5;
   c.margin = 2.0;
   c.seed = 3;
+  // The bit-for-bit parity contract is the legacy pair path's; fused
+  // cases opt back in explicitly.
+  c.fused_scoring = false;
   return c;
+}
+
+// Maps a float's bit pattern onto a monotone integer line, so the ULP
+// distance between two floats is the difference of their keys.
+int64_t UlpKey(float x) {
+  int32_t i;
+  std::memcpy(&i, &x, sizeof(i));
+  return i >= 0 ? static_cast<int64_t>(i)
+                : std::numeric_limits<int32_t>::min() - static_cast<int64_t>(i);
+}
+
+int64_t UlpDistance(float a, float b) {
+  const int64_t d = UlpKey(a) - UlpKey(b);
+  return d < 0 ? -d : d;
 }
 
 struct RunResult {
@@ -167,6 +195,174 @@ TEST(TrainerParityTest, SemanticFamilyParityWithL2) {
       RunTraining(data, index, "complex", "bernoulli", config, 2, /*serial=*/false);
   EXPECT_EQ(serial.losses, batched.losses);
   EXPECT_EQ(serial.entities, batched.entities);
+}
+
+// ---- Fused-engine tests --------------------------------------------------
+
+TEST(TrainerFusedTest, FusedMatchesPairPathAtBatchOneUlpBounded) {
+  // At batch_size == 1 the fused step and the pair path perform the same
+  // per-pair arithmetic — the only difference is batched vs single-triple
+  // kernel entry points, which on the forced-scalar dispatch path agree
+  // bit-for-bit (simd_parity_test's contract). Pin fused-vs-pair parity
+  // ULP-bounded there, for both loss families (margin, and logistic with
+  // the L2 penalty through the relation accumulator).
+  simd::ScopedForcePath force(simd::Path::kScalar);
+  const Dataset data = SmallDataset();
+  const KgIndex index(data.train);
+  for (const char* scorer : {"transe", "complex"}) {
+    SCOPED_TRACE(scorer);
+    TrainConfig config = SmallTrainConfig();
+    config.batch_size = 1;
+    config.num_threads = 1;
+    if (std::string(scorer) == "complex") config.l2_lambda = 0.01;
+    TrainConfig fused_config = config;
+    fused_config.fused_scoring = true;
+    const RunResult pair =
+        RunTraining(data, index, scorer, "bernoulli", config, 3,
+                    /*serial=*/false);
+    const RunResult fused =
+        RunTraining(data, index, scorer, "bernoulli", fused_config, 3,
+                    /*serial=*/false);
+    ASSERT_EQ(pair.losses.size(), fused.losses.size());
+    for (size_t e = 0; e < pair.losses.size(); ++e) {
+      EXPECT_NEAR(fused.losses[e], pair.losses[e],
+                  1e-12 * (1.0 + std::abs(pair.losses[e])))
+          << "epoch " << e;
+    }
+    ASSERT_EQ(pair.entities.size(), fused.entities.size());
+    constexpr int64_t kMaxUlps = 4;
+    for (size_t i = 0; i < pair.entities.size(); ++i) {
+      ASSERT_LE(UlpDistance(pair.entities[i], fused.entities[i]), kMaxUlps)
+          << "entity float " << i;
+    }
+    ASSERT_EQ(pair.relations.size(), fused.relations.size());
+    for (size_t i = 0; i < pair.relations.size(); ++i) {
+      ASSERT_LE(UlpDistance(pair.relations[i], fused.relations[i]), kMaxUlps)
+          << "relation float " << i;
+    }
+  }
+}
+
+TEST(TrainerFusedTest, FusedTrainsToLowerLossAtRealBatchSizes) {
+  const Dataset data = SmallDataset();
+  const KgIndex index(data.train);
+  for (const std::string sampler : {"bernoulli", "nscaching"}) {
+    SCOPED_TRACE(sampler);
+    TrainConfig config = SmallTrainConfig();
+    config.batch_size = 256;
+    config.num_threads = 1;
+    config.fused_scoring = true;
+    const RunResult fused =
+        RunTraining(data, index, "transe", sampler, config, 5,
+                    /*serial=*/false);
+    EXPECT_LT(fused.losses.back(), fused.losses.front());
+  }
+}
+
+TEST(TrainerFusedTest, FusedTracksPairPathConvergence) {
+  // Not a bit-wise contract (fused scores are up to fused_block pairs
+  // stale), but the trajectories must stay close: same data, same seed,
+  // final mean loss within a small absolute + relative band.
+  const Dataset data = SmallDataset();
+  const KgIndex index(data.train);
+  TrainConfig config = SmallTrainConfig();
+  config.batch_size = 256;
+  config.num_threads = 1;
+  TrainConfig fused_config = config;
+  fused_config.fused_scoring = true;
+  const RunResult pair = RunTraining(data, index, "transe", "bernoulli",
+                                     config, 5, /*serial=*/false);
+  const RunResult fused = RunTraining(data, index, "transe", "bernoulli",
+                                      fused_config, 5, /*serial=*/false);
+  EXPECT_NEAR(fused.losses.back(), pair.losses.back(),
+              0.05 + 0.2 * pair.losses.back());
+  EXPECT_LT(fused.losses.back(), 0.5 * fused.losses.front());
+}
+
+TEST(TrainerFusedTest, FusedHogwildTrainsWithThreadSafeSamplers) {
+  const Dataset data = SmallDataset();
+  const KgIndex index(data.train);
+  for (const std::string sampler : {"bernoulli", "nscaching"}) {
+    SCOPED_TRACE(sampler);
+    TrainConfig config = SmallTrainConfig();
+    config.batch_size = 128;
+    config.num_threads = 4;
+    config.fused_scoring = true;
+    const RunResult fused =
+        RunTraining(data, index, "transe", sampler, config, 6,
+                    /*serial=*/false);
+    EXPECT_LT(fused.losses.back(), fused.losses.front());
+  }
+}
+
+TEST(TrainerFusedTest, FusedSerialSamplingFallbackTrains) {
+  // The fused parallel engine's serial pre-sampling branch: KBGAN is
+  // thread-hostile (its generator state forces the pre-pass), and
+  // force_serial_sampling pins even a thread-safe sampler onto it — the
+  // "serial refresh" fused rows of bench_throughput run exactly this
+  // path.
+  const Dataset data = SmallDataset();
+  const KgIndex index(data.train);
+  {
+    TrainConfig config = SmallTrainConfig();
+    config.batch_size = 64;
+    config.num_threads = 3;
+    config.fused_scoring = true;
+    const RunResult kbgan = RunTraining(data, index, "transe", "kbgan",
+                                        config, 6, /*serial=*/false);
+    EXPECT_LT(kbgan.losses.back(), kbgan.losses.front());
+  }
+  {
+    KgeModel model(data.num_entities(), data.num_relations(), 12,
+                   MakeScoringFunction("transe"));
+    Rng rng(1);
+    model.InitXavier(&rng);
+    NSCachingConfig nsc_config;
+    nsc_config.n1 = 10;
+    nsc_config.n2 = 10;
+    NSCachingSampler sampler(&model, &index, nsc_config);
+    TrainConfig config = SmallTrainConfig();
+    config.batch_size = 64;
+    config.num_threads = 3;
+    config.fused_scoring = true;
+    config.force_serial_sampling = true;
+    Trainer trainer(&model, &data.train, &sampler, config);
+    const EpochStats first = trainer.RunEpoch();
+    EpochStats last = first;
+    for (int e = 1; e < 6; ++e) last = trainer.RunEpoch();
+    EXPECT_LT(last.mean_loss, first.mean_loss);
+    // The pre-pass still draws both cache sides for every positive.
+    EXPECT_EQ(sampler.stats().selections,
+              2 * static_cast<int64_t>(data.train.size()) * 6);
+  }
+}
+
+TEST(TrainerFusedTest, FusedObserverAndAccountingSeeEveryPair) {
+  const Dataset data = SmallDataset();
+  const KgIndex index(data.train);
+  KgeModel model(data.num_entities(), data.num_relations(), 12,
+                 MakeScoringFunction("transe"));
+  Rng rng(1);
+  model.InitXavier(&rng);
+  NSCachingConfig nsc_config;
+  nsc_config.n1 = 10;
+  nsc_config.n2 = 10;
+  NSCachingSampler sampler(&model, &index, nsc_config);
+  TrainConfig config = SmallTrainConfig();
+  config.batch_size = 64;
+  config.num_threads = 3;
+  config.fused_scoring = true;
+  Trainer trainer(&model, &data.train, &sampler, config);
+  size_t observed = 0;
+  trainer.set_negative_observer(
+      [&](const Triple&, const NegativeSample&, double) { ++observed; });
+  trainer.RunEpoch();
+  const int64_t n = static_cast<int64_t>(data.train.size());
+  EXPECT_EQ(observed, data.train.size());
+  // Two cache draws and two refreshes per positive, sampled inside the
+  // fused workers.
+  EXPECT_EQ(sampler.stats().selections, 2 * n);
+  EXPECT_EQ(sampler.stats().updates, 2 * n);
 }
 
 TEST(TrainerParallelTest, HogwildTrainsToLowerLoss) {
