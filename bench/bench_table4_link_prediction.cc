@@ -11,8 +11,12 @@
 //
 // Runtime is controlled by NSC_SCALE / NSC_EPOCHS / NSC_FULL; by default a
 // reduced sweep runs in a few minutes. NSC_SCORERS / NSC_DATASETS can
-// restrict the grid (comma lists, e.g. NSC_SCORERS=transe,complex).
+// restrict the grid (comma lists, e.g. NSC_SCORERS=transe,complex). All
+// rankings run through the batched 1-vs-all evaluator; --legacy-eval
+// pins the per-candidate reference evaluator instead (identical ranks,
+// useful for timing A/Bs and as an escape hatch).
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -35,9 +39,19 @@ std::vector<std::string> SplitCsv(const std::string& csv) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nsc;
   const bench::Settings s = bench::GetSettings();
+
+  bool legacy_eval = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--legacy-eval") == 0) {
+      legacy_eval = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--legacy-eval]\n", argv[0]);
+      return 1;
+    }
+  }
 
   const std::vector<std::string> scorers = SplitCsv(GetEnvString(
       "NSC_SCORERS", "transe,transh,transd,distmult,complex"));
@@ -46,8 +60,9 @@ int main() {
 
   std::printf(
       "=== Table IV: link prediction, %d epochs (+%d pretrain), dim=%d, "
-      "scale=%.2f ===\n\n",
-      s.epochs, s.pretrain, s.dim, s.scale);
+      "scale=%.2f, %s evaluator ===\n\n",
+      s.epochs, s.pretrain, s.dim, s.scale,
+      legacy_eval ? "legacy per-candidate" : "batched 1-vs-all");
 
   for (const std::string& dataset_name : datasets) {
     const Dataset dataset = bench::GetDataset(dataset_name, s);
@@ -64,6 +79,7 @@ int main() {
         config.pretrain_epochs = pretrain;
         config.train.epochs = epochs;
         config.eval_valid_every = s.eval_every;
+        config.legacy_eval = legacy_eval;
         const PipelineResult result = RunPipeline(dataset, config);
         table.AddRow({scorer, label,
                       TextTable::Fixed(result.test_metrics.mrr(), 4),

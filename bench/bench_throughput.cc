@@ -33,13 +33,23 @@
 // path the fused rows should beat their pair twins — that is the
 // end-to-end payoff of the batched kernels.
 //
+// An evaluation bench (--eval) replaces the training sections with a
+// link-prediction ranking A/B: the legacy per-candidate evaluator (one
+// virtual Score + one hash probe per candidate) against the batched
+// 1-vs-all sweep (ISSUE 5), reporting ranked queries/sec, candidate
+// entity-scores/sec and the effective entity-row bandwidth per scorer.
+// Both evaluators must report the same MRR — the bench fails loudly if
+// they diverge.
+//
 // Knobs: NSC_SCALE / NSC_EPOCHS / NSC_DIM / NSC_SEED (see bench_common.h)
 // plus NSC_THREADS (comma-free max thread count to sweep, default 4).
 // Args: --sampler=bernoulli|nscaching|all (default all) and
 // --scorer=transe|distmult|complex|all (default all) filter the workload
 // and kernel lists; --fused=on|off|both (default both) keeps only the
-// fused rows, only the pair rows, or both.
+// fused rows, only the pair rows, or both; --eval runs the evaluation
+// A/B instead of the training sections.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -50,6 +60,7 @@
 #include "embedding/initializer.h"
 #include "kg/kg_index.h"
 #include "sampler/bernoulli_sampler.h"
+#include "train/link_prediction.h"
 #include "train/trainer.h"
 #include "util/simd.h"
 #include "util/stopwatch.h"
@@ -221,6 +232,104 @@ bool RunKernelMicrobench(const std::string& scorer_filter, int dim,
   return any;
 }
 
+// ---- Evaluation bench ------------------------------------------------------
+
+struct EvalRunResult {
+  double queries_per_sec = 0.0;  // Ranked (triple, side) queries/sec.
+  double scores_per_sec = 0.0;   // Candidate entity scores/sec.
+  double gbps = 0.0;             // Entity-row bytes streamed per second.
+  double mrr = 0.0;              // Sanity: must agree across evaluators.
+};
+
+// Times repeated full evaluations (one untimed warmup) for ~0.3s on one
+// thread, so the numbers isolate per-query evaluator cost rather than
+// thread scaling.
+EvalRunResult MeasureEval(const KgeModel& model, const TripleStore& test,
+                          const KgIndex& filter, bool batched,
+                          size_t max_triples) {
+  LinkPredictionOptions opts;
+  opts.num_threads = 1;
+  opts.max_triples = max_triples;
+  opts.use_batched = batched;
+  const size_t limit =
+      max_triples == 0 ? test.size() : std::min(max_triples, test.size());
+  RankingMetrics m = EvaluateLinkPrediction(model, test, filter, opts);
+  int reps = 0;
+  Stopwatch watch;
+  do {
+    m = EvaluateLinkPrediction(model, test, filter, opts);
+    ++reps;
+  } while (watch.Seconds() < 0.3);
+  EvalRunResult r;
+  const double queries = 2.0 * static_cast<double>(limit) * reps;
+  r.queries_per_sec = queries / watch.Seconds();
+  r.scores_per_sec = r.queries_per_sec * model.num_entities();
+  r.gbps =
+      r.scores_per_sec * model.entity_table().width() * sizeof(float) / 1e9;
+  r.mrr = m.mrr();
+  return r;
+}
+
+int RunEvalBench(const std::string& scorer_filter, const bench::Settings& s) {
+  const Dataset data = bench::GetDataset("wn18rr", s);
+  const KgIndex filter(std::vector<const TripleStore*>{
+      &data.train, &data.valid, &data.test});
+  const size_t cap = std::min(
+      s.eval_cap == 0 ? data.test.size() : s.eval_cap, data.test.size());
+  std::printf("--- link-prediction evaluation: legacy per-candidate vs "
+              "batched 1-vs-all ---\n");
+  std::printf("|E|=%d  %zu test triples (x2 sides)  dim=%d  filtered  t=1\n\n",
+              data.num_entities(), cap, s.dim);
+  TextTable table;
+  table.SetHeader({"scorer", "evaluator", "queries/s", "Mscores/s", "GB/s",
+                   "speedup"});
+  bool any = false;
+  bool mrr_mismatch = false;
+  for (const char* name : {"transe", "distmult", "complex"}) {
+    if (scorer_filter != "all" && scorer_filter != name) continue;
+    any = true;
+    KgeModel model(data.num_entities(), data.num_relations(), s.dim,
+                   MakeScoringFunction(name));
+    Rng rng(s.seed);
+    model.InitXavier(&rng);
+    const EvalRunResult legacy =
+        MeasureEval(model, data.test, filter, /*batched=*/false, cap);
+    const EvalRunResult batched =
+        MeasureEval(model, data.test, filter, /*batched=*/true, cap);
+    auto add_row = [&](const char* label, const EvalRunResult& r) {
+      char qps[32], sps[32], gbps[32], sp[32];
+      std::snprintf(qps, sizeof(qps), "%.0f", r.queries_per_sec);
+      std::snprintf(sps, sizeof(sps), "%.1f", r.scores_per_sec / 1e6);
+      std::snprintf(gbps, sizeof(gbps), "%.2f", r.gbps);
+      std::snprintf(sp, sizeof(sp), "%.2fx",
+                    legacy.queries_per_sec > 0.0
+                        ? r.queries_per_sec / legacy.queries_per_sec
+                        : 0.0);
+      table.AddRow({name, label, qps, sps, gbps, sp});
+    };
+    add_row("legacy", legacy);
+    add_row("1-vs-all", batched);
+    if (batched.mrr != legacy.mrr) {
+      mrr_mismatch = true;
+      std::fprintf(stderr,
+                   "FAIL: %s evaluators disagree: legacy MRR=%.17g vs "
+                   "1-vs-all MRR=%.17g\n",
+                   name, legacy.mrr, batched.mrr);
+    }
+  }
+  if (!any) {
+    std::fprintf(stderr, "no eval scorer matches --scorer\n");
+    return 1;
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Each query ranks one test-triple side against every entity. The\n"
+      "1-vs-all rows stream the padded entity table through one sweep\n"
+      "kernel per query and mask the per-query filter lists; the legacy\n"
+      "rows pay one virtual Score() and one hash probe per candidate.\n");
+  return mrr_mismatch ? 1 : 0;
+}
+
 }  // namespace
 }  // namespace nsc
 
@@ -230,6 +339,7 @@ int main(int argc, char** argv) {
   std::string sampler_filter = "all";
   std::string scorer_filter = "all";
   std::string fused_filter = "both";
+  bool eval_only = false;
   for (int i = 1; i < argc; ++i) {
     const char* kSamplerFlag = "--sampler=";
     const char* kScorerFlag = "--scorer=";
@@ -242,11 +352,13 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], kFusedFlag, std::strlen(kFusedFlag)) ==
                0) {
       fused_filter = argv[i] + std::strlen(kFusedFlag);
+    } else if (std::strcmp(argv[i], "--eval") == 0) {
+      eval_only = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--sampler=bernoulli|nscaching|all]"
                    " [--scorer=transe|distmult|complex|all]"
-                   " [--fused=on|off|both]\n",
+                   " [--fused=on|off|both] [--eval]\n",
                    argv[0]);
       return 1;
     }
@@ -273,6 +385,13 @@ int main(int argc, char** argv) {
   const int max_threads =
       static_cast<int>(GetEnvInt("NSC_THREADS", 4));
   const int epochs = std::max(1, std::min(s.epochs, 5));
+
+  if (eval_only) {
+    std::printf("=== Link-prediction evaluation throughput ===\n\n");
+    std::printf("simd dispatch: %s  (NSC_FORCE_SCALAR=1 forces scalar)\n\n",
+                simd::ActivePathName());
+    return RunEvalBench(scorer_filter, s);
+  }
 
   const Dataset data = bench::GetDataset("wn18rr", s);
   const KgIndex index(data.train);

@@ -83,33 +83,51 @@ int CacheUpdater::Update(std::vector<EntityId>* entry, Rng* rng,
   return changed;
 }
 
+namespace {
+
+// Reused pool/score buffers for the per-refresh candidate broadcast.
+// thread_local because NSCaching refreshes run inside the Hogwild
+// workers (PR 2); after warm-up a refresh allocates nothing on the
+// candidate-scoring side — the scoring itself is one 1-vs-all sweep
+// (KgeModel::Score{Head,Tail}Candidates gathers the pool rows and
+// broadcasts the fixed pair through ScoringFunction::ScoreAllCandidates).
+struct RefreshScratch {
+  std::vector<EntityId> pool;
+  std::vector<double> scores;
+};
+
+RefreshScratch& Scratch() {
+  static thread_local RefreshScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
 CacheRefreshResult CacheUpdater::UpdateHeadEntry(std::vector<EntityId>* entry,
                                                  RelationId r, EntityId t,
                                                  Rng* rng) const {
-  std::vector<EntityId> pool;
+  RefreshScratch& s = Scratch();
   auto is_known = [&](EntityId h_bar) {
     return filter_index_ != nullptr && filter_index_->Contains({h_bar, r, t});
   };
   CacheRefreshResult result;
-  result.true_admissions = BuildPool(*entry, rng, is_known, &pool);
-  std::vector<double> scores;
-  model_->ScoreHeadCandidates(r, t, pool, &scores);
-  result.changed = Update(entry, rng, scores, pool);
+  result.true_admissions = BuildPool(*entry, rng, is_known, &s.pool);
+  model_->ScoreHeadCandidates(r, t, s.pool, &s.scores);
+  result.changed = Update(entry, rng, s.scores, s.pool);
   return result;
 }
 
 CacheRefreshResult CacheUpdater::UpdateTailEntry(std::vector<EntityId>* entry,
                                                  EntityId h, RelationId r,
                                                  Rng* rng) const {
-  std::vector<EntityId> pool;
+  RefreshScratch& s = Scratch();
   auto is_known = [&](EntityId t_bar) {
     return filter_index_ != nullptr && filter_index_->Contains({h, r, t_bar});
   };
   CacheRefreshResult result;
-  result.true_admissions = BuildPool(*entry, rng, is_known, &pool);
-  std::vector<double> scores;
-  model_->ScoreTailCandidates(h, r, pool, &scores);
-  result.changed = Update(entry, rng, scores, pool);
+  result.true_admissions = BuildPool(*entry, rng, is_known, &s.pool);
+  model_->ScoreTailCandidates(h, r, s.pool, &s.scores);
+  result.changed = Update(entry, rng, s.scores, s.pool);
   return result;
 }
 

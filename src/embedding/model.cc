@@ -1,5 +1,7 @@
 #include "embedding/model.h"
 
+#include <cstring>
+
 #include "embedding/initializer.h"
 #include "util/logging.h"
 
@@ -18,6 +20,15 @@ struct BatchScratch {
 BatchScratch& Scratch() {
   static thread_local BatchScratch scratch;
   return scratch;
+}
+
+// Contiguous row slab for the candidate-list sweeps (cache refresh):
+// candidate rows are gathered here so ScoreAllCandidates streams one
+// slab instead of chasing per-candidate pointers. Allocation-free after
+// warm-up, like the pointer scratch.
+AlignedFloatVector& GatherScratch() {
+  static thread_local AlignedFloatVector rows;
+  return rows;
 }
 
 }  // namespace
@@ -78,11 +89,58 @@ void KgeModel::ScoreBatch(const std::vector<Triple>& triples,
   ScoreBatch(triples.data(), triples.size(), out->data());
 }
 
+void KgeModel::ScoreAllHeads(RelationId r, EntityId t, double* out) const {
+  if (entities_.rows() == 0) return;
+  scorer_->ScoreAllCandidates(CorruptionSide::kHead, entities_.Row(t),
+                              relations_.Row(r), entities_.Row(0),
+                              static_cast<size_t>(entities_.stride()),
+                              static_cast<size_t>(entities_.rows()), dim_, out);
+}
+
+void KgeModel::ScoreAllTails(EntityId h, RelationId r, double* out) const {
+  if (entities_.rows() == 0) return;
+  scorer_->ScoreAllCandidates(CorruptionSide::kTail, entities_.Row(h),
+                              relations_.Row(r), entities_.Row(0),
+                              static_cast<size_t>(entities_.stride()),
+                              static_cast<size_t>(entities_.rows()), dim_, out);
+}
+
+namespace {
+
+// Gathers `candidates`' entity rows into one contiguous slab (the sweep
+// calling convention). Only the logical width is copied; sweeps never
+// read a row past it, so stale floats between width and stride are fine.
+const float* GatherCandidateRows(const EmbeddingTable& entities,
+                                 const std::vector<EntityId>& candidates) {
+  AlignedFloatVector& rows = GatherScratch();
+  const size_t stride = entities.stride();
+  rows.resize(candidates.size() * stride);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    std::memcpy(rows.data() + i * stride, entities.Row(candidates[i]),
+                entities.width() * sizeof(float));
+  }
+  return rows.data();
+}
+
+}  // namespace
+
 void KgeModel::ScoreHeadCandidates(RelationId r, EntityId t,
                                    const std::vector<EntityId>& candidates,
                                    std::vector<double>* out) const {
   const size_t n = candidates.size();
   out->resize(n);
+  if (n == 0) return;
+  if (scorer_->simd_accelerated()) {
+    scorer_->ScoreAllCandidates(CorruptionSide::kHead, entities_.Row(t),
+                                relations_.Row(r),
+                                GatherCandidateRows(entities_, candidates),
+                                static_cast<size_t>(entities_.stride()), n,
+                                dim_, out->data());
+    return;
+  }
+  // Non-SIMD scorers run the generic ScoreBatch loops either way, so the
+  // gather copy would buy nothing — keep the zero-copy pointer-array
+  // broadcast for them.
   BatchScratch& s = Scratch();
   s.h.resize(n);
   s.r.assign(n, relations_.Row(r));
@@ -97,6 +155,15 @@ void KgeModel::ScoreTailCandidates(EntityId h, RelationId r,
                                    std::vector<double>* out) const {
   const size_t n = candidates.size();
   out->resize(n);
+  if (n == 0) return;
+  if (scorer_->simd_accelerated()) {
+    scorer_->ScoreAllCandidates(CorruptionSide::kTail, entities_.Row(h),
+                                relations_.Row(r),
+                                GatherCandidateRows(entities_, candidates),
+                                static_cast<size_t>(entities_.stride()), n,
+                                dim_, out->data());
+    return;
+  }
   BatchScratch& s = Scratch();
   s.h.assign(n, entities_.Row(h));
   s.r.assign(n, relations_.Row(r));

@@ -55,9 +55,25 @@ class KgeModel {
   void ScoreBatch(const std::vector<Triple>& triples,
                   std::vector<double>* out) const;
 
+  /// Scores every entity as a candidate head for fixed (r, t) in one
+  /// 1-vs-all kernel sweep over the contiguous entity table:
+  /// out[e] = f(e, r, t) for e in [0, num_entities). `out` must hold
+  /// num_entities() doubles. This is the link-prediction ranking hot
+  /// path: no per-candidate pointer arrays, virtual dispatch once per
+  /// sweep (ScoringFunction::ScoreAllCandidates).
+  void ScoreAllHeads(RelationId r, EntityId t, double* out) const;
+
+  /// Scores every entity as a candidate tail for fixed (h, r).
+  void ScoreAllTails(EntityId h, RelationId r, double* out) const;
+
   /// Scores every candidate head h̄ for fixed (r, t): out[i] = f(c[i], r, t).
-  /// Routed through ScoringFunction::ScoreBatch — this is NSCaching's cache
-  /// refresh hot path (the N1+N2 candidate scoring of Algorithm 3).
+  /// For SIMD-accelerated scorers the candidate rows are gathered into
+  /// one contiguous slab and swept through
+  /// ScoringFunction::ScoreAllCandidates — this is NSCaching's cache
+  /// refresh hot path (the N1+N2 candidate scoring of Algorithm 3), the
+  /// second consumer of the 1-vs-all primitive. Scorers on the generic
+  /// loops keep the zero-copy pointer-array ScoreBatch broadcast (the
+  /// gather would buy them nothing).
   void ScoreHeadCandidates(RelationId r, EntityId t,
                            const std::vector<EntityId>& candidates,
                            std::vector<double>* out) const;

@@ -54,4 +54,14 @@ void ComplEx::BackwardBatch(const float* const* h, const float* const* r,
   simd::Kernels().complex_backward(h, r, t, dim, n, coeff, gh, gr, gt);
 }
 
+void ComplEx::ScoreAllCandidates(CorruptionSide side, const float* fixed_entity,
+                                 const float* fixed_relation,
+                                 const float* base, std::size_t stride,
+                                 std::size_t count, int dim,
+                                 double* out) const {
+  (side == CorruptionSide::kHead ? simd::Kernels().complex_sweep_head
+                                 : simd::Kernels().complex_sweep_tail)(
+      fixed_entity, fixed_relation, base, stride, count, dim, out);
+}
+
 }  // namespace nsc

@@ -34,4 +34,15 @@ void DistMult::BackwardBatch(const float* const* h, const float* const* r,
   simd::Kernels().distmult_backward(h, r, t, dim, n, coeff, gh, gr, gt);
 }
 
+void DistMult::ScoreAllCandidates(CorruptionSide side,
+                                  const float* fixed_entity,
+                                  const float* fixed_relation,
+                                  const float* base, std::size_t stride,
+                                  std::size_t count, int dim,
+                                  double* out) const {
+  (side == CorruptionSide::kHead ? simd::Kernels().distmult_sweep_head
+                                 : simd::Kernels().distmult_sweep_tail)(
+      fixed_entity, fixed_relation, base, stride, count, dim, out);
+}
+
 }  // namespace nsc

@@ -44,6 +44,15 @@ void TransE::BackwardBatch(const float* const* h, const float* const* r,
   simd::Kernels().transe_backward(h, r, t, dim, n, coeff, gh, gr, gt);
 }
 
+void TransE::ScoreAllCandidates(CorruptionSide side, const float* fixed_entity,
+                                const float* fixed_relation, const float* base,
+                                std::size_t stride, std::size_t count, int dim,
+                                double* out) const {
+  (side == CorruptionSide::kHead ? simd::Kernels().transe_sweep_head
+                                 : simd::Kernels().transe_sweep_tail)(
+      fixed_entity, fixed_relation, base, stride, count, dim, out);
+}
+
 void TransE::ProjectEntityRow(float* row, int dim) const {
   const float norm = L2Norm(row, dim);
   if (norm > 1.0f) Scale(1.0f / norm, row, dim);

@@ -25,6 +25,10 @@ class TransE : public ScoringFunction {
                      const float* const* t, int dim, size_t n,
                      const float* coeff, float* const* gh, float* const* gr,
                      float* const* gt) const override;
+  void ScoreAllCandidates(CorruptionSide side, const float* fixed_entity,
+                          const float* fixed_relation, const float* base,
+                          std::size_t stride, std::size_t count, int dim,
+                          double* out) const override;
   bool simd_accelerated() const override { return true; }
   /// Entities live on/inside the unit L2 ball, as in [7].
   void ProjectEntityRow(float* row, int dim) const override;

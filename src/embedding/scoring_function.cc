@@ -1,5 +1,7 @@
 #include "embedding/scoring_function.h"
 
+#include <algorithm>
+
 #include "embedding/scorers/complex.h"
 #include "embedding/scorers/distmult.h"
 #include "embedding/scorers/hole.h"
@@ -10,6 +12,34 @@
 #include "embedding/scorers/transr.h"
 
 namespace nsc {
+
+void ScoringFunction::ScoreAllCandidates(CorruptionSide side,
+                                         const float* fixed_entity,
+                                         const float* fixed_relation,
+                                         const float* base, std::size_t stride,
+                                         std::size_t count, int dim,
+                                         double* out) const {
+  // Generic fallback: tile the sweep through ScoreBatch with the fixed
+  // rows broadcast across each tile. Stack-sized pointer arrays keep the
+  // fallback allocation-free.
+  constexpr std::size_t kTile = 256;
+  const float* cand[kTile];
+  const float* fixed_e[kTile];
+  const float* fixed_r[kTile];
+  for (std::size_t lo = 0; lo < count; lo += kTile) {
+    const std::size_t n = std::min(kTile, count - lo);
+    for (std::size_t i = 0; i < n; ++i) {
+      cand[i] = base + (lo + i) * stride;
+      fixed_e[i] = fixed_entity;
+      fixed_r[i] = fixed_relation;
+    }
+    if (side == CorruptionSide::kHead) {
+      ScoreBatch(cand, fixed_r, fixed_e, dim, n, out + lo);
+    } else {
+      ScoreBatch(fixed_e, fixed_r, cand, dim, n, out + lo);
+    }
+  }
+}
 
 std::unique_ptr<ScoringFunction> MakeScoringFunction(const std::string& name) {
   if (name == "transe") return std::make_unique<TransE>();

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "kg/types.h"
+
 namespace nsc {
 
 /// The two families of §II of the paper; the family selects the default
@@ -80,6 +82,27 @@ class ScoringFunction {
       Backward(h[i], r[i], t[i], dim, coeff[i], gh[i], gr[i], gt[i]);
     }
   }
+
+  /// 1-vs-all sweep: scores one fixed pair against `count` candidate
+  /// entity rows laid out contiguously at `base + i * stride` floats (an
+  /// EmbeddingTable slab — stride may exceed the entity width under the
+  /// padded layout, and only the logical row prefix is read):
+  ///   side == kHead: out[i] = Score(base + i*stride, fixed_relation,
+  ///                                 fixed_entity)   // fixed (r, t)
+  ///   side == kTail: out[i] = Score(fixed_entity, fixed_relation,
+  ///                                 base + i*stride) // fixed (h, r)
+  /// This is the primitive behind link-prediction ranking (score a test
+  /// triple against every entity) and NSCaching's cache-refresh broadcast.
+  /// The default tiles through ScoreBatch — correct for every scorer, one
+  /// virtual dispatch per tile instead of per candidate; the SIMD
+  /// scorers override it with kernels that stream the candidate rows
+  /// directly, with no per-candidate pointer arrays at all.
+  virtual void ScoreAllCandidates(CorruptionSide side,
+                                  const float* fixed_entity,
+                                  const float* fixed_relation,
+                                  const float* base, std::size_t stride,
+                                  std::size_t count, int dim,
+                                  double* out) const;
 
   /// True when this scorer's batched kernels route through the SIMD
   /// dispatch layer (util/simd.h). Scorers reporting false always run

@@ -1,8 +1,10 @@
 // Hash indexes over a set of triples:
-//   - membership test Contains(h, r, t) — the "filtered" evaluation setting
-//     and false-negative filtering both need it;
-//   - adjacency lists (h, r) -> tails and (r, t) -> heads — used to skip
-//     known-true corruptions when ranking;
+//   - membership test Contains(h, r, t) — false-negative filtering and the
+//     legacy per-candidate evaluator need it;
+//   - adjacency lists (h, r) -> tails and (r, t) -> heads — deduplicated
+//     at build time; the batched 1-vs-all evaluator masks exactly these
+//     per-query lists to realise the "filtered" setting in O(|list|)
+//     corrections instead of O(|E|) hash probes;
 //   - per-relation cardinality statistics tph ("tails per head") and hpt
 //     ("heads per tail") — the Bernoulli sampling scheme of TransH [42]
 //     corrupts the head with probability tph / (tph + hpt).

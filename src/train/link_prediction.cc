@@ -1,6 +1,7 @@
 #include "train/link_prediction.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "util/logging.h"
@@ -10,13 +11,28 @@ namespace nsc {
 
 namespace {
 
-/// Rank of the true entity for one side of one triple.
-int64_t RankOneSide(const KgeModel& model, const Triple& x,
-                    CorruptionSide side, const KgIndex& filter_index,
-                    bool filtered) {
+/// Strictly-greater / exactly-equal candidate counts for one side of one
+/// query. The rank is derived from these per the tie policy.
+struct SideCounts {
+  int64_t greater = 0;
+  int64_t ties = 0;
+};
+
+double RankFromCounts(const SideCounts& c, TieBreak tie_break) {
+  const double optimistic = static_cast<double>(c.greater + 1);
+  return tie_break == TieBreak::kOptimistic
+             ? optimistic
+             : optimistic + 0.5 * static_cast<double>(c.ties);
+}
+
+/// Legacy reference evaluator: one virtual Score() and (when filtered)
+/// one hash probe per candidate entity.
+SideCounts CountOneSideLegacy(const KgeModel& model, const Triple& x,
+                              CorruptionSide side, const KgIndex& filter_index,
+                              bool filtered) {
   const int32_t num_entities = model.num_entities();
   const double true_score = model.Score(x);
-  int64_t greater = 0;
+  SideCounts counts;
   Triple corrupted = x;
   for (EntityId e = 0; e < num_entities; ++e) {
     if (side == CorruptionSide::kHead) {
@@ -27,9 +43,40 @@ int64_t RankOneSide(const KgeModel& model, const Triple& x,
       corrupted.t = e;
     }
     if (filtered && filter_index.Contains(corrupted)) continue;
-    if (model.Score(corrupted) > true_score) ++greater;
+    const double s = model.Score(corrupted);
+    counts.greater += s > true_score;
+    counts.ties += s == true_score;
   }
-  return greater + 1;
+  return counts;
+}
+
+/// Batched counterpart over a full 1-vs-all sweep: `scores[e]` holds the
+/// candidate score of every entity e (including the true one, whose own
+/// sweep score is the comparison reference so candidate-vs-true
+/// comparisons never mix two kernels' arithmetic). The dense count over
+/// all entities is a branch-free, vectorizable loop; the true entity and
+/// (when filtered) the per-query known-true list are then subtracted —
+/// O(|filter list|) corrections instead of O(|E|) hash probes. The lists
+/// are deduplicated at KgIndex build time, so each candidate is
+/// subtracted at most once.
+SideCounts CountOneSideBatched(const double* scores, int32_t num_entities,
+                               EntityId true_entity, bool filtered,
+                               const std::vector<EntityId>& known) {
+  const double true_score = scores[true_entity];
+  SideCounts counts;
+  for (int32_t e = 0; e < num_entities; ++e) {
+    counts.greater += scores[e] > true_score;
+    counts.ties += scores[e] == true_score;
+  }
+  --counts.ties;  // The true entity always ties with itself.
+  if (filtered) {
+    for (EntityId f : known) {
+      if (f == true_entity) continue;
+      counts.greater -= scores[f] > true_score;
+      counts.ties -= scores[f] == true_score;
+    }
+  }
+  return counts;
 }
 
 }  // namespace
@@ -41,21 +88,62 @@ RankingMetrics EvaluateLinkPrediction(const KgeModel& model,
   const size_t limit = options.max_triples == 0
                            ? eval_set.size()
                            : std::min(options.max_triples, eval_set.size());
+  if (limit == 0) return {};
   const int threads =
       options.num_threads > 0 ? options.num_threads : DefaultThreadCount();
 
-  std::vector<RankingMetrics> per_worker(threads);
+  // One contiguous chunk of queries per slot. Each task accumulates into
+  // a worker-local RankingMetrics and stores it once, so no two workers
+  // ever write the same accumulator concurrently; the slots are
+  // cacheline-padded anyway so even those single stores cannot false
+  // share. Merging in chunk order keeps the result deterministic in the
+  // thread count regardless of which worker ran which chunk.
+  struct alignas(64) ChunkSlot {
+    RankingMetrics metrics;
+  };
+  const size_t num_chunks = std::min(static_cast<size_t>(threads), limit);
+  const size_t chunk = (limit + num_chunks - 1) / num_chunks;
+  std::vector<ChunkSlot> slots(num_chunks);
+
   ThreadPool pool(threads);
-  pool.ParallelFor(0, limit, [&](size_t i, int worker) {
-    const Triple& x = eval_set[i];
-    per_worker[worker].AddRank(RankOneSide(model, x, CorruptionSide::kHead,
-                                           filter_index, options.filtered));
-    per_worker[worker].AddRank(RankOneSide(model, x, CorruptionSide::kTail,
-                                           filter_index, options.filtered));
-  });
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t lo = c * chunk;
+    const size_t hi = std::min(limit, lo + chunk);
+    if (lo >= hi) break;
+    pool.Schedule([&, lo, hi, c](int /*worker*/) {
+      RankingMetrics local;
+      std::vector<double> scores;
+      if (options.use_batched) {
+        scores.resize(static_cast<size_t>(model.num_entities()));
+      }
+      for (size_t i = lo; i < hi; ++i) {
+        const Triple& x = eval_set[i];
+        SideCounts head, tail;
+        if (options.use_batched) {
+          model.ScoreAllHeads(x.r, x.t, scores.data());
+          head = CountOneSideBatched(scores.data(), model.num_entities(), x.h,
+                                     options.filtered,
+                                     filter_index.HeadsOf(x.r, x.t));
+          model.ScoreAllTails(x.h, x.r, scores.data());
+          tail = CountOneSideBatched(scores.data(), model.num_entities(), x.t,
+                                     options.filtered,
+                                     filter_index.TailsOf(x.h, x.r));
+        } else {
+          head = CountOneSideLegacy(model, x, CorruptionSide::kHead,
+                                    filter_index, options.filtered);
+          tail = CountOneSideLegacy(model, x, CorruptionSide::kTail,
+                                    filter_index, options.filtered);
+        }
+        local.AddRank(RankFromCounts(head, options.tie_break));
+        local.AddRank(RankFromCounts(tail, options.tie_break));
+      }
+      slots[c].metrics = local;
+    });
+  }
+  pool.Wait();
 
   RankingMetrics total;
-  for (const auto& m : per_worker) total.Merge(m);
+  for (const ChunkSlot& slot : slots) total.Merge(slot.metrics);
   return total;
 }
 

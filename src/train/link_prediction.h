@@ -5,6 +5,18 @@
 // train ∪ valid ∪ test) are skipped so a model is not penalised for
 // ranking another true fact highly. Evaluation parallelises over test
 // triples with a thread pool.
+//
+// Two evaluator implementations share the protocol:
+//   - the batched 1-vs-all ranker (default): per query one
+//     KgeModel::ScoreAllHeads/ScoreAllTails sweep fills a per-worker
+//     score buffer over every entity, the rank is a vectorizable count
+//     of scores above the true score, and the filtered setting masks the
+//     per-query known-true candidate lists the KgIndex already stores
+//     (HeadsOf/TailsOf) — O(|filter|) corrections instead of O(|E|)
+//     hash probes;
+//   - the legacy per-candidate loop (use_batched = false): one virtual
+//     Score() plus one Contains() per candidate, kept as the reference
+//     the parity test pins the sweep against.
 #ifndef NSCACHING_TRAIN_LINK_PREDICTION_H_
 #define NSCACHING_TRAIN_LINK_PREDICTION_H_
 
@@ -15,6 +27,20 @@
 
 namespace nsc {
 
+/// How candidates whose score exactly equals the true triple's score are
+/// ranked.
+enum class TieBreak {
+  /// rank = 1 + #strictly greater — the historical (optimistic)
+  /// convention. A degenerate model scoring every triple identically
+  /// reports a perfect MRR of 1.0 under this rule.
+  kOptimistic,
+  /// rank = 1 + #strictly greater + #ties / 2 — each tied candidate
+  /// counts half, the expected rank under random tie shuffling. The
+  /// all-equal-scores degenerate model reports MRR ≈ 2/|E| instead
+  /// of 1.0.
+  kMean,
+};
+
 /// Evaluation knobs.
 struct LinkPredictionOptions {
   /// Skip known-true corruptions (the paper's "Filtered" setting).
@@ -24,12 +50,17 @@ struct LinkPredictionOptions {
   /// Evaluate at most this many triples (0 = all) — lets benches trade
   /// precision for speed on the periodic evaluations of Figures 2-5.
   size_t max_triples = 0;
+  /// Rank through the batched 1-vs-all sweep (default). false pins the
+  /// legacy per-candidate evaluator — the escape hatch the benches
+  /// expose as --legacy-eval, and the baseline of the parity test.
+  bool use_batched = true;
+  /// Tie handling; kOptimistic reproduces the historical ranks exactly.
+  TieBreak tie_break = TieBreak::kOptimistic;
 };
 
 /// Ranks every triple of `eval_set` under `model`. `filter_index` must
 /// cover train+valid+test when options.filtered (pass the train-only
-/// index for the "raw" setting). Ranks use the optimistic convention:
-/// rank = 1 + #candidates with strictly larger score.
+/// index for the "raw" setting).
 RankingMetrics EvaluateLinkPrediction(const KgeModel& model,
                                       const TripleStore& eval_set,
                                       const KgIndex& filter_index,

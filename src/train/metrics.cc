@@ -1,17 +1,19 @@
 #include "train/metrics.h"
 
+#include <cmath>
 #include <sstream>
 
 #include "util/logging.h"
 
 namespace nsc {
 
-void RankingMetrics::AddRank(int64_t rank) {
-  CHECK_GE(rank, 1);
+void RankingMetrics::AddRank(double rank) {
+  CHECK_GE(rank, 1.0);
   ++count_;
-  reciprocal_sum_ += 1.0 / static_cast<double>(rank);
+  reciprocal_sum_ += 1.0 / rank;
   rank_sum_ += rank;
-  for (int k = static_cast<int>(rank); k <= kMaxTrackedK; ++k) {
+  // rank <= k first holds at k = ceil(rank).
+  for (int k = static_cast<int>(std::ceil(rank)); k <= kMaxTrackedK; ++k) {
     ++hits_le_[k - 1];
   }
 }
@@ -28,9 +30,7 @@ double RankingMetrics::mrr() const {
 }
 
 double RankingMetrics::mr() const {
-  return count_ == 0
-             ? 0.0
-             : static_cast<double>(rank_sum_) / static_cast<double>(count_);
+  return count_ == 0 ? 0.0 : rank_sum_ / static_cast<double>(count_);
 }
 
 double RankingMetrics::hits_at(int k) const {

@@ -8,11 +8,15 @@
 
 namespace nsc {
 
-/// Accumulator over individual ranks (1-based).
+/// Accumulator over individual ranks (1-based). Ranks may be fractional:
+/// the tie-aware evaluation mode (TieBreak::kMean) counts each tied
+/// candidate as half a rank, so a rank of e.g. 2.5 is legal. A
+/// fractional rank contributes to hits_at(k) iff rank <= k, exactly like
+/// an integer one.
 class RankingMetrics {
  public:
-  /// Records one rank.
-  void AddRank(int64_t rank);
+  /// Records one rank (>= 1; integer ranks convert implicitly).
+  void AddRank(double rank);
 
   /// Merges another accumulator (for parallel evaluation).
   void Merge(const RankingMetrics& other);
@@ -32,7 +36,7 @@ class RankingMetrics {
   static constexpr int kMaxTrackedK = 10;
   size_t count_ = 0;
   double reciprocal_sum_ = 0.0;
-  int64_t rank_sum_ = 0;
+  double rank_sum_ = 0.0;
   // hits_le_[k-1] = #ranks <= k for k = 1..10.
   int64_t hits_le_[kMaxTrackedK] = {0};
 };

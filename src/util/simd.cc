@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <vector>
 
 #include "util/env.h"
 #include "util/logging.h"
@@ -134,9 +135,137 @@ void ComplExBackwardScalar(const float* const* h, const float* const* r,
   }
 }
 
+// ---- Scalar 1-vs-all sweep kernels -----------------------------------------
+// Literal transcriptions of the scalar Score loops with the candidate row
+// substituted for one side, so a forced-scalar sweep is bit-identical to
+// per-candidate scalar scoring (the link-prediction parity test pins this).
+
+void TransESweepHeadScalar(const float* fixed_e, const float* fixed_r,
+                           const float* base, std::size_t stride,
+                           std::size_t count, int dim, double* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* cv = base + i * stride;
+    double s = 0.0;
+    for (int k = 0; k < dim; ++k) {
+      s += std::fabs(cv[k] + fixed_r[k] - fixed_e[k]);
+    }
+    out[i] = -s;
+  }
+}
+
+void TransESweepTailScalar(const float* fixed_e, const float* fixed_r,
+                           const float* base, std::size_t stride,
+                           std::size_t count, int dim, double* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* cv = base + i * stride;
+    double s = 0.0;
+    for (int k = 0; k < dim; ++k) {
+      s += std::fabs(fixed_e[k] + fixed_r[k] - cv[k]);
+    }
+    out[i] = -s;
+  }
+}
+
+// The DistMult/ComplEx sweeps hoist the pairwise products of the fixed
+// rows out of the candidate loop, widened to double. A float × float
+// product is exact in double (24-bit × 24-bit significands fit in 53),
+// so cand * (x*y) rounds identically to the scalar Score's (cand*x) * y
+// — every term is the once-rounded exact triple product either way, and
+// the forced-scalar sweep stays bit-identical to per-candidate scoring
+// while halving the per-candidate multiply and widening work.
+
+/// Thread-local scratch for the hoisted fixed-pair products.
+std::vector<double>& SweepScratch() {
+  static thread_local std::vector<double> scratch;
+  return scratch;
+}
+
+void DistMultSweepScalar(const float* fixed_e, const float* fixed_r,
+                         const float* base, std::size_t stride,
+                         std::size_t count, int dim, double* out) {
+  std::vector<double>& scratch = SweepScratch();
+  scratch.resize(dim);
+  double* w = scratch.data();
+  for (int k = 0; k < dim; ++k) w[k] = double(fixed_e[k]) * fixed_r[k];
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* cv = base + i * stride;
+    double s = 0.0;
+    for (int k = 0; k < dim; ++k) s += double(cv[k]) * w[k];
+    out[i] = s;
+  }
+}
+
+/// term = cr*a + ci*b + cr*c − ci*d in the scalar loop's t1+t2+t3−t4
+/// order; head (cand = h): a = rr*tr, b = rr*ti, c = ri*ti, d = ri*tr.
+void ComplExSweepHeadScalar(const float* fixed_e, const float* fixed_r,
+                            const float* base, std::size_t stride,
+                            std::size_t count, int dim, double* out) {
+  const float* rr = fixed_r;
+  const float* ri = fixed_r + dim;
+  const float* tr = fixed_e;
+  const float* ti = fixed_e + dim;
+  std::vector<double>& scratch = SweepScratch();
+  scratch.resize(4 * dim);
+  double* a = scratch.data();
+  double* b = a + dim;
+  double* c = b + dim;
+  double* d = c + dim;
+  for (int k = 0; k < dim; ++k) {
+    a[k] = double(rr[k]) * tr[k];
+    b[k] = double(rr[k]) * ti[k];
+    c[k] = double(ri[k]) * ti[k];
+    d[k] = double(ri[k]) * tr[k];
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* cr = base + i * stride;
+    const float* ci = cr + dim;
+    double s = 0.0;
+    for (int k = 0; k < dim; ++k) {
+      s += double(cr[k]) * a[k] + double(ci[k]) * b[k] + double(cr[k]) * c[k] -
+           double(ci[k]) * d[k];
+    }
+    out[i] = s;
+  }
+}
+
+/// Tail (cand = t): term = cr*a + ci*b + ci*c − cr*d with a = hr*rr,
+/// b = hi*rr, c = hr*ri, d = hi*ri.
+void ComplExSweepTailScalar(const float* fixed_e, const float* fixed_r,
+                            const float* base, std::size_t stride,
+                            std::size_t count, int dim, double* out) {
+  const float* hr = fixed_e;
+  const float* hi = fixed_e + dim;
+  const float* rr = fixed_r;
+  const float* ri = fixed_r + dim;
+  std::vector<double>& scratch = SweepScratch();
+  scratch.resize(4 * dim);
+  double* a = scratch.data();
+  double* b = a + dim;
+  double* c = b + dim;
+  double* d = c + dim;
+  for (int k = 0; k < dim; ++k) {
+    a[k] = double(hr[k]) * rr[k];
+    b[k] = double(hi[k]) * rr[k];
+    c[k] = double(hr[k]) * ri[k];
+    d[k] = double(hi[k]) * ri[k];
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* cr = base + i * stride;
+    const float* ci = cr + dim;
+    double s = 0.0;
+    for (int k = 0; k < dim; ++k) {
+      s += double(cr[k]) * a[k] + double(ci[k]) * b[k] + double(ci[k]) * c[k] -
+           double(cr[k]) * d[k];
+    }
+    out[i] = s;
+  }
+}
+
 const ScorerKernels kScalarKernels = {
-    TransEScoreScalar,   TransEBackwardScalar,  DistMultScoreScalar,
-    DistMultBackwardScalar, ComplExScoreScalar, ComplExBackwardScalar,
+    TransEScoreScalar,      TransEBackwardScalar,  DistMultScoreScalar,
+    DistMultBackwardScalar, ComplExScoreScalar,    ComplExBackwardScalar,
+    TransESweepHeadScalar,  TransESweepTailScalar, DistMultSweepScalar,
+    DistMultSweepScalar,    ComplExSweepHeadScalar, ComplExSweepTailScalar,
 };
 
 // ---- Dispatch --------------------------------------------------------------

@@ -83,6 +83,18 @@ class ScopedForcePath {
 /// dimension: for ComplEx the rows are 2*dim wide ([re | im]); for TransE
 /// and DistMult they are dim wide. Backward kernels process triples in
 /// order (gradient pointers may alias across triples) and accumulate +=.
+///
+/// Sweep kernels are the 1-vs-all primitive (ScoringFunction::
+/// ScoreAllCandidates): one fixed (entity, relation) pair is scored
+/// against `count` candidate entity rows stored contiguously at
+/// `base + i * stride` floats — an EmbeddingTable slab. *_head variants
+/// score f(cand, r, t) with fixed_e = the tail row; *_tail variants score
+/// f(h, r, cand) with fixed_e = the head row. No per-candidate pointer
+/// arrays: the candidate stream is the only strided access, the fixed
+/// rows (or their widened products) stay in registers/L1. Score terms are
+/// formed in double exactly as the scalar loops (a product of two floats
+/// is exact in double, so any association of a triple product rounds
+/// identically), preserving the batch kernels' parity contract.
 struct ScorerKernels {
   using ScoreFn = void (*)(const float* const* h, const float* const* r,
                            const float* const* t, int dim, std::size_t n,
@@ -91,6 +103,9 @@ struct ScorerKernels {
                               const float* const* t, int dim, std::size_t n,
                               const float* coeff, float* const* gh,
                               float* const* gr, float* const* gt);
+  using SweepFn = void (*)(const float* fixed_e, const float* fixed_r,
+                           const float* base, std::size_t stride,
+                           std::size_t count, int dim, double* out);
 
   ScoreFn transe_score;
   BackwardFn transe_backward;
@@ -98,6 +113,12 @@ struct ScorerKernels {
   BackwardFn distmult_backward;
   ScoreFn complex_score;
   BackwardFn complex_backward;
+  SweepFn transe_sweep_head;
+  SweepFn transe_sweep_tail;
+  SweepFn distmult_sweep_head;
+  SweepFn distmult_sweep_tail;
+  SweepFn complex_sweep_head;
+  SweepFn complex_sweep_tail;
 };
 
 /// Kernel table for an explicit path (CHECKs PathAvailable).

@@ -18,6 +18,7 @@
 #include <immintrin.h>
 
 #include <cmath>
+#include <vector>
 
 namespace nsc {
 namespace simd {
@@ -265,9 +266,195 @@ void ComplExBackwardAvx2(const float* const* h, const float* const* r,
   }
 }
 
+// ---- 1-vs-all sweep kernels ------------------------------------------------
+// Candidate-major loops over a contiguous row slab: the only strided
+// stream is the candidate rows; the fixed pair (or its double-widened
+// pairwise products, which are exact — 24-bit × 24-bit fits in a 53-bit
+// significand — so any association of a triple product rounds the same)
+// is hoisted out of the sweep.
+
+/// Thread-local double scratch for the hoisted fixed-pair products.
+std::vector<double>& SweepScratch() {
+  static thread_local std::vector<double> scratch;
+  return scratch;
+}
+
+void TransESweepHeadAvx2(const float* fixed_e, const float* fixed_r,
+                         const float* base, std::size_t stride,
+                         std::size_t count, int dim, double* out) {
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* cv = base + i * stride;
+    __m256d acc_lo = _mm256_setzero_pd();
+    __m256d acc_hi = _mm256_setzero_pd();
+    int k = 0;
+    for (; k + 8 <= dim; k += 8) {
+      const __m256 e = _mm256_sub_ps(
+          _mm256_add_ps(_mm256_loadu_ps(cv + k), _mm256_loadu_ps(fixed_r + k)),
+          _mm256_loadu_ps(fixed_e + k));
+      const __m256 a = _mm256_and_ps(e, abs_mask);
+      __m256d lo, hi;
+      Widen(a, &lo, &hi);
+      acc_lo = _mm256_add_pd(acc_lo, lo);
+      acc_hi = _mm256_add_pd(acc_hi, hi);
+    }
+    double s = HSum(_mm256_add_pd(acc_lo, acc_hi));
+    for (; k < dim; ++k) s += std::fabs(cv[k] + fixed_r[k] - fixed_e[k]);
+    out[i] = -s;
+  }
+}
+
+void TransESweepTailAvx2(const float* fixed_e, const float* fixed_r,
+                         const float* base, std::size_t stride,
+                         std::size_t count, int dim, double* out) {
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* cv = base + i * stride;
+    __m256d acc_lo = _mm256_setzero_pd();
+    __m256d acc_hi = _mm256_setzero_pd();
+    int k = 0;
+    for (; k + 8 <= dim; k += 8) {
+      const __m256 e = _mm256_sub_ps(
+          _mm256_add_ps(_mm256_loadu_ps(fixed_e + k),
+                        _mm256_loadu_ps(fixed_r + k)),
+          _mm256_loadu_ps(cv + k));
+      const __m256 a = _mm256_and_ps(e, abs_mask);
+      __m256d lo, hi;
+      Widen(a, &lo, &hi);
+      acc_lo = _mm256_add_pd(acc_lo, lo);
+      acc_hi = _mm256_add_pd(acc_hi, hi);
+    }
+    double s = HSum(_mm256_add_pd(acc_lo, acc_hi));
+    for (; k < dim; ++k) s += std::fabs(fixed_e[k] + fixed_r[k] - cv[k]);
+    out[i] = -s;
+  }
+}
+
+/// Shared DistMult sweep core over w[k] = fixed_e[k] * fixed_r[k] widened
+/// to double (exact): out[i] = Σ_k cand[k] * w[k].
+void DistMultSweepAvx2(const float* fixed_e, const float* fixed_r,
+                       const float* base, std::size_t stride,
+                       std::size_t count, int dim, double* out) {
+  std::vector<double>& scratch = SweepScratch();
+  scratch.resize(dim);
+  double* w = scratch.data();
+  for (int k = 0; k < dim; ++k) w[k] = double(fixed_e[k]) * fixed_r[k];
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* cv = base + i * stride;
+    __m256d acc_lo = _mm256_setzero_pd();
+    __m256d acc_hi = _mm256_setzero_pd();
+    int k = 0;
+    for (; k + 8 <= dim; k += 8) {
+      __m256d c_lo, c_hi;
+      Widen(_mm256_loadu_ps(cv + k), &c_lo, &c_hi);
+      acc_lo = _mm256_add_pd(acc_lo,
+                             _mm256_mul_pd(c_lo, _mm256_loadu_pd(w + k)));
+      acc_hi = _mm256_add_pd(acc_hi,
+                             _mm256_mul_pd(c_hi, _mm256_loadu_pd(w + k + 4)));
+    }
+    double s = HSum(_mm256_add_pd(acc_lo, acc_hi));
+    for (; k < dim; ++k) s += double(cv[k]) * w[k];
+    out[i] = s;
+  }
+}
+
+/// ComplEx sweep cores over the four exact pairwise fixed products
+/// a/b/c/d (layout [a | b | c | d], each dim doubles). Head (cand = h):
+/// term = cr*a + ci*b + cr*c − ci*d with a=rr*tr, b=rr*ti, c=ri*ti,
+/// d=ri*tr. Tail (cand = t): term = cr*a + ci*b + ci*c − cr*d with
+/// a=hr*rr, b=hi*rr, c=hr*ri, d=hi*ri. Both reproduce the scalar loop's
+/// t1+t2+t3−t4 per-k order.
+void ComplExSweepHeadAvx2(const float* fixed_e, const float* fixed_r,
+                          const float* base, std::size_t stride,
+                          std::size_t count, int dim, double* out) {
+  const float* rr = fixed_r;
+  const float* ri = fixed_r + dim;
+  const float* tr = fixed_e;
+  const float* ti = fixed_e + dim;
+  std::vector<double>& scratch = SweepScratch();
+  scratch.resize(4 * dim);
+  double* a = scratch.data();
+  double* b = a + dim;
+  double* c = b + dim;
+  double* d = c + dim;
+  for (int k = 0; k < dim; ++k) {
+    a[k] = double(rr[k]) * tr[k];
+    b[k] = double(rr[k]) * ti[k];
+    c[k] = double(ri[k]) * ti[k];
+    d[k] = double(ri[k]) * tr[k];
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* cr = base + i * stride;
+    const float* ci = cr + dim;
+    __m256d acc = _mm256_setzero_pd();
+    int k = 0;
+    for (; k + 4 <= dim; k += 4) {
+      const __m256d crd = _mm256_cvtps_pd(_mm_loadu_ps(cr + k));
+      const __m256d cid = _mm256_cvtps_pd(_mm_loadu_ps(ci + k));
+      const __m256d t1 = _mm256_mul_pd(crd, _mm256_loadu_pd(a + k));
+      const __m256d t2 = _mm256_mul_pd(cid, _mm256_loadu_pd(b + k));
+      const __m256d t3 = _mm256_mul_pd(crd, _mm256_loadu_pd(c + k));
+      const __m256d t4 = _mm256_mul_pd(cid, _mm256_loadu_pd(d + k));
+      acc = _mm256_add_pd(
+          acc, _mm256_sub_pd(_mm256_add_pd(_mm256_add_pd(t1, t2), t3), t4));
+    }
+    double s = HSum(acc);
+    for (; k < dim; ++k) {
+      s += double(cr[k]) * a[k] + double(ci[k]) * b[k] + double(cr[k]) * c[k] -
+           double(ci[k]) * d[k];
+    }
+    out[i] = s;
+  }
+}
+
+void ComplExSweepTailAvx2(const float* fixed_e, const float* fixed_r,
+                          const float* base, std::size_t stride,
+                          std::size_t count, int dim, double* out) {
+  const float* hr = fixed_e;
+  const float* hi = fixed_e + dim;
+  const float* rr = fixed_r;
+  const float* ri = fixed_r + dim;
+  std::vector<double>& scratch = SweepScratch();
+  scratch.resize(4 * dim);
+  double* a = scratch.data();
+  double* b = a + dim;
+  double* c = b + dim;
+  double* d = c + dim;
+  for (int k = 0; k < dim; ++k) {
+    a[k] = double(hr[k]) * rr[k];
+    b[k] = double(hi[k]) * rr[k];
+    c[k] = double(hr[k]) * ri[k];
+    d[k] = double(hi[k]) * ri[k];
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* cr = base + i * stride;
+    const float* ci = cr + dim;
+    __m256d acc = _mm256_setzero_pd();
+    int k = 0;
+    for (; k + 4 <= dim; k += 4) {
+      const __m256d crd = _mm256_cvtps_pd(_mm_loadu_ps(cr + k));
+      const __m256d cid = _mm256_cvtps_pd(_mm_loadu_ps(ci + k));
+      const __m256d t1 = _mm256_mul_pd(crd, _mm256_loadu_pd(a + k));
+      const __m256d t2 = _mm256_mul_pd(cid, _mm256_loadu_pd(b + k));
+      const __m256d t3 = _mm256_mul_pd(cid, _mm256_loadu_pd(c + k));
+      const __m256d t4 = _mm256_mul_pd(crd, _mm256_loadu_pd(d + k));
+      acc = _mm256_add_pd(
+          acc, _mm256_sub_pd(_mm256_add_pd(_mm256_add_pd(t1, t2), t3), t4));
+    }
+    double s = HSum(acc);
+    for (; k < dim; ++k) {
+      s += double(cr[k]) * a[k] + double(ci[k]) * b[k] + double(ci[k]) * c[k] -
+           double(cr[k]) * d[k];
+    }
+    out[i] = s;
+  }
+}
+
 const ScorerKernels kAvx2Kernels = {
-    TransEScoreAvx2,   TransEBackwardAvx2,  DistMultScoreAvx2,
-    DistMultBackwardAvx2, ComplExScoreAvx2, ComplExBackwardAvx2,
+    TransEScoreAvx2,      TransEBackwardAvx2,   DistMultScoreAvx2,
+    DistMultBackwardAvx2, ComplExScoreAvx2,     ComplExBackwardAvx2,
+    TransESweepHeadAvx2,  TransESweepTailAvx2,  DistMultSweepAvx2,
+    DistMultSweepAvx2,    ComplExSweepHeadAvx2, ComplExSweepTailAvx2,
 };
 
 }  // namespace

@@ -258,9 +258,152 @@ void ComplExBackwardNeon(const float* const* h, const float* const* r,
   }
 }
 
+// ---- 1-vs-all sweep kernels ------------------------------------------------
+// Candidate-major adaptations of the score kernels above: the candidate
+// slab (base + i*stride) is the only strided stream, the fixed rows stay
+// hot in L1. Same double-widened term contract.
+
+void TransESweepHeadNeon(const float* fixed_e, const float* fixed_r,
+                         const float* base, std::size_t stride,
+                         std::size_t count, int dim, double* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* cv = base + i * stride;
+    float64x2_t acc_lo = vdupq_n_f64(0.0);
+    float64x2_t acc_hi = vdupq_n_f64(0.0);
+    int k = 0;
+    for (; k + 4 <= dim; k += 4) {
+      const float32x4_t e =
+          vsubq_f32(vaddq_f32(vld1q_f32(cv + k), vld1q_f32(fixed_r + k)),
+                    vld1q_f32(fixed_e + k));
+      AccumulateWide(vabsq_f32(e), &acc_lo, &acc_hi);
+    }
+    double s = vaddvq_f64(vaddq_f64(acc_lo, acc_hi));
+    for (; k < dim; ++k) s += std::fabs(cv[k] + fixed_r[k] - fixed_e[k]);
+    out[i] = -s;
+  }
+}
+
+void TransESweepTailNeon(const float* fixed_e, const float* fixed_r,
+                         const float* base, std::size_t stride,
+                         std::size_t count, int dim, double* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* cv = base + i * stride;
+    float64x2_t acc_lo = vdupq_n_f64(0.0);
+    float64x2_t acc_hi = vdupq_n_f64(0.0);
+    int k = 0;
+    for (; k + 4 <= dim; k += 4) {
+      const float32x4_t e =
+          vsubq_f32(vaddq_f32(vld1q_f32(fixed_e + k), vld1q_f32(fixed_r + k)),
+                    vld1q_f32(cv + k));
+      AccumulateWide(vabsq_f32(e), &acc_lo, &acc_hi);
+    }
+    double s = vaddvq_f64(vaddq_f64(acc_lo, acc_hi));
+    for (; k < dim; ++k) s += std::fabs(fixed_e[k] + fixed_r[k] - cv[k]);
+    out[i] = -s;
+  }
+}
+
+/// Shared DistMult sweep core: out[i] = Σ_k cand[k] * (fixed_e[k] *
+/// fixed_r[k]), every term a once-rounded double triple product exactly
+/// as the scalar loop forms it (pairwise float products are exact in
+/// double, so the association is irrelevant).
+void DistMultSweepNeon(const float* fixed_e, const float* fixed_r,
+                       const float* base, std::size_t stride,
+                       std::size_t count, int dim, double* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* cv = base + i * stride;
+    float64x2_t acc_lo = vdupq_n_f64(0.0);
+    float64x2_t acc_hi = vdupq_n_f64(0.0);
+    int k = 0;
+    for (; k + 4 <= dim; k += 4) {
+      const float32x4_t cvv = vld1q_f32(cv + k);
+      const float32x4_t evv = vld1q_f32(fixed_e + k);
+      const float32x4_t rvv = vld1q_f32(fixed_r + k);
+      const float64x2_t c_lo = vcvt_f64_f32(vget_low_f32(cvv));
+      const float64x2_t c_hi = vcvt_high_f64_f32(cvv);
+      const float64x2_t e_lo = vcvt_f64_f32(vget_low_f32(evv));
+      const float64x2_t e_hi = vcvt_high_f64_f32(evv);
+      const float64x2_t r_lo = vcvt_f64_f32(vget_low_f32(rvv));
+      const float64x2_t r_hi = vcvt_high_f64_f32(rvv);
+      acc_lo = vaddq_f64(acc_lo, vmulq_f64(vmulq_f64(c_lo, r_lo), e_lo));
+      acc_hi = vaddq_f64(acc_hi, vmulq_f64(vmulq_f64(c_hi, r_hi), e_hi));
+    }
+    double s = vaddvq_f64(vaddq_f64(acc_lo, acc_hi));
+    for (; k < dim; ++k) s += double(cv[k]) * fixed_r[k] * fixed_e[k];
+    out[i] = s;
+  }
+}
+
+/// ComplEx sweep over fixed (r, t) [head] or (h, r) [tail]; candidate
+/// rows are [re | im] like every entity row.
+void ComplExSweepNeonImpl(const float* fr0, const float* fi0,
+                          const float* fr1, const float* fi1, bool head,
+                          const float* base, std::size_t stride,
+                          std::size_t count, int dim, double* out) {
+  // head: f0 = r-row, f1 = t-row, term = cr*rr*tr + ci*rr*ti + cr*ri*ti
+  //       − ci*ri*tr  (cand = h).
+  // tail: f0 = h-row, f1 = r-row, term = hr*rr*cr + hi*rr*ci + hr*ri*ci
+  //       − hi*ri*cr  (cand = t).
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* cr = base + i * stride;
+    const float* ci = cr + dim;
+    float64x2_t acc = vdupq_n_f64(0.0);
+    int k = 0;
+    for (; k + 2 <= dim; k += 2) {
+      const float64x2_t crd = vcvt_f64_f32(vld1_f32(cr + k));
+      const float64x2_t cid = vcvt_f64_f32(vld1_f32(ci + k));
+      const float64x2_t r0 = vcvt_f64_f32(vld1_f32(fr0 + k));
+      const float64x2_t i0 = vcvt_f64_f32(vld1_f32(fi0 + k));
+      const float64x2_t r1 = vcvt_f64_f32(vld1_f32(fr1 + k));
+      const float64x2_t i1 = vcvt_f64_f32(vld1_f32(fi1 + k));
+      float64x2_t t1, t2, t3, t4;
+      if (head) {
+        t1 = vmulq_f64(vmulq_f64(crd, r0), r1);
+        t2 = vmulq_f64(vmulq_f64(cid, r0), i1);
+        t3 = vmulq_f64(vmulq_f64(crd, i0), i1);
+        t4 = vmulq_f64(vmulq_f64(cid, i0), r1);
+      } else {
+        t1 = vmulq_f64(vmulq_f64(r0, r1), crd);
+        t2 = vmulq_f64(vmulq_f64(i0, r1), cid);
+        t3 = vmulq_f64(vmulq_f64(r0, i1), cid);
+        t4 = vmulq_f64(vmulq_f64(i0, i1), crd);
+      }
+      acc = vaddq_f64(acc,
+                      vsubq_f64(vaddq_f64(vaddq_f64(t1, t2), t3), t4));
+    }
+    double s = vaddvq_f64(acc);
+    for (; k < dim; ++k) {
+      if (head) {
+        s += double(cr[k]) * fr0[k] * fr1[k] + double(ci[k]) * fr0[k] * fi1[k] +
+             double(cr[k]) * fi0[k] * fi1[k] - double(ci[k]) * fi0[k] * fr1[k];
+      } else {
+        s += double(fr0[k]) * fr1[k] * cr[k] + double(fi0[k]) * fr1[k] * ci[k] +
+             double(fr0[k]) * fi1[k] * ci[k] - double(fi0[k]) * fi1[k] * cr[k];
+      }
+    }
+    out[i] = s;
+  }
+}
+
+void ComplExSweepHeadNeon(const float* fixed_e, const float* fixed_r,
+                          const float* base, std::size_t stride,
+                          std::size_t count, int dim, double* out) {
+  ComplExSweepNeonImpl(fixed_r, fixed_r + dim, fixed_e, fixed_e + dim,
+                       /*head=*/true, base, stride, count, dim, out);
+}
+
+void ComplExSweepTailNeon(const float* fixed_e, const float* fixed_r,
+                          const float* base, std::size_t stride,
+                          std::size_t count, int dim, double* out) {
+  ComplExSweepNeonImpl(fixed_e, fixed_e + dim, fixed_r, fixed_r + dim,
+                       /*head=*/false, base, stride, count, dim, out);
+}
+
 const ScorerKernels kNeonKernels = {
-    TransEScoreNeon,   TransEBackwardNeon,  DistMultScoreNeon,
-    DistMultBackwardNeon, ComplExScoreNeon, ComplExBackwardNeon,
+    TransEScoreNeon,      TransEBackwardNeon,   DistMultScoreNeon,
+    DistMultBackwardNeon, ComplExScoreNeon,     ComplExBackwardNeon,
+    TransESweepHeadNeon,  TransESweepTailNeon,  DistMultSweepNeon,
+    DistMultSweepNeon,    ComplExSweepHeadNeon, ComplExSweepTailNeon,
 };
 
 }  // namespace

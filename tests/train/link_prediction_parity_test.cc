@@ -1,0 +1,172 @@
+// Pins the batched 1-vs-all evaluator to the legacy per-candidate
+// reference: identical ranks (hence bit-identical MRR/MR/Hits@k) across
+// every registered scorer, filtered and raw settings, padded and compact
+// table layouts, serial and threaded evaluation, both tie policies, and
+// both SIMD dispatch paths. Also pins the ScoreAllHeads/ScoreAllTails
+// sweep itself against per-candidate Score() — exact under forced
+// scalar, reduction-order-tolerant under the native path.
+#include "train/link_prediction.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "embedding/scoring_function.h"
+#include "kg/kg_index.h"
+#include "kg/triple_store.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace nsc {
+namespace {
+
+constexpr int32_t kEntities = 48;
+constexpr int32_t kRelations = 4;
+constexpr int kDim = 11;  // Full SIMD lanes plus a tail on every ISA.
+constexpr size_t kEvalTriples = 16;
+
+KgeModel MakeRandomModel(const std::string& scorer, TableLayout layout,
+                         uint64_t seed) {
+  KgeModel model(kEntities, kRelations, kDim, MakeScoringFunction(scorer),
+                 layout);
+  Rng rng(seed);
+  model.InitXavier(&rng);
+  return model;
+}
+
+/// A small random KG whose eval subset overlaps shared (h, r) / (r, t)
+/// keys, so the filtered setting has non-trivial candidate lists to mask.
+TripleStore MakeTrainStore() {
+  TripleStore store(kEntities, kRelations);
+  Rng rng(77);
+  for (int i = 0; i < 120; ++i) {
+    const EntityId h = static_cast<EntityId>(rng.UniformInt(kEntities));
+    const RelationId r = static_cast<RelationId>(rng.UniformInt(kRelations));
+    const EntityId t = static_cast<EntityId>(rng.UniformInt(kEntities));
+    store.Add({h, r, t});
+  }
+  return store;
+}
+
+TripleStore MakeEvalStore(const TripleStore& train) {
+  TripleStore eval(kEntities, kRelations);
+  for (size_t i = 0; i < kEvalTriples; ++i) eval.Add(train[i * 3]);
+  return eval;
+}
+
+void ExpectMetricsIdentical(const RankingMetrics& batched,
+                            const RankingMetrics& legacy) {
+  EXPECT_EQ(batched.count(), legacy.count());
+  EXPECT_EQ(batched.mrr(), legacy.mrr());
+  EXPECT_EQ(batched.mr(), legacy.mr());
+  for (int k : {1, 3, 10}) {
+    EXPECT_EQ(batched.hits_at(k), legacy.hits_at(k)) << "k=" << k;
+  }
+}
+
+std::vector<simd::Path> DispatchPaths() {
+  std::vector<simd::Path> paths = {simd::Path::kScalar};
+  if (simd::BestAvailablePath() != simd::Path::kScalar) {
+    paths.push_back(simd::BestAvailablePath());
+  }
+  return paths;
+}
+
+TEST(LinkPredictionParityTest, BatchedMatchesLegacyAcrossMatrix) {
+  const TripleStore train = MakeTrainStore();
+  const TripleStore eval = MakeEvalStore(train);
+  const KgIndex filter(train);
+
+  for (simd::Path path : DispatchPaths()) {
+    simd::ScopedForcePath force(path);
+    for (const std::string& scorer : ListScoringFunctions()) {
+      for (TableLayout layout : {TableLayout::kPadded, TableLayout::kCompact}) {
+        const KgeModel model = MakeRandomModel(scorer, layout, 19);
+        for (bool filtered : {true, false}) {
+          for (TieBreak tie : {TieBreak::kOptimistic, TieBreak::kMean}) {
+            for (int threads : {1, 3}) {
+              SCOPED_TRACE(std::string(simd::PathName(path)) + "/" + scorer +
+                           (layout == TableLayout::kPadded ? "/padded"
+                                                           : "/compact") +
+                           (filtered ? "/filtered" : "/raw") +
+                           (tie == TieBreak::kMean ? "/mean" : "/optimistic") +
+                           "/t=" + std::to_string(threads));
+              LinkPredictionOptions legacy_opts;
+              legacy_opts.use_batched = false;
+              legacy_opts.filtered = filtered;
+              legacy_opts.tie_break = tie;
+              legacy_opts.num_threads = threads;
+              LinkPredictionOptions batched_opts = legacy_opts;
+              batched_opts.use_batched = true;
+              ExpectMetricsIdentical(
+                  EvaluateLinkPrediction(model, eval, filter, batched_opts),
+                  EvaluateLinkPrediction(model, eval, filter, legacy_opts));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(LinkPredictionParityTest, BatchedIsLayoutInvariant) {
+  // The sweep must produce the same metrics whether the entity rows are
+  // SIMD-padded or compact (the row-aware initializers make the logical
+  // contents identical across layouts).
+  const TripleStore train = MakeTrainStore();
+  const TripleStore eval = MakeEvalStore(train);
+  const KgIndex filter(train);
+  for (simd::Path path : DispatchPaths()) {
+    simd::ScopedForcePath force(path);
+    for (const std::string& scorer : ListScoringFunctions()) {
+      SCOPED_TRACE(std::string(simd::PathName(path)) + "/" + scorer);
+      const KgeModel padded =
+          MakeRandomModel(scorer, TableLayout::kPadded, 23);
+      const KgeModel compact =
+          MakeRandomModel(scorer, TableLayout::kCompact, 23);
+      ExpectMetricsIdentical(EvaluateLinkPrediction(padded, eval, filter),
+                             EvaluateLinkPrediction(compact, eval, filter));
+    }
+  }
+}
+
+TEST(LinkPredictionParityTest, SweepMatchesPerCandidateScores) {
+  // ScoreAllHeads/ScoreAllTails against one scalar Score() per entity:
+  // bit-identical on the forced-scalar path, reduction-order tolerant
+  // (relative 1e-12) on the native path.
+  for (simd::Path path : DispatchPaths()) {
+    simd::ScopedForcePath force(path);
+    const bool exact = path == simd::Path::kScalar;
+    for (const std::string& scorer : ListScoringFunctions()) {
+      SCOPED_TRACE(std::string(simd::PathName(path)) + "/" + scorer);
+      const KgeModel model =
+          MakeRandomModel(scorer, TableLayout::kPadded, 31);
+      std::vector<double> sweep(kEntities);
+      model.ScoreAllHeads(2, 7, sweep.data());
+      for (EntityId e = 0; e < kEntities; ++e) {
+        const double ref = model.Score(e, 2, 7);
+        if (exact) {
+          EXPECT_EQ(sweep[e], ref) << "head sweep, e=" << e;
+        } else {
+          EXPECT_NEAR(sweep[e], ref, 1e-12 * (1.0 + std::fabs(ref)))
+              << "head sweep, e=" << e;
+        }
+      }
+      model.ScoreAllTails(5, 3, sweep.data());
+      for (EntityId e = 0; e < kEntities; ++e) {
+        const double ref = model.Score(5, 3, e);
+        if (exact) {
+          EXPECT_EQ(sweep[e], ref) << "tail sweep, e=" << e;
+        } else {
+          EXPECT_NEAR(sweep[e], ref, 1e-12 * (1.0 + std::fabs(ref)))
+              << "tail sweep, e=" << e;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nsc

@@ -94,6 +94,63 @@ TEST(LinkPredictionTest, MaxTriplesSubsamples) {
   EXPECT_EQ(m.count(), 4u);  // 2 triples × 2 sides.
 }
 
+TEST(LinkPredictionTest, LegacyEvaluatorMatchesControlledRanks) {
+  // The pre-batched reference path must stay available and correct
+  // behind use_batched = false (same setup as
+  // RankCountsStrictlyGreaterScores).
+  KgeModel model = MakeControlledModel({1.0f, 2.0f, 3.0f, 4.0f});
+  TripleStore eval(4, 1);
+  eval.Add({0, 0, 1});
+  const KgIndex filter(eval);
+  LinkPredictionOptions opts;
+  opts.use_batched = false;
+  const RankingMetrics m = EvaluateLinkPrediction(model, eval, filter, opts);
+  EXPECT_DOUBLE_EQ(m.mr(), 3.5);
+}
+
+TEST(LinkPredictionTest, TieBreakOnConstantScorer) {
+  // Every entity has the same value, so every candidate score ties with
+  // the true score: the optimistic convention reports a (degenerate)
+  // perfect MRR of 1.0, while kMean counts each tie as half a rank.
+  // Head side: 4 candidates (e != h), all tied -> rank 1 + 4/2 = 3; the
+  // tail side is symmetric. Both evaluators must agree in both modes.
+  KgeModel model = MakeControlledModel({2.0f, 2.0f, 2.0f, 2.0f, 2.0f});
+  TripleStore eval(5, 1);
+  eval.Add({0, 0, 1});
+  const KgIndex filter(eval);
+  for (bool batched : {true, false}) {
+    LinkPredictionOptions optimistic;
+    optimistic.use_batched = batched;
+    optimistic.tie_break = TieBreak::kOptimistic;
+    const RankingMetrics mo = EvaluateLinkPrediction(model, eval, filter,
+                                                     optimistic);
+    EXPECT_DOUBLE_EQ(mo.mrr(), 1.0) << "batched=" << batched;
+    EXPECT_DOUBLE_EQ(mo.mr(), 1.0) << "batched=" << batched;
+
+    LinkPredictionOptions mean;
+    mean.use_batched = batched;
+    mean.tie_break = TieBreak::kMean;
+    const RankingMetrics mm = EvaluateLinkPrediction(model, eval, filter,
+                                                     mean);
+    EXPECT_DOUBLE_EQ(mm.mr(), 3.0) << "batched=" << batched;
+    EXPECT_DOUBLE_EQ(mm.mrr(), 1.0 / 3.0) << "batched=" << batched;
+    EXPECT_DOUBLE_EQ(mm.hits_at(3), 100.0) << "batched=" << batched;
+    EXPECT_DOUBLE_EQ(mm.hits_at(2), 0.0) << "batched=" << batched;
+  }
+}
+
+TEST(LinkPredictionTest, MeanTieBreakStillRanksDistinctScores) {
+  // No ties anywhere -> kMean must be identical to kOptimistic.
+  KgeModel model = MakeControlledModel({1.0f, 2.0f, 3.0f, 4.0f});
+  TripleStore eval(4, 1);
+  eval.Add({0, 0, 1});
+  const KgIndex filter(eval);
+  LinkPredictionOptions mean;
+  mean.tie_break = TieBreak::kMean;
+  const RankingMetrics m = EvaluateLinkPrediction(model, eval, filter, mean);
+  EXPECT_DOUBLE_EQ(m.mr(), 3.5);
+}
+
 TEST(LinkPredictionTest, DeterministicAcrossThreadCounts) {
   // The metric is an exact computation; thread count must not change it.
   std::vector<float> values(30);

@@ -68,6 +68,26 @@ TEST(RankingMetricsTest, ToStringContainsMetrics) {
   EXPECT_NE(s.find("Hit@10"), std::string::npos);
 }
 
+TEST(RankingMetricsTest, FractionalRanksFromTieAveraging) {
+  // The kMean tie policy produces half-integer ranks; rank <= k decides
+  // hits, so rank 2.5 misses Hit@2 but lands Hit@3.
+  RankingMetrics m;
+  m.AddRank(2.5);
+  EXPECT_EQ(m.count(), 1u);
+  EXPECT_DOUBLE_EQ(m.mrr(), 0.4);
+  EXPECT_DOUBLE_EQ(m.mr(), 2.5);
+  EXPECT_DOUBLE_EQ(m.hits_at(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.hits_at(3), 100.0);
+}
+
+TEST(RankingMetricsTest, FractionalRankAtExactBoundary) {
+  RankingMetrics m;
+  m.AddRank(10.5);
+  EXPECT_DOUBLE_EQ(m.hits_at(10), 0.0);
+  m.AddRank(10.0);
+  EXPECT_DOUBLE_EQ(m.hits_at(10), 50.0);
+}
+
 TEST(RankingMetricsDeathTest, RankMustBePositive) {
   RankingMetrics m;
   EXPECT_DEATH(m.AddRank(0), "CHECK");
