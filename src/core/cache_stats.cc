@@ -7,6 +7,8 @@ void AtomicCacheStats::Reset() {
   changed_elements_.store(0, std::memory_order_relaxed);
   selections_.store(0, std::memory_order_relaxed);
   true_admissions_.store(0, std::memory_order_relaxed);
+  topk_tiles_.store(0, std::memory_order_relaxed);
+  topk_pruned_tiles_.store(0, std::memory_order_relaxed);
 }
 
 CacheStats AtomicCacheStats::Snapshot() const {
@@ -15,6 +17,8 @@ CacheStats AtomicCacheStats::Snapshot() const {
   s.changed_elements = changed_elements_.load(std::memory_order_relaxed);
   s.selections = selections_.load(std::memory_order_relaxed);
   s.true_admissions = true_admissions_.load(std::memory_order_relaxed);
+  s.topk_tiles = topk_tiles_.load(std::memory_order_relaxed);
+  s.topk_pruned_tiles = topk_pruned_tiles_.load(std::memory_order_relaxed);
   return s;
 }
 

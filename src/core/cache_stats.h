@@ -27,11 +27,18 @@ namespace nsc {
 ///                      redraw budget (see CacheUpdater::BuildPool). A
 ///                      nonzero rate means filter_true_triples is being
 ///                      silently defeated for some keys.
+///   topk_tiles / topk_pruned_tiles
+///                    — candidate tiles scored by kTop refreshes' fused
+///                      top-K sweeps, and how many the bounded heap's
+///                      threshold test pruned without heap work. Both 0
+///                      under the other update strategies.
 struct CacheStats {
   int64_t updates = 0;
   int64_t changed_elements = 0;
   int64_t selections = 0;
   int64_t true_admissions = 0;
+  int64_t topk_tiles = 0;
+  int64_t topk_pruned_tiles = 0;
 
   void Reset() { *this = CacheStats(); }
 
@@ -54,11 +61,20 @@ class AtomicCacheStats {
     selections_.fetch_add(n, std::memory_order_relaxed);
   }
 
-  /// Accounts one entry refresh.
-  void AddRefresh(int64_t changed_elements, int64_t true_admissions) {
+  /// Accounts one entry refresh. The tile counters are nonzero only for
+  /// kTop refreshes (CacheRefreshResult::topk_*).
+  void AddRefresh(int64_t changed_elements, int64_t true_admissions,
+                  int64_t topk_tiles = 0, int64_t topk_pruned_tiles = 0) {
     updates_.fetch_add(1, std::memory_order_relaxed);
     changed_elements_.fetch_add(changed_elements, std::memory_order_relaxed);
     true_admissions_.fetch_add(true_admissions, std::memory_order_relaxed);
+    if (topk_tiles != 0) {
+      topk_tiles_.fetch_add(topk_tiles, std::memory_order_relaxed);
+    }
+    if (topk_pruned_tiles != 0) {
+      topk_pruned_tiles_.fetch_add(topk_pruned_tiles,
+                                   std::memory_order_relaxed);
+    }
   }
 
   void Reset();
@@ -69,6 +85,8 @@ class AtomicCacheStats {
   std::atomic<int64_t> changed_elements_{0};
   std::atomic<int64_t> selections_{0};
   std::atomic<int64_t> true_admissions_{0};
+  std::atomic<int64_t> topk_tiles_{0};
+  std::atomic<int64_t> topk_pruned_tiles_{0};
 };
 
 }  // namespace nsc

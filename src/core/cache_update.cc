@@ -83,6 +83,21 @@ int CacheUpdater::Update(std::vector<EntityId>* entry, Rng* rng,
   return changed;
 }
 
+int CacheUpdater::ApplyTopK(std::vector<EntityId>* entry,
+                            const std::vector<TopKEntry>& picked,
+                            const std::vector<EntityId>& pool) const {
+  const size_t n1 = entry->size();
+  CHECK_EQ(picked.size(), n1);
+  std::unordered_set<EntityId> before(entry->begin(), entry->end());
+  int changed = 0;
+  for (size_t i = 0; i < n1; ++i) {
+    const EntityId e = pool[picked[i].index];
+    if (before.count(e) == 0) ++changed;
+    (*entry)[i] = e;
+  }
+  return changed;
+}
+
 namespace {
 
 // Reused pool/score buffers for the per-refresh candidate broadcast.
@@ -94,6 +109,11 @@ namespace {
 struct RefreshScratch {
   std::vector<EntityId> pool;
   std::vector<double> scores;
+  // kTop's retrieval output — N1 entries instead of N1+N2 scores. The
+  // candidate-row gather reuses the same thread-local slab as the
+  // scoring path (KgeModel's GatherScratch), so switching a refresh to
+  // the top-K primitive allocates nothing new after warm-up.
+  std::vector<TopKEntry> topk;
 };
 
 RefreshScratch& Scratch() {
@@ -112,6 +132,14 @@ CacheRefreshResult CacheUpdater::UpdateHeadEntry(std::vector<EntityId>* entry,
   };
   CacheRefreshResult result;
   result.true_admissions = BuildPool(*entry, rng, is_known, &s.pool);
+  if (strategy_ == CacheUpdateStrategy::kTop) {
+    TopKSweepStats stats;
+    model_->TopKHeadCandidates(r, t, s.pool, entry->size(), &s.topk, &stats);
+    result.changed = ApplyTopK(entry, s.topk, s.pool);
+    result.topk_tiles = stats.tiles;
+    result.topk_pruned_tiles = stats.pruned_tiles;
+    return result;
+  }
   model_->ScoreHeadCandidates(r, t, s.pool, &s.scores);
   result.changed = Update(entry, rng, s.scores, s.pool);
   return result;
@@ -126,6 +154,14 @@ CacheRefreshResult CacheUpdater::UpdateTailEntry(std::vector<EntityId>* entry,
   };
   CacheRefreshResult result;
   result.true_admissions = BuildPool(*entry, rng, is_known, &s.pool);
+  if (strategy_ == CacheUpdateStrategy::kTop) {
+    TopKSweepStats stats;
+    model_->TopKTailCandidates(h, r, s.pool, entry->size(), &s.topk, &stats);
+    result.changed = ApplyTopK(entry, s.topk, s.pool);
+    result.topk_tiles = stats.tiles;
+    result.topk_pruned_tiles = stats.pruned_tiles;
+    return result;
+  }
   model_->ScoreTailCandidates(h, r, s.pool, &s.scores);
   result.changed = Update(entry, rng, s.scores, s.pool);
   return result;

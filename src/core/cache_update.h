@@ -20,6 +20,7 @@
 #include "kg/kg_index.h"
 #include "kg/types.h"
 #include "util/rng.h"
+#include "util/topk.h"
 
 namespace nsc {
 
@@ -42,6 +43,12 @@ struct CacheRefreshResult {
   /// is off). Exposed so the filter's effectiveness is observable instead
   /// of failing silently on keys whose candidate space is mostly true.
   int true_admissions = 0;
+  /// Candidate tiles the kTop refresh's fused top-K sweep scored, and how
+  /// many of them the bounded heap pruned (tile max <= running N1-th-best
+  /// score — no heap work). Both 0 for the other strategies, which
+  /// consume every candidate's score.
+  std::size_t topk_tiles = 0;
+  std::size_t topk_pruned_tiles = 0;
 };
 
 /// Refreshes cache entries against a model's current scores.
@@ -55,6 +62,13 @@ class CacheUpdater {
   /// negatives rare, §III-B1), but at this repo's scaled-down |E| the
   /// false-negative rate in the cache is ~100x the paper's, so filtering
   /// is what *preserves* the paper's operating regime (see DESIGN.md §3).
+  ///
+  /// Strategy kTop refreshes select their N1 survivors through the fused
+  /// sweep→top-K primitive (KgeModel::TopK{Head,Tail}Candidates) instead
+  /// of scoring the pool into a buffer and scanning it — same survivors
+  /// (util TopK's (score desc, index asc) tie order is the retrieval
+  /// contract), no N1+N2 score buffer, and the tile-pruning counters are
+  /// surfaced per refresh.
   CacheUpdater(const KgeModel* model, CacheUpdateStrategy strategy, int n2,
                const KgIndex* filter_index = nullptr)
       : model_(model),
@@ -78,6 +92,12 @@ class CacheUpdater {
   int Update(std::vector<EntityId>* entry, Rng* rng,
              const std::vector<double>& scores,
              const std::vector<EntityId>& pool) const;
+  // kTop's counterpart of Update: `picked` is the top-N1 retrieval over
+  // the pool (entries' index fields are pool positions). Same changed-id
+  // accounting.
+  int ApplyTopK(std::vector<EntityId>* entry,
+                const std::vector<TopKEntry>& picked,
+                const std::vector<EntityId>& pool) const;
   // Builds pool = entry ∪ N2 random entities and scores it. `is_known`
   // tests whether a candidate would form a known-true triple. Returns the
   // number of known-true candidates admitted after retry exhaustion.

@@ -39,7 +39,8 @@ NegativeSample NSCachingSampler::Sample(const Triple& pos, Rng* rng) {
     if (updates_enabled_) {
       const CacheRefreshResult r =
           updater_.UpdateHeadEntry(&head.candidates(), pos.r, pos.t, rng);
-      stats_.AddRefresh(r.changed, r.true_admissions);
+      stats_.AddRefresh(r.changed, r.true_admissions, r.topk_tiles,
+                        r.topk_pruned_tiles);
     }
   }
   EntityId t_bar;
@@ -50,7 +51,8 @@ NegativeSample NSCachingSampler::Sample(const Triple& pos, Rng* rng) {
     if (updates_enabled_) {
       const CacheRefreshResult r =
           updater_.UpdateTailEntry(&tail.candidates(), pos.h, pos.r, rng);
-      stats_.AddRefresh(r.changed, r.true_admissions);
+      stats_.AddRefresh(r.changed, r.true_admissions, r.topk_tiles,
+                        r.topk_pruned_tiles);
     }
   }
   // Both h̄ and t̄ were drawn from the caches (step 6), so the "negatives

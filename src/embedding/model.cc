@@ -31,6 +31,13 @@ AlignedFloatVector& GatherScratch() {
   return rows;
 }
 
+// Bounded heap reused across top-K retrievals (Reset(k) clears it but
+// keeps the capacity); thread_local for the same reason as the rest.
+TopKCollector& Collector() {
+  static thread_local TopKCollector collector;
+  return collector;
+}
+
 }  // namespace
 
 KgeModel::KgeModel(int32_t num_entities, int32_t num_relations, int dim,
@@ -105,6 +112,124 @@ void KgeModel::ScoreAllTails(EntityId h, RelationId r, double* out) const {
                               static_cast<size_t>(entities_.rows()), dim_, out);
 }
 
+void KgeModel::ScoreHeadRange(RelationId r, EntityId t, std::size_t first,
+                              std::size_t count, double* out) const {
+  if (count == 0) return;
+  scorer_->ScoreAllCandidates(
+      CorruptionSide::kHead, entities_.Row(t), relations_.Row(r),
+      entities_.Row(static_cast<EntityId>(first)),
+      static_cast<size_t>(entities_.stride()), count, dim_, out);
+}
+
+void KgeModel::ScoreTailRange(EntityId h, RelationId r, std::size_t first,
+                              std::size_t count, double* out) const {
+  if (count == 0) return;
+  scorer_->ScoreAllCandidates(
+      CorruptionSide::kTail, entities_.Row(h), relations_.Row(r),
+      entities_.Row(static_cast<EntityId>(first)),
+      static_cast<size_t>(entities_.stride()), count, dim_, out);
+}
+
+void KgeModel::TopKHeads(RelationId r, EntityId t, std::size_t k,
+                         std::vector<TopKEntry>* out,
+                         TopKSweepStats* stats) const {
+  TopKCollector& c = Collector();
+  c.Reset(k);
+  if (entities_.rows() > 0) {
+    // Slab indices over Row(0) *are* EntityIds, so no remapping needed.
+    scorer_->TopKCandidates(CorruptionSide::kHead, entities_.Row(t),
+                            relations_.Row(r), entities_.Row(0),
+                            static_cast<size_t>(entities_.stride()),
+                            static_cast<size_t>(entities_.rows()), dim_, &c);
+  }
+  if (stats != nullptr) *stats = c.stats();
+  c.ExtractSorted(out);
+}
+
+void KgeModel::TopKTails(EntityId h, RelationId r, std::size_t k,
+                         std::vector<TopKEntry>* out,
+                         TopKSweepStats* stats) const {
+  TopKCollector& c = Collector();
+  c.Reset(k);
+  if (entities_.rows() > 0) {
+    scorer_->TopKCandidates(CorruptionSide::kTail, entities_.Row(h),
+                            relations_.Row(r), entities_.Row(0),
+                            static_cast<size_t>(entities_.stride()),
+                            static_cast<size_t>(entities_.rows()), dim_, &c);
+  }
+  if (stats != nullptr) *stats = c.stats();
+  c.ExtractSorted(out);
+}
+
+namespace {
+
+// Shared body of TopKHeadsBatch/TopKTailsBatch: builds the parallel
+// fixed-row and collector arrays and drives one TopKCandidatesBatch
+// call over the full entity slab. `fixed_rows(q)` returns the
+// (entity row, relation row) pair of query q.
+template <typename FixedRowsFn>
+void TopKBatchImpl(const ScoringFunction& scorer, CorruptionSide side,
+                   const EmbeddingTable& entities, std::size_t nq,
+                   FixedRowsFn fixed_rows, std::size_t k, int dim,
+                   std::vector<std::vector<TopKEntry>>* out,
+                   TopKSweepStats* stats) {
+  out->resize(nq);
+  if (stats != nullptr) *stats = TopKSweepStats{};
+  if (nq == 0) return;
+  std::vector<TopKCollector> collectors(nq);
+  std::vector<TopKCollector*> collector_ptrs(nq);
+  std::vector<const float*> fixed_e(nq);
+  std::vector<const float*> fixed_r(nq);
+  for (std::size_t q = 0; q < nq; ++q) {
+    collectors[q].Reset(k);
+    collector_ptrs[q] = &collectors[q];
+    const auto rows = fixed_rows(q);
+    fixed_e[q] = rows.first;
+    fixed_r[q] = rows.second;
+  }
+  if (entities.rows() > 0) {
+    // Slab indices over Row(0) *are* EntityIds, so no remapping needed.
+    scorer.TopKCandidatesBatch(side, fixed_e.data(), fixed_r.data(), nq,
+                               entities.Row(0),
+                               static_cast<size_t>(entities.stride()),
+                               static_cast<size_t>(entities.rows()), dim,
+                               collector_ptrs.data());
+  }
+  for (std::size_t q = 0; q < nq; ++q) {
+    if (stats != nullptr) {
+      stats->tiles += collectors[q].stats().tiles;
+      stats->pruned_tiles += collectors[q].stats().pruned_tiles;
+    }
+    collectors[q].ExtractSorted(&(*out)[q]);
+  }
+}
+
+}  // namespace
+
+void KgeModel::TopKHeadsBatch(
+    const std::vector<std::pair<RelationId, EntityId>>& queries, std::size_t k,
+    std::vector<std::vector<TopKEntry>>* out, TopKSweepStats* stats) const {
+  TopKBatchImpl(
+      *scorer_, CorruptionSide::kHead, entities_, queries.size(),
+      [&](std::size_t q) {
+        return std::make_pair(entities_.Row(queries[q].second),
+                              relations_.Row(queries[q].first));
+      },
+      k, dim_, out, stats);
+}
+
+void KgeModel::TopKTailsBatch(
+    const std::vector<std::pair<EntityId, RelationId>>& queries, std::size_t k,
+    std::vector<std::vector<TopKEntry>>* out, TopKSweepStats* stats) const {
+  TopKBatchImpl(
+      *scorer_, CorruptionSide::kTail, entities_, queries.size(),
+      [&](std::size_t q) {
+        return std::make_pair(entities_.Row(queries[q].first),
+                              relations_.Row(queries[q].second));
+      },
+      k, dim_, out, stats);
+}
+
 namespace {
 
 // Gathers `candidates`' entity rows into one contiguous slab (the sweep
@@ -171,6 +296,40 @@ void KgeModel::ScoreTailCandidates(EntityId h, RelationId r,
   for (size_t i = 0; i < n; ++i) s.t[i] = entities_.Row(candidates[i]);
   scorer_->ScoreBatch(s.h.data(), s.r.data(), s.t.data(), dim_, n,
                       out->data());
+}
+
+void KgeModel::TopKHeadCandidates(RelationId r, EntityId t,
+                                  const std::vector<EntityId>& candidates,
+                                  std::size_t k, std::vector<TopKEntry>* out,
+                                  TopKSweepStats* stats) const {
+  TopKCollector& c = Collector();
+  c.Reset(k);
+  if (!candidates.empty()) {
+    scorer_->TopKCandidates(CorruptionSide::kHead, entities_.Row(t),
+                            relations_.Row(r),
+                            GatherCandidateRows(entities_, candidates),
+                            static_cast<size_t>(entities_.stride()),
+                            candidates.size(), dim_, &c);
+  }
+  if (stats != nullptr) *stats = c.stats();
+  c.ExtractSorted(out);
+}
+
+void KgeModel::TopKTailCandidates(EntityId h, RelationId r,
+                                  const std::vector<EntityId>& candidates,
+                                  std::size_t k, std::vector<TopKEntry>* out,
+                                  TopKSweepStats* stats) const {
+  TopKCollector& c = Collector();
+  c.Reset(k);
+  if (!candidates.empty()) {
+    scorer_->TopKCandidates(CorruptionSide::kTail, entities_.Row(h),
+                            relations_.Row(r),
+                            GatherCandidateRows(entities_, candidates),
+                            static_cast<size_t>(entities_.stride()),
+                            candidates.size(), dim_, &c);
+  }
+  if (stats != nullptr) *stats = c.stats();
+  c.ExtractSorted(out);
 }
 
 KgeModel KgeModel::Clone() const {

@@ -6,6 +6,7 @@
 #define NSCACHING_EMBEDDING_MODEL_H_
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "embedding/embedding_table.h"
@@ -66,6 +67,55 @@ class KgeModel {
   /// Scores every entity as a candidate tail for fixed (h, r).
   void ScoreAllTails(EntityId h, RelationId r, double* out) const;
 
+  /// Sweeps the entity sub-range [first, first + count) as candidate
+  /// heads for fixed (r, t): out[i] = f(first + i, r, t). Same kernels
+  /// as ScoreAllHeads restricted to a slab slice — per-candidate scores
+  /// are range-independent, so out[i] is bit-identical to the full
+  /// sweep's entry first + i. This is the tile primitive of the
+  /// evaluator's Hits@K early-exit mode.
+  void ScoreHeadRange(RelationId r, EntityId t, std::size_t first,
+                      std::size_t count, double* out) const;
+
+  /// Tail-side sub-range sweep: out[i] = f(h, r, first + i).
+  void ScoreTailRange(EntityId h, RelationId r, std::size_t first,
+                      std::size_t count, double* out) const;
+
+  /// Retrieves the k best-scoring candidate heads for fixed (r, t)
+  /// without materializing the num_entities() score buffer
+  /// (ScoringFunction::TopKCandidates — fused sweep→top-K). `out` is
+  /// sorted by (score desc, EntityId asc) and bit-identical to sorting a
+  /// full ScoreAllHeads buffer the same way; its entries' `index` fields
+  /// are EntityIds. k may exceed num_entities() (all entities returned).
+  /// `stats`, when non-null, receives the sweep's tile-pruning counters.
+  void TopKHeads(RelationId r, EntityId t, std::size_t k,
+                 std::vector<TopKEntry>* out,
+                 TopKSweepStats* stats = nullptr) const;
+
+  /// The k best-scoring candidate tails for fixed (h, r).
+  void TopKTails(EntityId h, RelationId r, std::size_t k,
+                 std::vector<TopKEntry>* out,
+                 TopKSweepStats* stats = nullptr) const;
+
+  /// Batched retrieval: answers every (r, t) head query in as few
+  /// passes over the entity table as the kernel can manage — the SIMD
+  /// scorers score each 256-candidate tile for every query while it is
+  /// L1-resident, so the table streams from memory once instead of
+  /// queries.size() times (ScoringFunction::TopKCandidatesBatch).
+  /// (*out)[q] is bit-identical to TopKHeads(queries[q]..., k) — the
+  /// batching reorders which (tile, query) pair is scored when, never
+  /// any per-query arithmetic. `stats`, when non-null, receives the
+  /// tile counters summed over all queries.
+  void TopKHeadsBatch(
+      const std::vector<std::pair<RelationId, EntityId>>& queries,
+      std::size_t k, std::vector<std::vector<TopKEntry>>* out,
+      TopKSweepStats* stats = nullptr) const;
+
+  /// Batched tail-side retrieval over (h, r) queries.
+  void TopKTailsBatch(
+      const std::vector<std::pair<EntityId, RelationId>>& queries,
+      std::size_t k, std::vector<std::vector<TopKEntry>>* out,
+      TopKSweepStats* stats = nullptr) const;
+
   /// Scores every candidate head h̄ for fixed (r, t): out[i] = f(c[i], r, t).
   /// For SIMD-accelerated scorers the candidate rows are gathered into
   /// one contiguous slab and swept through
@@ -82,6 +132,26 @@ class KgeModel {
   void ScoreTailCandidates(EntityId h, RelationId r,
                            const std::vector<EntityId>& candidates,
                            std::vector<double>* out) const;
+
+  /// Retrieves the k best-scoring heads among `candidates` for fixed
+  /// (r, t) — the top-K counterpart of ScoreHeadCandidates, and the
+  /// cache updater's kTop refresh primitive. `out` entries' `index`
+  /// fields are *positions into `candidates`* (not EntityIds), ordered
+  /// (score desc, position asc) — exactly the first k of
+  /// util TopK(scores of ScoreHeadCandidates). Candidate rows are
+  /// gathered into the thread-local slab for every scorer: the top-K
+  /// path has no full score buffer for a pointer-array broadcast to
+  /// fill, and candidate pools are small.
+  void TopKHeadCandidates(RelationId r, EntityId t,
+                          const std::vector<EntityId>& candidates,
+                          std::size_t k, std::vector<TopKEntry>* out,
+                          TopKSweepStats* stats = nullptr) const;
+
+  /// The k best-scoring tails among `candidates` for fixed (h, r).
+  void TopKTailCandidates(EntityId h, RelationId r,
+                          const std::vector<EntityId>& candidates,
+                          std::size_t k, std::vector<TopKEntry>* out,
+                          TopKSweepStats* stats = nullptr) const;
 
   /// Applies the scorer's hard constraints to one entity / relation row
   /// (called by the trainer after each optimizer step on touched rows).

@@ -64,4 +64,24 @@ void ComplEx::ScoreAllCandidates(CorruptionSide side, const float* fixed_entity,
       fixed_entity, fixed_relation, base, stride, count, dim, out);
 }
 
+void ComplEx::TopKCandidates(CorruptionSide side, const float* fixed_entity,
+                             const float* fixed_relation, const float* base,
+                             std::size_t stride, std::size_t count, int dim,
+                             TopKCollector* collector) const {
+  (side == CorruptionSide::kHead ? simd::Kernels().complex_topk_head
+                                 : simd::Kernels().complex_topk_tail)(
+      fixed_entity, fixed_relation, base, stride, count, dim, collector);
+}
+
+void ComplEx::TopKCandidatesBatch(CorruptionSide side,
+                          const float* const* fixed_entity,
+                          const float* const* fixed_relation, std::size_t nq,
+                          const float* base, std::size_t stride,
+                          std::size_t count, int dim,
+                          TopKCollector* const* collectors) const {
+  (side == CorruptionSide::kHead ? simd::Kernels().complex_topk_batch_head
+                                 : simd::Kernels().complex_topk_batch_tail)(
+      fixed_entity, fixed_relation, nq, base, stride, count, dim, collectors);
+}
+
 }  // namespace nsc

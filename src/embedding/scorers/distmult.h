@@ -27,6 +27,15 @@ class DistMult : public ScoringFunction {
                           const float* fixed_relation, const float* base,
                           std::size_t stride, std::size_t count, int dim,
                           double* out) const override;
+  void TopKCandidates(CorruptionSide side, const float* fixed_entity,
+                      const float* fixed_relation, const float* base,
+                      std::size_t stride, std::size_t count, int dim,
+                      TopKCollector* collector) const override;
+  void TopKCandidatesBatch(CorruptionSide side, const float* const* fixed_entity,
+                           const float* const* fixed_relation, std::size_t nq,
+                           const float* base, std::size_t stride,
+                           std::size_t count, int dim,
+                           TopKCollector* const* collectors) const override;
   bool simd_accelerated() const override { return true; }
 };
 

@@ -53,6 +53,26 @@ void TransE::ScoreAllCandidates(CorruptionSide side, const float* fixed_entity,
       fixed_entity, fixed_relation, base, stride, count, dim, out);
 }
 
+void TransE::TopKCandidates(CorruptionSide side, const float* fixed_entity,
+                            const float* fixed_relation, const float* base,
+                            std::size_t stride, std::size_t count, int dim,
+                            TopKCollector* collector) const {
+  (side == CorruptionSide::kHead ? simd::Kernels().transe_topk_head
+                                 : simd::Kernels().transe_topk_tail)(
+      fixed_entity, fixed_relation, base, stride, count, dim, collector);
+}
+
+void TransE::TopKCandidatesBatch(CorruptionSide side,
+                          const float* const* fixed_entity,
+                          const float* const* fixed_relation, std::size_t nq,
+                          const float* base, std::size_t stride,
+                          std::size_t count, int dim,
+                          TopKCollector* const* collectors) const {
+  (side == CorruptionSide::kHead ? simd::Kernels().transe_topk_batch_head
+                                 : simd::Kernels().transe_topk_batch_tail)(
+      fixed_entity, fixed_relation, nq, base, stride, count, dim, collectors);
+}
+
 void TransE::ProjectEntityRow(float* row, int dim) const {
   const float norm = L2Norm(row, dim);
   if (norm > 1.0f) Scale(1.0f / norm, row, dim);

@@ -41,6 +41,49 @@ void ScoringFunction::ScoreAllCandidates(CorruptionSide side,
   }
 }
 
+void ScoringFunction::TopKCandidates(CorruptionSide side,
+                                     const float* fixed_entity,
+                                     const float* fixed_relation,
+                                     const float* base, std::size_t stride,
+                                     std::size_t count, int dim,
+                                     TopKCollector* collector) const {
+  // Generic fallback: sweep one L1-resident tile at a time through
+  // ScoreAllCandidates (itself virtual — SIMD scorers still run their
+  // sweep kernels here) and merge each tile into the bounded heap, which
+  // max-prunes tiles against the running K-th-best threshold. Sweep
+  // scores are per-candidate independent, so tiling cannot change a
+  // candidate's score vs the full-buffer sweep.
+  double tile[TopKCollector::kTileSize];
+  for (std::size_t lo = 0; lo < count; lo += TopKCollector::kTileSize) {
+    const std::size_t n = std::min(TopKCollector::kTileSize, count - lo);
+    ScoreAllCandidates(side, fixed_entity, fixed_relation, base + lo * stride,
+                       stride, n, dim, tile);
+    collector->OfferTile(tile, lo, n);
+  }
+}
+
+void ScoringFunction::TopKCandidatesBatch(CorruptionSide side,
+                                          const float* const* fixed_entity,
+                                          const float* const* fixed_relation,
+                                          std::size_t nq, const float* base,
+                                          std::size_t stride,
+                                          std::size_t count, int dim,
+                                          TopKCollector* const* collectors) const {
+  // Generic fallback, tile-outer / query-inner: every query scores the
+  // tile while its rows are cache-resident. Per (tile, query) this runs
+  // the exact single-query arithmetic, so each query's retrieval is
+  // bit-identical to its own TopKCandidates call.
+  double tile[TopKCollector::kTileSize];
+  for (std::size_t lo = 0; lo < count; lo += TopKCollector::kTileSize) {
+    const std::size_t n = std::min(TopKCollector::kTileSize, count - lo);
+    for (std::size_t q = 0; q < nq; ++q) {
+      ScoreAllCandidates(side, fixed_entity[q], fixed_relation[q],
+                         base + lo * stride, stride, n, dim, tile);
+      collectors[q]->OfferTile(tile, lo, n);
+    }
+  }
+}
+
 std::unique_ptr<ScoringFunction> MakeScoringFunction(const std::string& name) {
   if (name == "transe") return std::make_unique<TransE>();
   if (name == "transh") return std::make_unique<TransH>();

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "kg/types.h"
+#include "util/topk.h"
 
 namespace nsc {
 
@@ -103,6 +104,44 @@ class ScoringFunction {
                                   const float* base, std::size_t stride,
                                   std::size_t count, int dim,
                                   double* out) const;
+
+  /// Fused sweep→top-K retrieval: fills `collector` (pre-Reset by the
+  /// caller to the wanted K) with the best K of the same `count`
+  /// candidate scores a ScoreAllCandidates sweep would produce, without
+  /// ever materializing the |count|-double score buffer. Result indices
+  /// are slab row positions in [0, count). The retrieved set — order
+  /// included — is bit-identical to sorting that sweep's full buffer by
+  /// (score desc, index asc): tiles reuse the sweep's exact per-candidate
+  /// arithmetic and the collector's strict-threshold heap resolves ties
+  /// index-ordered (util/topk.h). The default tiles through
+  /// ScoreAllCandidates on kTileSize-candidate tiles and merges each into
+  /// the bounded heap; the SIMD scorers override it with fused kernels
+  /// that keep the running K-th-best score in a register and skip heap
+  /// work on tiles whose SIMD max fails the threshold test.
+  virtual void TopKCandidates(CorruptionSide side, const float* fixed_entity,
+                              const float* fixed_relation, const float* base,
+                              std::size_t stride, std::size_t count, int dim,
+                              TopKCollector* collector) const;
+
+  /// Batched fused retrieval: `nq` independent TopKCandidates queries
+  /// against the same candidate slab, answered in as few passes over the
+  /// slab as the kernel can manage. fixed_entity/fixed_relation/
+  /// collectors are parallel arrays, one slot per query; each collector
+  /// is pre-Reset by the caller. Contract: query q's result is
+  /// bit-identical to a TopKCandidates call with the same fixed rows —
+  /// the batching only reorders WHICH (tile, query) pair is scored when,
+  /// never any per-query arithmetic. The default loops single-query
+  /// calls; the SIMD scorers override it with tile-outer/query-inner
+  /// kernels that score each tile for every query while it is
+  /// L1-resident, streaming the slab from memory once instead of nq
+  /// times.
+  virtual void TopKCandidatesBatch(CorruptionSide side,
+                                   const float* const* fixed_entity,
+                                   const float* const* fixed_relation,
+                                   std::size_t nq, const float* base,
+                                   std::size_t stride, std::size_t count,
+                                   int dim,
+                                   TopKCollector* const* collectors) const;
 
   /// True when this scorer's batched kernels route through the SIMD
   /// dispatch layer (util/simd.h). Scorers reporting false always run

@@ -79,6 +79,80 @@ SideCounts CountOneSideBatched(const double* scores, int32_t num_entities,
   return counts;
 }
 
+/// Candidates per sub-range sweep of the hits-only mode. One tile of
+/// doubles is the only score storage a worker ever holds.
+constexpr int32_t kEvalTile = 256;
+
+/// Hits@K-only tiled counting with early exit. Sweeps 256-entity tiles
+/// through the sub-range kernels (ScoreHeadRange/ScoreTailRange — the
+/// same arithmetic as the full sweep, so candidate-vs-true comparisons
+/// are unchanged), applies the filtered corrections of each tile before
+/// moving on, and stops once the strictly-greater count reaches hits_k.
+/// Each tile's correction-adjusted contribution is non-negative (a known
+/// candidate's subtraction cancels its own dense count from the same
+/// tile), so the running count is an exact lower bound of the final one
+/// and the exit is never premature. Returns true when the full entity
+/// range was counted (`out` then holds exact counts, equal to
+/// CountOneSideBatched's); false on early exit (the rank is provably
+/// > hits_k, `out` is partial junk).
+bool CountOneSideHitsOnly(const KgeModel& model, const Triple& x,
+                          CorruptionSide side, bool filtered,
+                          const std::vector<EntityId>& known, int hits_k,
+                          double* tile, std::vector<EntityId>* sorted_known,
+                          SideCounts* out) {
+  const int32_t num_entities = model.num_entities();
+  const EntityId true_entity = side == CorruptionSide::kHead ? x.h : x.t;
+  // True score from a count-1 slice of the sweep: per-candidate scores
+  // are range-independent, so this is bit-identical to the full sweep's
+  // entry for the true entity.
+  double true_score;
+  if (side == CorruptionSide::kHead) {
+    model.ScoreHeadRange(x.r, x.t, static_cast<size_t>(true_entity), 1,
+                         &true_score);
+  } else {
+    model.ScoreTailRange(x.h, x.r, static_cast<size_t>(true_entity), 1,
+                         &true_score);
+  }
+  sorted_known->clear();
+  if (filtered) {
+    for (EntityId f : known) {
+      if (f != true_entity) sorted_known->push_back(f);
+    }
+    std::sort(sorted_known->begin(), sorted_known->end());
+  }
+  SideCounts counts;
+  size_t next_known = 0;
+  for (int32_t lo = 0; lo < num_entities; lo += kEvalTile) {
+    const int32_t n = std::min(kEvalTile, num_entities - lo);
+    if (side == CorruptionSide::kHead) {
+      model.ScoreHeadRange(x.r, x.t, static_cast<size_t>(lo),
+                           static_cast<size_t>(n), tile);
+    } else {
+      model.ScoreTailRange(x.h, x.r, static_cast<size_t>(lo),
+                           static_cast<size_t>(n), tile);
+    }
+    for (int32_t i = 0; i < n; ++i) {
+      counts.greater += tile[i] > true_score;
+      counts.ties += tile[i] == true_score;
+    }
+    if (true_entity >= lo && true_entity < lo + n) {
+      --counts.ties;  // The true entity always ties with itself.
+    }
+    while (next_known < sorted_known->size() &&
+           (*sorted_known)[next_known] < lo + n) {
+      const EntityId f = (*sorted_known)[next_known++];
+      counts.greater -= tile[f - lo] > true_score;
+      counts.ties -= tile[f - lo] == true_score;
+    }
+    if (counts.greater >= hits_k) {
+      *out = counts;
+      return false;
+    }
+  }
+  *out = counts;
+  return true;
+}
+
 }  // namespace
 
 RankingMetrics EvaluateLinkPrediction(const KgeModel& model,
@@ -89,6 +163,10 @@ RankingMetrics EvaluateLinkPrediction(const KgeModel& model,
                            ? eval_set.size()
                            : std::min(options.max_triples, eval_set.size());
   if (limit == 0) return {};
+  if (options.hits_only) {
+    CHECK_GE(options.hits_k, 1);
+    CHECK_LE(options.hits_k, 10) << "RankingMetrics tracks hits up to k=10";
+  }
   const int threads =
       options.num_threads > 0 ? options.num_threads : DefaultThreadCount();
 
@@ -112,6 +190,30 @@ RankingMetrics EvaluateLinkPrediction(const KgeModel& model,
     if (lo >= hi) break;
     pool.Schedule([&, lo, hi, c](int /*worker*/) {
       RankingMetrics local;
+      if (options.hits_only) {
+        // Hits@K-only: one 256-double tile is the worker's entire score
+        // storage; no |E| buffer exists on this path.
+        double tile[kEvalTile];
+        std::vector<EntityId> sorted_known;
+        const double junk_rank = static_cast<double>(options.hits_k) + 1.0;
+        for (size_t i = lo; i < hi; ++i) {
+          const Triple& x = eval_set[i];
+          SideCounts counts;
+          for (CorruptionSide side :
+               {CorruptionSide::kHead, CorruptionSide::kTail}) {
+            const std::vector<EntityId>& known =
+                side == CorruptionSide::kHead ? filter_index.HeadsOf(x.r, x.t)
+                                              : filter_index.TailsOf(x.h, x.r);
+            const bool exact = CountOneSideHitsOnly(
+                model, x, side, options.filtered, known, options.hits_k, tile,
+                &sorted_known, &counts);
+            local.AddRank(exact ? RankFromCounts(counts, options.tie_break)
+                                : junk_rank);
+          }
+        }
+        slots[c].metrics = local;
+        return;
+      }
       std::vector<double> scores;
       if (options.use_batched) {
         scores.resize(static_cast<size_t>(model.num_entities()));

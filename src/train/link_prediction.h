@@ -56,6 +56,22 @@ struct LinkPredictionOptions {
   bool use_batched = true;
   /// Tie handling; kOptimistic reproduces the historical ranks exactly.
   TieBreak tie_break = TieBreak::kOptimistic;
+  /// Hits@K-only early-exit mode: rank work for a query side stops as
+  /// soon as `hits_k` candidates provably beat the true score, so a
+  /// mid-pack query costs a few kernel tiles instead of a full |E|
+  /// sweep — and no per-worker |E| score buffer is ever allocated
+  /// (tiles of 256 candidates are scored via the sub-range sweeps and
+  /// discarded). Early-exited queries record the junk rank hits_k + 1,
+  /// so of the returned metrics ONLY hits_at(j) for j <= hits_k and
+  /// count() are meaningful — and those are bit-identical to the full
+  /// evaluator's under both tie policies: per-tile filtered corrections
+  /// keep the running strictly-greater count an exact lower bound of
+  /// the final one, and non-exited queries finish with exact counts.
+  /// Implies the batched sweeps (use_batched is ignored when set).
+  bool hits_only = false;
+  /// K of the hits_only mode; must be in [1, 10] (the tracked-K range
+  /// of RankingMetrics).
+  int hits_k = 10;
 };
 
 /// Ranks every triple of `eval_set` under `model`. `filter_index` must

@@ -7,6 +7,7 @@
 #include "util/env.h"
 #include "util/logging.h"
 #include "util/simd_kernels.h"
+#include "util/topk.h"
 
 namespace nsc {
 namespace simd {
@@ -261,20 +262,76 @@ void ComplExSweepTailScalar(const float* fixed_e, const float* fixed_r,
   }
 }
 
+// ---- Scalar fused sweep→top-K kernels --------------------------------------
+// One shape for every scorer: score a kTileSize tile through the scalar
+// sweep kernel into an L1-resident buffer, then hand the tile to the
+// bounded-heap collector, whose tile-max threshold test skips heap work
+// on tiles with no qualifying candidate. Each tile runs the sweep
+// kernel's exact per-candidate arithmetic (sweep scores are
+// per-candidate independent), so the retrieved set is bit-identical to
+// sorting the full-buffer scalar sweep.
+
+template <ScorerKernels::SweepFn kSweep>
+void SweepTopKViaTiles(const float* fixed_e, const float* fixed_r,
+                       const float* base, std::size_t stride,
+                       std::size_t count, int dim, TopKCollector* collector) {
+  double tile[TopKCollector::kTileSize];
+  for (std::size_t lo = 0; lo < count; lo += TopKCollector::kTileSize) {
+    const std::size_t n = std::min(TopKCollector::kTileSize, count - lo);
+    kSweep(fixed_e, fixed_r, base + lo * stride, stride, n, dim, tile);
+    collector->OfferTile(tile, lo, n);
+  }
+}
+
+// Batched retrieval, tile-outer / query-inner: each tile of candidate
+// rows is scored for every query while it is cache-resident, so the slab
+// streams from memory once for all nq queries. Per (tile, query) the
+// sweep kernel runs its exact single-query arithmetic (the hoists it
+// recomputes per call are deterministic), so every query's retrieval is
+// bit-identical to its own single-query run.
+template <ScorerKernels::SweepFn kSweep>
+void SweepTopKBatchViaTiles(const float* const* fixed_e,
+                            const float* const* fixed_r, std::size_t nq,
+                            const float* base, std::size_t stride,
+                            std::size_t count, int dim,
+                            TopKCollector* const* collectors) {
+  double tile[TopKCollector::kTileSize];
+  for (std::size_t lo = 0; lo < count; lo += TopKCollector::kTileSize) {
+    const std::size_t n = std::min(TopKCollector::kTileSize, count - lo);
+    for (std::size_t q = 0; q < nq; ++q) {
+      kSweep(fixed_e[q], fixed_r[q], base + lo * stride, stride, n, dim, tile);
+      collectors[q]->OfferTile(tile, lo, n);
+    }
+  }
+}
+
 const ScorerKernels kScalarKernels = {
     TransEScoreScalar,      TransEBackwardScalar,  DistMultScoreScalar,
     DistMultBackwardScalar, ComplExScoreScalar,    ComplExBackwardScalar,
     TransESweepHeadScalar,  TransESweepTailScalar, DistMultSweepScalar,
     DistMultSweepScalar,    ComplExSweepHeadScalar, ComplExSweepTailScalar,
+    SweepTopKViaTiles<TransESweepHeadScalar>,
+    SweepTopKViaTiles<TransESweepTailScalar>,
+    SweepTopKViaTiles<DistMultSweepScalar>,
+    SweepTopKViaTiles<DistMultSweepScalar>,
+    SweepTopKViaTiles<ComplExSweepHeadScalar>,
+    SweepTopKViaTiles<ComplExSweepTailScalar>,
+    SweepTopKBatchViaTiles<TransESweepHeadScalar>,
+    SweepTopKBatchViaTiles<TransESweepTailScalar>,
+    SweepTopKBatchViaTiles<DistMultSweepScalar>,
+    SweepTopKBatchViaTiles<DistMultSweepScalar>,
+    SweepTopKBatchViaTiles<ComplExSweepHeadScalar>,
+    SweepTopKBatchViaTiles<ComplExSweepTailScalar>,
 };
 
 // ---- Dispatch --------------------------------------------------------------
 
 bool CpuSupportsAvx2() {
 #if defined(__x86_64__) || defined(__i386__)
-  // The kernels use explicit mul/add only (no FMA, by the parity
-  // contract), so AVX2 support alone is sufficient.
-  return __builtin_cpu_supports("avx2");
+  // The sweep/top-K kernels use explicit FMA intrinsics, so the "avx2"
+  // path requires both CPUID bits. (FMA is a separate feature flag even
+  // though every mainstream AVX2 CPU — Haswell+, Zen+ — also has it.)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
 #else
   return false;
 #endif

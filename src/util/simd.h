@@ -29,6 +29,9 @@
 #include <cstddef>
 
 namespace nsc {
+
+class TopKCollector;  // util/topk.h — bounded heap of the top-K kernels.
+
 namespace simd {
 
 /// Lane multiple (in floats) the padded EmbeddingTable layout rounds row
@@ -95,6 +98,25 @@ class ScopedForcePath {
 /// formed in double exactly as the scalar loops (a product of two floats
 /// is exact in double, so any association of a triple product rounds
 /// identically), preserving the batch kernels' parity contract.
+///
+/// Sweep→top-K kernels (ScoringFunction::TopKCandidates) fuse the same
+/// per-candidate sweep arithmetic with bounded-heap retrieval: scores are
+/// formed one kTileSize tile at a time in an L1-resident buffer, the
+/// tile's SIMD max is tested against the collector's running K-th-best
+/// threshold, and only tiles that pass fall into per-lane movemask
+/// insertion — the |E|-double score buffer is never materialized. Because
+/// each tile reuses the corresponding sweep kernel's exact per-candidate
+/// math, the retrieved set is bit-identical to sorting that sweep's full
+/// buffer (see util/topk.h for the tie contract).
+///
+/// Batched sweep→top-K kernels answer `nq` independent retrievals in ONE
+/// pass over the candidate slab: each tile is scored for every query
+/// while it is L1-resident, so the slab is streamed from memory once
+/// instead of nq times. fixed_e/fixed_r/collectors are parallel arrays,
+/// one slot per query. Per query the per-candidate arithmetic is exactly
+/// the single-query kernel's (a read-only tile shared across queries
+/// changes no FP op), so each query's result is bit-identical to its own
+/// single-query retrieval.
 struct ScorerKernels {
   using ScoreFn = void (*)(const float* const* h, const float* const* r,
                            const float* const* t, int dim, std::size_t n,
@@ -106,6 +128,15 @@ struct ScorerKernels {
   using SweepFn = void (*)(const float* fixed_e, const float* fixed_r,
                            const float* base, std::size_t stride,
                            std::size_t count, int dim, double* out);
+  using SweepTopKFn = void (*)(const float* fixed_e, const float* fixed_r,
+                               const float* base, std::size_t stride,
+                               std::size_t count, int dim,
+                               TopKCollector* collector);
+  using SweepTopKBatchFn = void (*)(const float* const* fixed_e,
+                                    const float* const* fixed_r,
+                                    std::size_t nq, const float* base,
+                                    std::size_t stride, std::size_t count,
+                                    int dim, TopKCollector* const* collectors);
 
   ScoreFn transe_score;
   BackwardFn transe_backward;
@@ -119,6 +150,18 @@ struct ScorerKernels {
   SweepFn distmult_sweep_tail;
   SweepFn complex_sweep_head;
   SweepFn complex_sweep_tail;
+  SweepTopKFn transe_topk_head;
+  SweepTopKFn transe_topk_tail;
+  SweepTopKFn distmult_topk_head;
+  SweepTopKFn distmult_topk_tail;
+  SweepTopKFn complex_topk_head;
+  SweepTopKFn complex_topk_tail;
+  SweepTopKBatchFn transe_topk_batch_head;
+  SweepTopKBatchFn transe_topk_batch_tail;
+  SweepTopKBatchFn distmult_topk_batch_head;
+  SweepTopKBatchFn distmult_topk_batch_tail;
+  SweepTopKBatchFn complex_topk_batch_head;
+  SweepTopKBatchFn complex_topk_batch_tail;
 };
 
 /// Kernel table for an explicit path (CHECKs PathAvailable).

@@ -1,24 +1,33 @@
 // AVX2 implementations of the batched scorer kernels. This translation
-// unit is compiled with -mavx2 (see CMakeLists.txt) when the compiler
-// supports it; on other compilers/targets it degrades to a stub that
-// reports "not compiled in". The dispatcher only selects these kernels
-// after a runtime CPUID check, so shipping them in a generic x86 binary
-// is safe.
+// unit is compiled with -mavx2 -mfma (see CMakeLists.txt) when the
+// compiler supports them; on other compilers/targets it degrades to a
+// stub that reports "not compiled in". The dispatcher only selects
+// these kernels after a runtime CPUID check for BOTH avx2 and fma bits,
+// so shipping them in a generic x86 binary is safe.
 //
 // Numerical contract (see simd.h): score terms are widened to double
 // before multiplying, exactly as the scalar loops do, so only the
 // reduction order differs; backward kernels mirror the scalar float
 // operation order (explicit mul/add intrinsics, no FMA contraction) and
 // store each gradient stream chunk-by-chunk so per-slot accumulation
-// order is preserved even when gradient pointers alias.
+// order is preserved even when gradient pointers alias. The 1-vs-all
+// sweep and fused top-K kernels for DistMult/ComplEx DO use explicit
+// FMA intrinsics (their contract against the scalar path is
+// reduction-order tolerance, and sweep and top-K share per-candidate
+// arithmetic so they stay bit-identical to each other); everything else
+// keeps explicit mul/add, and the file is built with -ffp-contract=off
+// so the compiler cannot contract anything behind our backs.
 #include "util/simd_kernels.h"
 
-#if defined(__AVX2__)
+#if defined(__AVX2__) && defined(__FMA__)
 
 #include <immintrin.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
+
+#include "util/topk.h"
 
 namespace nsc {
 namespace simd {
@@ -347,10 +356,8 @@ void DistMultSweepAvx2(const float* fixed_e, const float* fixed_r,
     for (; k + 8 <= dim; k += 8) {
       __m256d c_lo, c_hi;
       Widen(_mm256_loadu_ps(cv + k), &c_lo, &c_hi);
-      acc_lo = _mm256_add_pd(acc_lo,
-                             _mm256_mul_pd(c_lo, _mm256_loadu_pd(w + k)));
-      acc_hi = _mm256_add_pd(acc_hi,
-                             _mm256_mul_pd(c_hi, _mm256_loadu_pd(w + k + 4)));
+      acc_lo = _mm256_fmadd_pd(c_lo, _mm256_loadu_pd(w + k), acc_lo);
+      acc_hi = _mm256_fmadd_pd(c_hi, _mm256_loadu_pd(w + k + 4), acc_hi);
     }
     double s = HSum(_mm256_add_pd(acc_lo, acc_hi));
     for (; k < dim; ++k) s += double(cv[k]) * w[k];
@@ -362,8 +369,10 @@ void DistMultSweepAvx2(const float* fixed_e, const float* fixed_r,
 /// a/b/c/d (layout [a | b | c | d], each dim doubles). Head (cand = h):
 /// term = cr*a + ci*b + cr*c − ci*d with a=rr*tr, b=rr*ti, c=ri*ti,
 /// d=ri*tr. Tail (cand = t): term = cr*a + ci*b + ci*c − cr*d with
-/// a=hr*rr, b=hi*rr, c=hr*ri, d=hi*ri. Both reproduce the scalar loop's
-/// t1+t2+t3−t4 per-k order.
+/// a=hr*rr, b=hi*rr, c=hr*ri, d=hi*ri. The products fold into FMAs
+/// (fewer multiply-port uops and one fewer rounding per term than the
+/// scalar loop's t1+t2+t3−t4; the sweep's contract vs. the scalar path
+/// is reduction-order tolerance, not bit equality).
 void ComplExSweepHeadAvx2(const float* fixed_e, const float* fixed_r,
                           const float* base, std::size_t stride,
                           std::size_t count, int dim, double* out) {
@@ -391,12 +400,11 @@ void ComplExSweepHeadAvx2(const float* fixed_e, const float* fixed_r,
     for (; k + 4 <= dim; k += 4) {
       const __m256d crd = _mm256_cvtps_pd(_mm_loadu_ps(cr + k));
       const __m256d cid = _mm256_cvtps_pd(_mm_loadu_ps(ci + k));
-      const __m256d t1 = _mm256_mul_pd(crd, _mm256_loadu_pd(a + k));
       const __m256d t2 = _mm256_mul_pd(cid, _mm256_loadu_pd(b + k));
-      const __m256d t3 = _mm256_mul_pd(crd, _mm256_loadu_pd(c + k));
-      const __m256d t4 = _mm256_mul_pd(cid, _mm256_loadu_pd(d + k));
+      const __m256d t12 = _mm256_fmadd_pd(crd, _mm256_loadu_pd(a + k), t2);
+      const __m256d t123 = _mm256_fmadd_pd(crd, _mm256_loadu_pd(c + k), t12);
       acc = _mm256_add_pd(
-          acc, _mm256_sub_pd(_mm256_add_pd(_mm256_add_pd(t1, t2), t3), t4));
+          acc, _mm256_fnmadd_pd(cid, _mm256_loadu_pd(d + k), t123));
     }
     double s = HSum(acc);
     for (; k < dim; ++k) {
@@ -434,12 +442,11 @@ void ComplExSweepTailAvx2(const float* fixed_e, const float* fixed_r,
     for (; k + 4 <= dim; k += 4) {
       const __m256d crd = _mm256_cvtps_pd(_mm_loadu_ps(cr + k));
       const __m256d cid = _mm256_cvtps_pd(_mm_loadu_ps(ci + k));
-      const __m256d t1 = _mm256_mul_pd(crd, _mm256_loadu_pd(a + k));
       const __m256d t2 = _mm256_mul_pd(cid, _mm256_loadu_pd(b + k));
-      const __m256d t3 = _mm256_mul_pd(cid, _mm256_loadu_pd(c + k));
-      const __m256d t4 = _mm256_mul_pd(crd, _mm256_loadu_pd(d + k));
+      const __m256d t12 = _mm256_fmadd_pd(crd, _mm256_loadu_pd(a + k), t2);
+      const __m256d t123 = _mm256_fmadd_pd(cid, _mm256_loadu_pd(c + k), t12);
       acc = _mm256_add_pd(
-          acc, _mm256_sub_pd(_mm256_add_pd(_mm256_add_pd(t1, t2), t3), t4));
+          acc, _mm256_fnmadd_pd(crd, _mm256_loadu_pd(d + k), t123));
     }
     double s = HSum(acc);
     for (; k < dim; ++k) {
@@ -450,11 +457,435 @@ void ComplExSweepTailAvx2(const float* fixed_e, const float* fixed_r,
   }
 }
 
+// ---- Fused sweep→top-K kernels ---------------------------------------------
+// Tile-at-a-time retrieval: each kTileSize tile is scored by the
+// corresponding sweep kernel into a 2 KB stack buffer (never touching an
+// |E|-sized score array), then tested against the collector's running
+// K-th-best threshold with one vectorized max pass. Only tiles whose max
+// beats the threshold fall into per-lane insertion, and there a movemask
+// of (score > threshold) selects the qualifying lanes — heap work is
+// proportional to candidates that can actually enter the top-K, not |E|.
+
+inline double HMax(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d max2 = _mm_max_pd(lo, hi);
+  const __m128d swapped = _mm_unpackhi_pd(max2, max2);
+  return _mm_cvtsd_f64(_mm_max_sd(max2, swapped));
+}
+
+/// Merges one scored tile into the collector. The threshold vector is
+/// captured once per tile: insertions may raise the live threshold, so
+/// the stale mask is a superset of the qualifying lanes — Offer()
+/// re-checks against the current threshold, which keeps the result exact
+/// while the mask test stays branch-free.
+void OfferTileAvx2(const double* scores, std::size_t base_index,
+                   std::size_t n, TopKCollector* collector) {
+  collector->CountTile();
+  if (!collector->full()) {
+    // Heap still filling (only the first ceil(K/kTileSize) tiles): plain
+    // insertion, no threshold to test against yet.
+    for (std::size_t i = 0; i < n; ++i) {
+      collector->Offer(scores[i], base_index + i);
+    }
+    return;
+  }
+  const double threshold = collector->threshold();
+  const __m256d tv = _mm256_set1_pd(threshold);
+  __m256d mx = tv;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) mx = _mm256_max_pd(mx, _mm256_loadu_pd(scores + i));
+  double m = HMax(mx);
+  for (; i < n; ++i) m = std::max(m, scores[i]);
+  if (!(m > threshold)) {
+    collector->CountPrunedTile();
+    return;
+  }
+  for (i = 0; i + 4 <= n; i += 4) {
+    int mask = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(scores + i), tv, _CMP_GT_OQ));
+    while (mask != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(mask));
+      mask &= mask - 1;
+      collector->Offer(scores[i + lane], base_index + i + lane);
+    }
+  }
+  for (; i < n; ++i) {
+    if (scores[i] > threshold) collector->Offer(scores[i], base_index + i);
+  }
+}
+
+// The tile scorers below process FOUR candidates per inner iteration with
+// one accumulator set per candidate. Each candidate's operation sequence
+// (loads, adds, widenings, its own HSum, its own scalar tail) is exactly
+// the single-candidate body of the corresponding sweep kernel, so every
+// score is bit-identical to the full sweep's — interleaving only gives
+// the CPU four independent add_pd dependency chains instead of one. The
+// plain sweep kernels are latency-bound on that chain (one ~4-cycle
+// vector add per 8 floats, serialized, plus a serial horizontal
+// reduction per candidate); four-way interleaving is where the fused
+// retrieval's throughput win over sweep+scan actually comes from. The
+// *Batch variants answer nq retrievals per pass: tile-outer /
+// query-inner, so each 256-candidate tile is scored for every query
+// while its rows are L1-resident and the slab streams from memory once
+// instead of nq times. Sharing a read-only tile changes no per-query FP
+// op, so each query's result stays bit-identical to its single-query
+// retrieval.
+
+template <bool kCandIsHead>
+void TransEScoreTileAvx2(const float* fixed_e, const float* fixed_r,
+                         const float* tbase, std::size_t stride, std::size_t n,
+                         int dim, double* tile) {
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  // One candidate's |h + r - t| accumulation step — identical to the
+  // sweep kernel's loop body for the same k.
+  auto accumulate = [&](const float* cv, int k, const __m256 rv,
+                        const __m256 ev, __m256d* alo, __m256d* ahi) {
+    const __m256 e =
+        kCandIsHead
+            ? _mm256_sub_ps(_mm256_add_ps(_mm256_loadu_ps(cv + k), rv), ev)
+            : _mm256_sub_ps(_mm256_add_ps(ev, rv), _mm256_loadu_ps(cv + k));
+    const __m256 a = _mm256_and_ps(e, abs_mask);
+    __m256d lo_d, hi_d;
+    Widen(a, &lo_d, &hi_d);
+    *alo = _mm256_add_pd(*alo, lo_d);
+    *ahi = _mm256_add_pd(*ahi, hi_d);
+  };
+  auto finish = [&](const float* cv, int k, __m256d alo, __m256d ahi) {
+    double s = HSum(_mm256_add_pd(alo, ahi));
+    for (; k < dim; ++k) {
+      s += kCandIsHead ? std::fabs(cv[k] + fixed_r[k] - fixed_e[k])
+                       : std::fabs(fixed_e[k] + fixed_r[k] - cv[k]);
+    }
+    return -s;
+  };
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float* c0 = tbase + i * stride;
+    const float* c1 = c0 + stride;
+    const float* c2 = c1 + stride;
+    const float* c3 = c2 + stride;
+    __m256d a0l = _mm256_setzero_pd(), a0h = _mm256_setzero_pd();
+    __m256d a1l = _mm256_setzero_pd(), a1h = _mm256_setzero_pd();
+    __m256d a2l = _mm256_setzero_pd(), a2h = _mm256_setzero_pd();
+    __m256d a3l = _mm256_setzero_pd(), a3h = _mm256_setzero_pd();
+    int k = 0;
+    for (; k + 8 <= dim; k += 8) {
+      const __m256 rv = _mm256_loadu_ps(fixed_r + k);
+      const __m256 ev = _mm256_loadu_ps(fixed_e + k);
+      accumulate(c0, k, rv, ev, &a0l, &a0h);
+      accumulate(c1, k, rv, ev, &a1l, &a1h);
+      accumulate(c2, k, rv, ev, &a2l, &a2h);
+      accumulate(c3, k, rv, ev, &a3l, &a3h);
+    }
+    tile[i + 0] = finish(c0, k, a0l, a0h);
+    tile[i + 1] = finish(c1, k, a1l, a1h);
+    tile[i + 2] = finish(c2, k, a2l, a2h);
+    tile[i + 3] = finish(c3, k, a3l, a3h);
+  }
+  for (; i < n; ++i) {
+    const float* cv = tbase + i * stride;
+    __m256d al = _mm256_setzero_pd(), ah = _mm256_setzero_pd();
+    int k = 0;
+    for (; k + 8 <= dim; k += 8) {
+      accumulate(cv, k, _mm256_loadu_ps(fixed_r + k),
+                 _mm256_loadu_ps(fixed_e + k), &al, &ah);
+    }
+    tile[i] = finish(cv, k, al, ah);
+  }
+}
+
+template <bool kCandIsHead>
+void TransESweepTopKAvx2(const float* fixed_e, const float* fixed_r,
+                         const float* base, std::size_t stride,
+                         std::size_t count, int dim,
+                         TopKCollector* collector) {
+  alignas(64) double tile[TopKCollector::kTileSize];
+  for (std::size_t lo = 0; lo < count; lo += TopKCollector::kTileSize) {
+    const std::size_t n = std::min(TopKCollector::kTileSize, count - lo);
+    TransEScoreTileAvx2<kCandIsHead>(fixed_e, fixed_r, base + lo * stride,
+                                     stride, n, dim, tile);
+    OfferTileAvx2(tile, lo, n, collector);
+  }
+}
+
+template <bool kCandIsHead>
+void TransESweepTopKBatchAvx2(const float* const* fixed_e,
+                              const float* const* fixed_r, std::size_t nq,
+                              const float* base, std::size_t stride,
+                              std::size_t count, int dim,
+                              TopKCollector* const* collectors) {
+  alignas(64) double tile[TopKCollector::kTileSize];
+  for (std::size_t lo = 0; lo < count; lo += TopKCollector::kTileSize) {
+    const std::size_t n = std::min(TopKCollector::kTileSize, count - lo);
+    for (std::size_t q = 0; q < nq; ++q) {
+      TransEScoreTileAvx2<kCandIsHead>(fixed_e[q], fixed_r[q],
+                                       base + lo * stride, stride, n, dim,
+                                       tile);
+      OfferTileAvx2(tile, lo, n, collectors[q]);
+    }
+  }
+}
+
+// Same exact hoist as DistMultSweepAvx2: w[k] = fixed_e[k] * fixed_r[k]
+// widened to double.
+void DistMultHoistWAvx2(const float* fixed_e, const float* fixed_r, int dim,
+                        double* w) {
+  for (int k = 0; k < dim; ++k) w[k] = double(fixed_e[k]) * fixed_r[k];
+}
+
+void DistMultScoreTileAvx2(const double* w, const float* tbase,
+                           std::size_t stride, std::size_t n, int dim,
+                           double* tile) {
+  auto accumulate = [&](const float* cv, int k, const __m256d w0,
+                        const __m256d w1, __m256d* alo, __m256d* ahi) {
+    __m256d c_lo, c_hi;
+    Widen(_mm256_loadu_ps(cv + k), &c_lo, &c_hi);
+    *alo = _mm256_fmadd_pd(c_lo, w0, *alo);
+    *ahi = _mm256_fmadd_pd(c_hi, w1, *ahi);
+  };
+  auto finish = [&](const float* cv, int k, __m256d alo, __m256d ahi) {
+    double s = HSum(_mm256_add_pd(alo, ahi));
+    for (; k < dim; ++k) s += double(cv[k]) * w[k];
+    return s;
+  };
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float* c0 = tbase + i * stride;
+    const float* c1 = c0 + stride;
+    const float* c2 = c1 + stride;
+    const float* c3 = c2 + stride;
+    __m256d a0l = _mm256_setzero_pd(), a0h = _mm256_setzero_pd();
+    __m256d a1l = _mm256_setzero_pd(), a1h = _mm256_setzero_pd();
+    __m256d a2l = _mm256_setzero_pd(), a2h = _mm256_setzero_pd();
+    __m256d a3l = _mm256_setzero_pd(), a3h = _mm256_setzero_pd();
+    int k = 0;
+    for (; k + 8 <= dim; k += 8) {
+      const __m256d w0 = _mm256_loadu_pd(w + k);
+      const __m256d w1 = _mm256_loadu_pd(w + k + 4);
+      accumulate(c0, k, w0, w1, &a0l, &a0h);
+      accumulate(c1, k, w0, w1, &a1l, &a1h);
+      accumulate(c2, k, w0, w1, &a2l, &a2h);
+      accumulate(c3, k, w0, w1, &a3l, &a3h);
+    }
+    tile[i + 0] = finish(c0, k, a0l, a0h);
+    tile[i + 1] = finish(c1, k, a1l, a1h);
+    tile[i + 2] = finish(c2, k, a2l, a2h);
+    tile[i + 3] = finish(c3, k, a3l, a3h);
+  }
+  for (; i < n; ++i) {
+    const float* cv = tbase + i * stride;
+    __m256d al = _mm256_setzero_pd(), ah = _mm256_setzero_pd();
+    int k = 0;
+    for (; k + 8 <= dim; k += 8) {
+      accumulate(cv, k, _mm256_loadu_pd(w + k), _mm256_loadu_pd(w + k + 4),
+                 &al, &ah);
+    }
+    tile[i] = finish(cv, k, al, ah);
+  }
+}
+
+void DistMultSweepTopKAvx2(const float* fixed_e, const float* fixed_r,
+                           const float* base, std::size_t stride,
+                           std::size_t count, int dim,
+                           TopKCollector* collector) {
+  std::vector<double>& scratch = SweepScratch();
+  scratch.resize(dim);
+  double* w = scratch.data();
+  DistMultHoistWAvx2(fixed_e, fixed_r, dim, w);
+  alignas(64) double tile[TopKCollector::kTileSize];
+  for (std::size_t lo = 0; lo < count; lo += TopKCollector::kTileSize) {
+    const std::size_t n = std::min(TopKCollector::kTileSize, count - lo);
+    DistMultScoreTileAvx2(w, base + lo * stride, stride, n, dim, tile);
+    OfferTileAvx2(tile, lo, n, collector);
+  }
+}
+
+void DistMultSweepTopKBatchAvx2(const float* const* fixed_e,
+                                const float* const* fixed_r, std::size_t nq,
+                                const float* base, std::size_t stride,
+                                std::size_t count, int dim,
+                                TopKCollector* const* collectors) {
+  std::vector<double>& scratch = SweepScratch();
+  scratch.resize(nq * static_cast<std::size_t>(dim));
+  double* w = scratch.data();
+  for (std::size_t q = 0; q < nq; ++q) {
+    DistMultHoistWAvx2(fixed_e[q], fixed_r[q], dim, w + q * dim);
+  }
+  alignas(64) double tile[TopKCollector::kTileSize];
+  for (std::size_t lo = 0; lo < count; lo += TopKCollector::kTileSize) {
+    const std::size_t n = std::min(TopKCollector::kTileSize, count - lo);
+    for (std::size_t q = 0; q < nq; ++q) {
+      DistMultScoreTileAvx2(w + q * dim, base + lo * stride, stride, n, dim,
+                            tile);
+      OfferTileAvx2(tile, lo, n, collectors[q]);
+    }
+  }
+}
+
+// Same exact pairwise-product hoist as ComplExSweep{Head,Tail}Avx2 (see
+// those kernels for the a/b/c/d derivations per side). abcd is laid out
+// [a | b | c | d], each dim doubles.
+template <bool kCandIsHead>
+void ComplExHoistAvx2(const float* fixed_e, const float* fixed_r, int dim,
+                      double* abcd) {
+  double* a = abcd;
+  double* b = a + dim;
+  double* c = b + dim;
+  double* d = c + dim;
+  if (kCandIsHead) {
+    const float* rr = fixed_r;
+    const float* ri = fixed_r + dim;
+    const float* tr = fixed_e;
+    const float* ti = fixed_e + dim;
+    for (int k = 0; k < dim; ++k) {
+      a[k] = double(rr[k]) * tr[k];
+      b[k] = double(rr[k]) * ti[k];
+      c[k] = double(ri[k]) * ti[k];
+      d[k] = double(ri[k]) * tr[k];
+    }
+  } else {
+    const float* hr = fixed_e;
+    const float* hi = fixed_e + dim;
+    const float* rr = fixed_r;
+    const float* ri = fixed_r + dim;
+    for (int k = 0; k < dim; ++k) {
+      a[k] = double(hr[k]) * rr[k];
+      b[k] = double(hi[k]) * rr[k];
+      c[k] = double(hr[k]) * ri[k];
+      d[k] = double(hi[k]) * ri[k];
+    }
+  }
+}
+
+template <bool kCandIsHead>
+void ComplExScoreTileAvx2(const double* abcd, const float* tbase,
+                          std::size_t stride, std::size_t n, int dim,
+                          double* tile) {
+  const double* a = abcd;
+  const double* b = a + dim;
+  const double* c = b + dim;
+  const double* d = c + dim;
+  auto accumulate = [&](const float* cr, int k, const __m256d av,
+                        const __m256d bv, const __m256d cvv, const __m256d dv,
+                        __m256d* acc) {
+    const float* ci = cr + dim;
+    const __m256d crd = _mm256_cvtps_pd(_mm_loadu_ps(cr + k));
+    const __m256d cid = _mm256_cvtps_pd(_mm_loadu_ps(ci + k));
+    const __m256d t2 = _mm256_mul_pd(cid, bv);
+    const __m256d t12 = _mm256_fmadd_pd(crd, av, t2);
+    const __m256d t123 = _mm256_fmadd_pd(kCandIsHead ? crd : cid, cvv, t12);
+    *acc = _mm256_add_pd(
+        *acc, _mm256_fnmadd_pd(kCandIsHead ? cid : crd, dv, t123));
+  };
+  auto finish = [&](const float* cr, int k, __m256d acc) {
+    const float* ci = cr + dim;
+    double s = HSum(acc);
+    for (; k < dim; ++k) {
+      s += kCandIsHead ? double(cr[k]) * a[k] + double(ci[k]) * b[k] +
+                             double(cr[k]) * c[k] - double(ci[k]) * d[k]
+                       : double(cr[k]) * a[k] + double(ci[k]) * b[k] +
+                             double(ci[k]) * c[k] - double(cr[k]) * d[k];
+    }
+    return s;
+  };
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float* c0 = tbase + i * stride;
+    const float* c1 = c0 + stride;
+    const float* c2 = c1 + stride;
+    const float* c3 = c2 + stride;
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    __m256d acc2 = _mm256_setzero_pd();
+    __m256d acc3 = _mm256_setzero_pd();
+    int k = 0;
+    for (; k + 4 <= dim; k += 4) {
+      const __m256d av = _mm256_loadu_pd(a + k);
+      const __m256d bv = _mm256_loadu_pd(b + k);
+      const __m256d cvv = _mm256_loadu_pd(c + k);
+      const __m256d dv = _mm256_loadu_pd(d + k);
+      accumulate(c0, k, av, bv, cvv, dv, &acc0);
+      accumulate(c1, k, av, bv, cvv, dv, &acc1);
+      accumulate(c2, k, av, bv, cvv, dv, &acc2);
+      accumulate(c3, k, av, bv, cvv, dv, &acc3);
+    }
+    tile[i + 0] = finish(c0, k, acc0);
+    tile[i + 1] = finish(c1, k, acc1);
+    tile[i + 2] = finish(c2, k, acc2);
+    tile[i + 3] = finish(c3, k, acc3);
+  }
+  for (; i < n; ++i) {
+    const float* cv = tbase + i * stride;
+    __m256d acc = _mm256_setzero_pd();
+    int k = 0;
+    for (; k + 4 <= dim; k += 4) {
+      accumulate(cv, k, _mm256_loadu_pd(a + k), _mm256_loadu_pd(b + k),
+                 _mm256_loadu_pd(c + k), _mm256_loadu_pd(d + k), &acc);
+    }
+    tile[i] = finish(cv, k, acc);
+  }
+}
+
+template <bool kCandIsHead>
+void ComplExSweepTopKAvx2(const float* fixed_e, const float* fixed_r,
+                          const float* base, std::size_t stride,
+                          std::size_t count, int dim,
+                          TopKCollector* collector) {
+  std::vector<double>& scratch = SweepScratch();
+  scratch.resize(4 * dim);
+  ComplExHoistAvx2<kCandIsHead>(fixed_e, fixed_r, dim, scratch.data());
+  alignas(64) double tile[TopKCollector::kTileSize];
+  for (std::size_t lo = 0; lo < count; lo += TopKCollector::kTileSize) {
+    const std::size_t n = std::min(TopKCollector::kTileSize, count - lo);
+    ComplExScoreTileAvx2<kCandIsHead>(scratch.data(), base + lo * stride,
+                                      stride, n, dim, tile);
+    OfferTileAvx2(tile, lo, n, collector);
+  }
+}
+
+template <bool kCandIsHead>
+void ComplExSweepTopKBatchAvx2(const float* const* fixed_e,
+                               const float* const* fixed_r, std::size_t nq,
+                               const float* base, std::size_t stride,
+                               std::size_t count, int dim,
+                               TopKCollector* const* collectors) {
+  std::vector<double>& scratch = SweepScratch();
+  const std::size_t per_query = 4 * static_cast<std::size_t>(dim);
+  scratch.resize(nq * per_query);
+  for (std::size_t q = 0; q < nq; ++q) {
+    ComplExHoistAvx2<kCandIsHead>(fixed_e[q], fixed_r[q], dim,
+                                  scratch.data() + q * per_query);
+  }
+  alignas(64) double tile[TopKCollector::kTileSize];
+  for (std::size_t lo = 0; lo < count; lo += TopKCollector::kTileSize) {
+    const std::size_t n = std::min(TopKCollector::kTileSize, count - lo);
+    for (std::size_t q = 0; q < nq; ++q) {
+      ComplExScoreTileAvx2<kCandIsHead>(scratch.data() + q * per_query,
+                                        base + lo * stride, stride, n, dim,
+                                        tile);
+      OfferTileAvx2(tile, lo, n, collectors[q]);
+    }
+  }
+}
+
 const ScorerKernels kAvx2Kernels = {
     TransEScoreAvx2,      TransEBackwardAvx2,   DistMultScoreAvx2,
     DistMultBackwardAvx2, ComplExScoreAvx2,     ComplExBackwardAvx2,
     TransESweepHeadAvx2,  TransESweepTailAvx2,  DistMultSweepAvx2,
     DistMultSweepAvx2,    ComplExSweepHeadAvx2, ComplExSweepTailAvx2,
+    TransESweepTopKAvx2</*kCandIsHead=*/true>,
+    TransESweepTopKAvx2</*kCandIsHead=*/false>,
+    DistMultSweepTopKAvx2,
+    DistMultSweepTopKAvx2,
+    ComplExSweepTopKAvx2</*kCandIsHead=*/true>,
+    ComplExSweepTopKAvx2</*kCandIsHead=*/false>,
+    TransESweepTopKBatchAvx2</*kCandIsHead=*/true>,
+    TransESweepTopKBatchAvx2</*kCandIsHead=*/false>,
+    DistMultSweepTopKBatchAvx2,
+    DistMultSweepTopKBatchAvx2,
+    ComplExSweepTopKBatchAvx2</*kCandIsHead=*/true>,
+    ComplExSweepTopKBatchAvx2</*kCandIsHead=*/false>,
 };
 
 }  // namespace
@@ -466,7 +897,7 @@ const ScorerKernels* GetAvx2Kernels() { return &kAvx2Kernels; }
 }  // namespace simd
 }  // namespace nsc
 
-#else  // !defined(__AVX2__)
+#else  // !(defined(__AVX2__) && defined(__FMA__))
 
 namespace nsc {
 namespace simd {
@@ -476,4 +907,4 @@ const ScorerKernels* GetAvx2Kernels() { return nullptr; }
 }  // namespace simd
 }  // namespace nsc
 
-#endif  // defined(__AVX2__)
+#endif  // defined(__AVX2__) && defined(__FMA__)

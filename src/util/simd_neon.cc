@@ -9,7 +9,10 @@
 
 #include <arm_neon.h>
 
+#include <algorithm>
 #include <cmath>
+
+#include "util/topk.h"
 
 namespace nsc {
 namespace simd {
@@ -399,11 +402,88 @@ void ComplExSweepTailNeon(const float* fixed_e, const float* fixed_r,
                        /*head=*/false, base, stride, count, dim, out);
 }
 
+// ---- Fused sweep→top-K kernels ---------------------------------------------
+// Tile-at-a-time retrieval (see simd.h): each kTileSize tile is scored by
+// the sweep kernel above into a stack buffer, the tile max (vectorized
+// over float64x2 lanes) is tested against the collector's K-th-best
+// threshold, and only passing tiles fall into per-element insertion.
+
+/// Merges one scored tile into the collector. The threshold is captured
+/// once per tile; insertions may raise the live one, and Offer()
+/// re-checks, so the stale test stays exact.
+void OfferTileNeon(const double* scores, std::size_t base_index,
+                   std::size_t n, TopKCollector* collector) {
+  collector->CountTile();
+  if (!collector->full()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      collector->Offer(scores[i], base_index + i);
+    }
+    return;
+  }
+  const double threshold = collector->threshold();
+  float64x2_t mx = vdupq_n_f64(threshold);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) mx = vmaxq_f64(mx, vld1q_f64(scores + i));
+  double m = vmaxvq_f64(mx);
+  for (; i < n; ++i) m = std::max(m, scores[i]);
+  if (!(m > threshold)) {
+    collector->CountPrunedTile();
+    return;
+  }
+  for (i = 0; i < n; ++i) {
+    if (scores[i] > threshold) collector->Offer(scores[i], base_index + i);
+  }
+}
+
+template <ScorerKernels::SweepFn kSweep>
+void SweepTopKNeon(const float* fixed_e, const float* fixed_r,
+                   const float* base, std::size_t stride, std::size_t count,
+                   int dim, TopKCollector* collector) {
+  alignas(64) double tile[TopKCollector::kTileSize];
+  for (std::size_t lo = 0; lo < count; lo += TopKCollector::kTileSize) {
+    const std::size_t n = std::min(TopKCollector::kTileSize, count - lo);
+    kSweep(fixed_e, fixed_r, base + lo * stride, stride, n, dim, tile);
+    OfferTileNeon(tile, lo, n, collector);
+  }
+}
+
+// Batched retrieval, tile-outer / query-inner: the slab streams from
+// memory once for all nq queries; per (tile, query) the sweep kernel
+// runs its exact single-query arithmetic, so each query's result is
+// bit-identical to its own single-query retrieval.
+template <ScorerKernels::SweepFn kSweep>
+void SweepTopKBatchNeon(const float* const* fixed_e,
+                        const float* const* fixed_r, std::size_t nq,
+                        const float* base, std::size_t stride,
+                        std::size_t count, int dim,
+                        TopKCollector* const* collectors) {
+  alignas(64) double tile[TopKCollector::kTileSize];
+  for (std::size_t lo = 0; lo < count; lo += TopKCollector::kTileSize) {
+    const std::size_t n = std::min(TopKCollector::kTileSize, count - lo);
+    for (std::size_t q = 0; q < nq; ++q) {
+      kSweep(fixed_e[q], fixed_r[q], base + lo * stride, stride, n, dim, tile);
+      OfferTileNeon(tile, lo, n, collectors[q]);
+    }
+  }
+}
+
 const ScorerKernels kNeonKernels = {
     TransEScoreNeon,      TransEBackwardNeon,   DistMultScoreNeon,
     DistMultBackwardNeon, ComplExScoreNeon,     ComplExBackwardNeon,
     TransESweepHeadNeon,  TransESweepTailNeon,  DistMultSweepNeon,
     DistMultSweepNeon,    ComplExSweepHeadNeon, ComplExSweepTailNeon,
+    SweepTopKNeon<TransESweepHeadNeon>,
+    SweepTopKNeon<TransESweepTailNeon>,
+    SweepTopKNeon<DistMultSweepNeon>,
+    SweepTopKNeon<DistMultSweepNeon>,
+    SweepTopKNeon<ComplExSweepHeadNeon>,
+    SweepTopKNeon<ComplExSweepTailNeon>,
+    SweepTopKBatchNeon<TransESweepHeadNeon>,
+    SweepTopKBatchNeon<TransESweepTailNeon>,
+    SweepTopKBatchNeon<DistMultSweepNeon>,
+    SweepTopKBatchNeon<DistMultSweepNeon>,
+    SweepTopKBatchNeon<ComplExSweepHeadNeon>,
+    SweepTopKBatchNeon<ComplExSweepTailNeon>,
 };
 
 }  // namespace

@@ -1,0 +1,273 @@
+// Fused sweep→top-K parity fuzz suite (ISSUE 6). The retrieval contract
+// of ScoringFunction::TopKCandidates is EXACT: the returned entries —
+// scores, indices and their order — must be bit-identical to sorting a
+// full ScoreAllCandidates buffer by (score desc, index asc) and keeping
+// the first K. This suite pins that contract across every registered
+// scorer (SIMD-fused and generic-fallback alike), K below / at / above
+// the tile size, |E| equal to / far above K, padded and compact table
+// layouts, and both dispatch paths (native and NSC_FORCE_SCALAR) — plus
+// the degenerate corners: all-tied constant scores (zero tables), K
+// exceeding |E|, and K == 0. CI runs it under ASan+UBSan on both paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "embedding/model.h"
+#include "embedding/scoring_function.h"
+#include "util/rng.h"
+#include "util/simd.h"
+#include "util/topk.h"
+
+namespace nsc {
+namespace {
+
+constexpr int kDim = 13;  // Vector body + scalar tail lanes.
+constexpr int32_t kRelations = 4;
+
+KgeModel MakeModel(const std::string& name, int32_t num_entities, bool pad,
+                   bool zero_tables, uint64_t seed) {
+  KgeModel model(num_entities, kRelations, kDim, MakeScoringFunction(name),
+                 pad ? TableLayout::kPadded : TableLayout::kCompact);
+  if (!zero_tables) {
+    Rng rng(seed);
+    model.InitXavier(&rng);
+  }
+  return model;
+}
+
+// Reference retrieval: the full 1-vs-all sweep sorted by
+// (score desc, index asc), truncated to k.
+std::vector<TopKEntry> ReferenceTopK(const std::vector<double>& scores,
+                                     size_t k) {
+  std::vector<TopKEntry> all(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) all[i] = {scores[i], i};
+  std::sort(all.begin(), all.end(), TopKBetter);
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+void ExpectExactlyEqual(const std::vector<TopKEntry>& got,
+                        const std::vector<TopKEntry>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    // Bit-exact score equality — the fused kernels reuse the sweep's
+    // per-candidate arithmetic, so nothing weaker is acceptable.
+    EXPECT_EQ(got[i].score, want[i].score) << "entry " << i;
+    EXPECT_EQ(got[i].index, want[i].index) << "entry " << i;
+  }
+}
+
+void ExpectTopKParity(const KgeModel& model, size_t k) {
+  const int32_t num_entities = model.num_entities();
+  const EntityId fixed_e = num_entities / 2;
+  const RelationId fixed_r = 1;
+  std::vector<double> scores(static_cast<size_t>(num_entities));
+  std::vector<TopKEntry> got;
+
+  model.ScoreAllHeads(fixed_r, fixed_e, scores.data());
+  TopKSweepStats stats;
+  model.TopKHeads(fixed_r, fixed_e, k, &got, &stats);
+  ExpectExactlyEqual(got, ReferenceTopK(scores, k));
+  const size_t want_tiles =
+      (static_cast<size_t>(num_entities) + TopKCollector::kTileSize - 1) /
+      TopKCollector::kTileSize;
+  EXPECT_EQ(stats.tiles, want_tiles);
+  EXPECT_LE(stats.pruned_tiles, stats.tiles);
+
+  model.ScoreAllTails(fixed_e, fixed_r, scores.data());
+  model.TopKTails(fixed_e, fixed_r, k, &got, &stats);
+  ExpectExactlyEqual(got, ReferenceTopK(scores, k));
+  EXPECT_EQ(stats.tiles, want_tiles);
+}
+
+// The (K, |E|) fuzz matrix: K below/at/above one tile, |E| == K (the
+// everything-survives corner) and |E| with tail tiles and many pruning
+// opportunities.
+struct Case {
+  size_t k;
+  int32_t num_entities;
+};
+
+std::vector<Case> Matrix() {
+  std::vector<Case> cases;
+  for (size_t k : {size_t{1}, size_t{10}, size_t{257}}) {
+    for (int32_t e : {static_cast<int32_t>(k), 1000, 5003}) {
+      cases.push_back({k, e});
+    }
+  }
+  return cases;
+}
+
+void RunMatrix(bool force_scalar) {
+  for (const std::string& name : ListScoringFunctions()) {
+    for (const Case& c : Matrix()) {
+      for (bool pad : {false, true}) {
+        SCOPED_TRACE(name + " k=" + std::to_string(c.k) +
+                     " E=" + std::to_string(c.num_entities) +
+                     (pad ? " padded" : " compact") +
+                     (force_scalar ? " scalar" : " native"));
+        KgeModel model =
+            MakeModel(name, c.num_entities, pad, /*zero_tables=*/false,
+                      /*seed=*/c.k * 2654435761u + c.num_entities);
+        if (force_scalar) {
+          simd::ScopedForcePath force(simd::Path::kScalar);
+          ExpectTopKParity(model, c.k);
+        } else {
+          ExpectTopKParity(model, c.k);
+        }
+      }
+    }
+  }
+}
+
+TEST(TopKParityTest, MatchesSortedFullSweepNativePath) {
+  RunMatrix(/*force_scalar=*/false);
+}
+
+TEST(TopKParityTest, MatchesSortedFullSweepForcedScalar) {
+  RunMatrix(/*force_scalar=*/true);
+}
+
+TEST(TopKParityTest, AllTiedScoresResolveIndexOrdered) {
+  // Zero tables make every candidate score identical for every scorer
+  // (all scores are sums of products/abs-differences of zeros), so the
+  // retrieval must be exactly the first K indices — the tie contract's
+  // worst case, where a single wrong comparison reorders everything.
+  for (const std::string& name : ListScoringFunctions()) {
+    for (bool force_scalar : {false, true}) {
+      SCOPED_TRACE(name + (force_scalar ? " scalar" : " native"));
+      KgeModel model = MakeModel(name, /*num_entities=*/1000, /*pad=*/true,
+                                 /*zero_tables=*/true, /*seed=*/0);
+      simd::ScopedForcePath force(force_scalar ? simd::Path::kScalar
+                                               : simd::ActivePath());
+      std::vector<TopKEntry> got;
+      model.TopKHeads(/*r=*/0, /*t=*/3, /*k=*/10, &got);
+      ASSERT_EQ(got.size(), 10u);
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].index, i);
+        EXPECT_EQ(got[i].score, got[0].score);
+      }
+    }
+  }
+}
+
+TEST(TopKParityTest, KLargerThanEntityCountReturnsEverythingSorted) {
+  for (const std::string& name : {std::string("transe"),
+                                  std::string("complex"),
+                                  std::string("transh")}) {
+    SCOPED_TRACE(name);
+    KgeModel model = MakeModel(name, /*num_entities=*/257, /*pad=*/true,
+                               /*zero_tables=*/false, /*seed=*/11);
+    std::vector<double> scores(257);
+    model.ScoreAllHeads(/*r=*/2, /*t=*/0, scores.data());
+    std::vector<TopKEntry> got;
+    model.TopKHeads(/*r=*/2, /*t=*/0, /*k=*/300, &got);
+    ExpectExactlyEqual(got, ReferenceTopK(scores, 300));
+  }
+}
+
+TEST(TopKParityTest, KZeroReturnsEmpty) {
+  KgeModel model = MakeModel("transe", /*num_entities=*/1000, /*pad=*/true,
+                             /*zero_tables=*/false, /*seed=*/5);
+  std::vector<TopKEntry> got(3);
+  model.TopKHeads(/*r=*/0, /*t=*/0, /*k=*/0, &got);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(TopKParityTest, BatchedRetrievalMatchesSingleQueryBitExact) {
+  // TopK{Heads,Tails}Batch answers nq queries in one tile-outer /
+  // query-inner slab pass; its contract is that each query's result is
+  // bit-identical to its own single-query TopK{Heads,Tails} call. The
+  // query set includes a duplicate query (both slots must return the
+  // same entries) and runs on both dispatch paths, every scorer.
+  const std::vector<std::pair<RelationId, EntityId>> head_queries = {
+      {1, 7}, {0, 193}, {3, 42}, {1, 7}, {2, 0}};
+  const std::vector<std::pair<EntityId, RelationId>> tail_queries = {
+      {7, 1}, {193, 0}, {42, 3}, {7, 1}, {0, 2}};
+  for (const std::string& name : ListScoringFunctions()) {
+    for (bool force_scalar : {false, true}) {
+      for (size_t k : {size_t{1}, size_t{10}, size_t{300}}) {
+        SCOPED_TRACE(name + (force_scalar ? " scalar" : " native") +
+                     " k=" + std::to_string(k));
+        KgeModel model = MakeModel(name, /*num_entities=*/1201, /*pad=*/true,
+                                   /*zero_tables=*/false, /*seed=*/k + 31);
+        simd::ScopedForcePath force(force_scalar ? simd::Path::kScalar
+                                                 : simd::ActivePath());
+        std::vector<std::vector<TopKEntry>> batched;
+        TopKSweepStats batch_stats;
+        std::vector<TopKEntry> single;
+
+        model.TopKHeadsBatch(head_queries, k, &batched, &batch_stats);
+        ASSERT_EQ(batched.size(), head_queries.size());
+        TopKSweepStats single_stats_sum;
+        for (size_t q = 0; q < head_queries.size(); ++q) {
+          TopKSweepStats s;
+          model.TopKHeads(head_queries[q].first, head_queries[q].second, k,
+                          &single, &s);
+          ExpectExactlyEqual(batched[q], single);
+          single_stats_sum.tiles += s.tiles;
+        }
+        // Every query still visits every tile — batching shares memory
+        // traffic, not tile accounting.
+        EXPECT_EQ(batch_stats.tiles, single_stats_sum.tiles);
+        EXPECT_LE(batch_stats.pruned_tiles, batch_stats.tiles);
+
+        model.TopKTailsBatch(tail_queries, k, &batched, &batch_stats);
+        ASSERT_EQ(batched.size(), tail_queries.size());
+        for (size_t q = 0; q < tail_queries.size(); ++q) {
+          model.TopKTails(tail_queries[q].first, tail_queries[q].second, k,
+                          &single);
+          ExpectExactlyEqual(batched[q], single);
+        }
+      }
+    }
+  }
+}
+
+TEST(TopKParityTest, BatchedRetrievalEmptyQuerySet) {
+  KgeModel model = MakeModel("transe", /*num_entities=*/100, /*pad=*/true,
+                             /*zero_tables=*/false, /*seed=*/5);
+  std::vector<std::vector<TopKEntry>> batched(3);
+  TopKSweepStats stats;
+  model.TopKHeadsBatch({}, /*k=*/10, &batched, &stats);
+  EXPECT_TRUE(batched.empty());
+  EXPECT_EQ(stats.tiles, 0u);
+}
+
+TEST(TopKParityTest, CandidateRetrievalMatchesScoredCandidateSort) {
+  // TopK{Head,Tail}Candidates (the kTop cache-refresh primitive) must
+  // select exactly what sorting Score{Head,Tail}Candidates' buffer
+  // would — including duplicate candidates, which tie bit-exactly and
+  // resolve to the earlier pool position.
+  for (const std::string& name : ListScoringFunctions()) {
+    for (bool force_scalar : {false, true}) {
+      SCOPED_TRACE(name + (force_scalar ? " scalar" : " native"));
+      KgeModel model = MakeModel(name, /*num_entities=*/200, /*pad=*/true,
+                                 /*zero_tables=*/false, /*seed=*/77);
+      Rng rng(123);
+      std::vector<EntityId> candidates(64);
+      for (EntityId& e : candidates) {
+        e = static_cast<EntityId>(rng.UniformInt(200));
+      }
+      candidates[10] = candidates[3];  // Guaranteed duplicate.
+      simd::ScopedForcePath force(force_scalar ? simd::Path::kScalar
+                                               : simd::ActivePath());
+      std::vector<double> scores;
+      std::vector<TopKEntry> got;
+      model.ScoreHeadCandidates(/*r=*/1, /*t=*/9, candidates, &scores);
+      model.TopKHeadCandidates(/*r=*/1, /*t=*/9, candidates, /*k=*/7, &got);
+      ExpectExactlyEqual(got, ReferenceTopK(scores, 7));
+      model.ScoreTailCandidates(/*h=*/9, /*r=*/1, candidates, &scores);
+      model.TopKTailCandidates(/*h=*/9, /*r=*/1, candidates, /*k=*/7, &got);
+      ExpectExactlyEqual(got, ReferenceTopK(scores, 7));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nsc

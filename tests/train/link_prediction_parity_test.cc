@@ -132,6 +132,96 @@ TEST(LinkPredictionParityTest, BatchedIsLayoutInvariant) {
   }
 }
 
+TEST(LinkPredictionParityTest, HitsOnlyMatchesFullEvaluatorHitsCounters) {
+  // The Hits@K-only early-exit mode promises: count() and hits_at(j) for
+  // j <= hits_k are bit-identical to the full batched evaluator's, under
+  // both tie policies and on both dispatch paths. (MRR/MR are junk by
+  // contract — early-exited queries record rank hits_k + 1 — so they are
+  // deliberately NOT compared.) kEntities spans only a fraction of one
+  // 256-candidate tile, so a second model with far more entities
+  // exercises multi-tile queries and real early exits below.
+  const TripleStore train = MakeTrainStore();
+  const TripleStore eval = MakeEvalStore(train);
+  const KgIndex filter(train);
+  for (simd::Path path : DispatchPaths()) {
+    simd::ScopedForcePath force(path);
+    for (const std::string& scorer : ListScoringFunctions()) {
+      for (bool filtered : {true, false}) {
+        for (TieBreak tie : {TieBreak::kOptimistic, TieBreak::kMean}) {
+          for (int hits_k : {1, 3, 10}) {
+            for (int threads : {1, 3}) {
+              SCOPED_TRACE(std::string(simd::PathName(path)) + "/" + scorer +
+                           (filtered ? "/filtered" : "/raw") +
+                           (tie == TieBreak::kMean ? "/mean" : "/optimistic") +
+                           "/hits_k=" + std::to_string(hits_k) +
+                           "/t=" + std::to_string(threads));
+              const KgeModel model =
+                  MakeRandomModel(scorer, TableLayout::kPadded, 19);
+              LinkPredictionOptions full_opts;
+              full_opts.filtered = filtered;
+              full_opts.tie_break = tie;
+              full_opts.num_threads = threads;
+              LinkPredictionOptions hits_opts = full_opts;
+              hits_opts.hits_only = true;
+              hits_opts.hits_k = hits_k;
+              const RankingMetrics full =
+                  EvaluateLinkPrediction(model, eval, filter, full_opts);
+              const RankingMetrics hits =
+                  EvaluateLinkPrediction(model, eval, filter, hits_opts);
+              EXPECT_EQ(hits.count(), full.count());
+              for (int j = 1; j <= hits_k; ++j) {
+                EXPECT_EQ(hits.hits_at(j), full.hits_at(j)) << "j=" << j;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(LinkPredictionParityTest, HitsOnlyExactAcrossTileBoundaries) {
+  // 1000 entities = 3 full tiles + a 232-entity tail per query side:
+  // early exits fire mid-range for most queries, the true entity lands in
+  // different tiles, and filtered corrections straddle tile boundaries.
+  constexpr int32_t kBigEntities = 1000;
+  TripleStore train(kBigEntities, kRelations);
+  Rng rng(501);
+  for (int i = 0; i < 400; ++i) {
+    train.Add({static_cast<EntityId>(rng.UniformInt(kBigEntities)),
+               static_cast<RelationId>(rng.UniformInt(kRelations)),
+               static_cast<EntityId>(rng.UniformInt(kBigEntities))});
+  }
+  TripleStore eval(kBigEntities, kRelations);
+  for (size_t i = 0; i < kEvalTriples; ++i) eval.Add(train[i * 7]);
+  const KgIndex filter(train);
+  KgeModel model(kBigEntities, kRelations, kDim,
+                 MakeScoringFunction("transe"), TableLayout::kPadded);
+  Rng init_rng(41);
+  model.InitXavier(&init_rng);
+  for (simd::Path path : DispatchPaths()) {
+    simd::ScopedForcePath force(path);
+    for (TieBreak tie : {TieBreak::kOptimistic, TieBreak::kMean}) {
+      SCOPED_TRACE(std::string(simd::PathName(path)) +
+                   (tie == TieBreak::kMean ? "/mean" : "/optimistic"));
+      LinkPredictionOptions full_opts;
+      full_opts.tie_break = tie;
+      full_opts.num_threads = 2;
+      LinkPredictionOptions hits_opts = full_opts;
+      hits_opts.hits_only = true;
+      hits_opts.hits_k = 10;
+      const RankingMetrics full =
+          EvaluateLinkPrediction(model, eval, filter, full_opts);
+      const RankingMetrics hits =
+          EvaluateLinkPrediction(model, eval, filter, hits_opts);
+      EXPECT_EQ(hits.count(), full.count());
+      for (int j = 1; j <= 10; ++j) {
+        EXPECT_EQ(hits.hits_at(j), full.hits_at(j)) << "j=" << j;
+      }
+    }
+  }
+}
+
 TEST(LinkPredictionParityTest, SweepMatchesPerCandidateScores) {
   // ScoreAllHeads/ScoreAllTails against one scalar Score() per entity:
   // bit-identical on the forced-scalar path, reduction-order tolerant

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validates a bench_throughput --topk --json=<path> artifact.
+
+CI runs this against the committed BENCH_topk.json (and against a
+freshly generated file on the bench job) so the schema stays a
+contract: downstream tooling may parse these fields by name, and a
+silent rename or type change would break it long after the commit
+that caused it. Stdlib only.
+
+Usage: check_bench_json.py <path> [<path>...]
+Exit 0 when every file validates; 1 with per-field diagnostics.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+# (field, type, validator or None) for every run entry. Validators get
+# the parsed value and return an error string or None.
+RUN_FIELDS = [
+    ("scorer", str, lambda v: None if v else "must be non-empty"),
+    ("num_entities", int, lambda v: None if v > 0 else "must be > 0"),
+    ("k", int, lambda v: None if v > 0 else "must be > 0"),
+    ("sweep_scan_mscores_per_sec", (int, float),
+     lambda v: None if v > 0 else "must be > 0"),
+    ("topk_mscores_per_sec", (int, float),
+     lambda v: None if v > 0 else "must be > 0"),
+    ("topk_batch_mscores_per_sec", (int, float),
+     lambda v: None if v > 0 else "must be > 0"),
+    ("speedup", (int, float), lambda v: None if v > 0 else "must be > 0"),
+    ("batch_speedup", (int, float),
+     lambda v: None if v > 0 else "must be > 0"),
+    ("topk_queries_per_sec", (int, float),
+     lambda v: None if v > 0 else "must be > 0"),
+    ("topk_batch_queries_per_sec", (int, float),
+     lambda v: None if v > 0 else "must be > 0"),
+]
+
+TOP_FIELDS = [
+    ("schema_version", int,
+     lambda v: None if v == SCHEMA_VERSION else
+     "expected schema_version %d, got %r" % (SCHEMA_VERSION, v)),
+    ("suite", str, lambda v: None if v == "topk" else "expected 'topk'"),
+    ("simd_path", str,
+     lambda v: None if v in ("scalar", "avx2", "neon") else
+     "unknown simd_path %r" % v),
+    ("threads", int, lambda v: None if v >= 1 else "must be >= 1"),
+    ("dim", int, lambda v: None if v > 0 else "must be > 0"),
+    ("runs", list, lambda v: None if v else "must be non-empty"),
+]
+
+
+def check_fields(obj, fields, where, errors):
+    for name, types, validate in fields:
+        if name not in obj:
+            errors.append("%s: missing field %r" % (where, name))
+            continue
+        value = obj[name]
+        # bool is an int subclass; never a valid numeric field here.
+        if isinstance(value, bool) or not isinstance(value, types):
+            errors.append("%s: field %r has type %s" %
+                          (where, name, type(value).__name__))
+            continue
+        if validate is not None:
+            err = validate(value)
+            if err:
+                errors.append("%s: field %r %s" % (where, name, err))
+    for name in obj:
+        if name not in [f[0] for f in fields]:
+            errors.append("%s: unknown field %r (schema_version %d has a "
+                          "closed field set)" % (where, name, SCHEMA_VERSION))
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return ["%s: %s" % (path, e)]
+    if not isinstance(doc, dict):
+        return ["%s: top-level value is not an object" % path]
+    check_fields(doc, TOP_FIELDS, path, errors)
+    for i, run in enumerate(doc.get("runs") or []):
+        where = "%s: runs[%d]" % (path, i)
+        if not isinstance(run, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        check_fields(run, RUN_FIELDS, where, errors)
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for e in errors:
+                print("FAIL %s" % e, file=sys.stderr)
+        else:
+            print("OK   %s" % path)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
