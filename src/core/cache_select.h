@@ -27,6 +27,11 @@ enum class CacheSelectStrategy {
 std::string CacheSelectStrategyName(CacheSelectStrategy s);
 
 /// Samples entities out of cache entries under a strategy.
+///
+/// Stateless w.r.t. the cache: entry vectors are passed in by the caller,
+/// who is responsible for holding the entry's shard lock across the call
+/// (NSCachingSampler does this via NSC_REQUIRES-annotated helpers on a
+/// TripletCache::LockedEntry — see nscaching_sampler.h).
 class CacheSelector {
  public:
   /// `model` is borrowed; only consulted for the non-uniform strategies.

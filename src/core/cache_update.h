@@ -52,6 +52,13 @@ struct CacheRefreshResult {
 };
 
 /// Refreshes cache entries against a model's current scores.
+///
+/// Stateless w.r.t. the cache: the entry vector is passed in (and mutated)
+/// by the caller, who must hold the entry's shard lock across the call
+/// (NSCachingSampler does this via NSC_REQUIRES-annotated helpers on a
+/// TripletCache::LockedEntry — see nscaching_sampler.h). Model reads race
+/// benignly with Hogwild writers; that is the tsan.supp territory, not a
+/// lock-protocol concern.
 class CacheUpdater {
  public:
   /// `model` is borrowed and must outlive the updater. `n2` is the number

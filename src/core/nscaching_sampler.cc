@@ -25,6 +25,32 @@ void NSCachingSampler::BeginEpoch(int epoch) {
   updates_enabled_ = (epoch % (config_.lazy_update_epochs + 1)) == 0;
 }
 
+EntityId NSCachingSampler::SelectAndRefreshHead(
+    TripletCache::LockedEntry& entry, const Triple& pos, Rng* rng) {
+  const EntityId h_bar =
+      selector_.SelectHead(entry.candidates(), pos.r, pos.t, rng);
+  if (updates_enabled_) {
+    const CacheRefreshResult r =
+        updater_.UpdateHeadEntry(&entry.candidates(), pos.r, pos.t, rng);
+    stats_.AddRefresh(r.changed, r.true_admissions, r.topk_tiles,
+                      r.topk_pruned_tiles);
+  }
+  return h_bar;
+}
+
+EntityId NSCachingSampler::SelectAndRefreshTail(
+    TripletCache::LockedEntry& entry, const Triple& pos, Rng* rng) {
+  const EntityId t_bar =
+      selector_.SelectTail(entry.candidates(), pos.h, pos.r, rng);
+  if (updates_enabled_) {
+    const CacheRefreshResult r =
+        updater_.UpdateTailEntry(&entry.candidates(), pos.h, pos.r, rng);
+    stats_.AddRefresh(r.changed, r.true_admissions, r.topk_tiles,
+                      r.topk_pruned_tiles);
+  }
+  return t_bar;
+}
+
 NegativeSample NSCachingSampler::Sample(const Triple& pos, Rng* rng) {
   // Steps 5, 6 and 8 of Algorithm 2 run per cache side, each side under
   // its entry's shard lock: index the cache (lazy init), sample the
@@ -35,25 +61,15 @@ NegativeSample NSCachingSampler::Sample(const Triple& pos, Rng* rng) {
   {
     TripletCache::LockedEntry head =
         head_cache_.Acquire(PackRt(pos.r, pos.t), rng);
-    h_bar = selector_.SelectHead(head.candidates(), pos.r, pos.t, rng);
-    if (updates_enabled_) {
-      const CacheRefreshResult r =
-          updater_.UpdateHeadEntry(&head.candidates(), pos.r, pos.t, rng);
-      stats_.AddRefresh(r.changed, r.true_admissions, r.topk_tiles,
-                        r.topk_pruned_tiles);
-    }
+    head.AssertHeld();  // Acquire()'s shard choice is dynamic; see its doc.
+    h_bar = SelectAndRefreshHead(head, pos, rng);
   }
   EntityId t_bar;
   {
     TripletCache::LockedEntry tail =
         tail_cache_.Acquire(PackHr(pos.h, pos.r), rng);
-    t_bar = selector_.SelectTail(tail.candidates(), pos.h, pos.r, rng);
-    if (updates_enabled_) {
-      const CacheRefreshResult r =
-          updater_.UpdateTailEntry(&tail.candidates(), pos.h, pos.r, rng);
-      stats_.AddRefresh(r.changed, r.true_admissions, r.topk_tiles,
-                        r.topk_pruned_tiles);
-    }
+    tail.AssertHeld();
+    t_bar = SelectAndRefreshTail(tail, pos, rng);
   }
   // Both h̄ and t̄ were drawn from the caches (step 6), so the "negatives
   // drawn from the cache" counter advances by 2 — even though step 7 keeps

@@ -19,6 +19,7 @@
 #include "core/triplet_cache.h"
 #include "embedding/model.h"
 #include "sampler/negative_sampler.h"
+#include "util/thread_annotations.h"
 
 namespace nsc {
 
@@ -96,6 +97,20 @@ class NSCachingSampler : public NegativeSampler {
   bool updates_enabled() const { return updates_enabled_; }
 
  private:
+  /// Steps 6 + 8 of Algorithm 2 for the head side, on an entry whose
+  /// shard lock is held: select h̄ from the candidates, then (when
+  /// updates are enabled) refresh them against the current model scores.
+  /// NSC_REQUIRES(entry) makes the lock assumption machine-checked: these
+  /// helpers cannot be called with a candidates vector that outlived its
+  /// LockedEntry.
+  EntityId SelectAndRefreshHead(TripletCache::LockedEntry& entry,
+                                const Triple& pos, Rng* rng)
+      NSC_REQUIRES(entry);
+  /// Tail-side counterpart: selects t̄ from and refreshes a (h, r) entry.
+  EntityId SelectAndRefreshTail(TripletCache::LockedEntry& entry,
+                                const Triple& pos, Rng* rng)
+      NSC_REQUIRES(entry);
+
   NSCachingConfig config_;
   const KgeModel* model_;
   TripletCache head_cache_;

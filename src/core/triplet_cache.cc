@@ -70,30 +70,41 @@ std::vector<EntityId>* TripletCache::GetOrInitLocked(Shard* shard,
   return &shard->entries.emplace(key, std::move(entry)).first->second.candidates;
 }
 
-TripletCache::LockedEntry TripletCache::Acquire(uint64_t key, Rng* rng) {
-  Shard& shard = ShardFor(key);
-  std::unique_lock<std::mutex> lock(shard.mu);
-  std::vector<EntityId>* candidates = GetOrInitLocked(&shard, key, rng);
-  return LockedEntry(std::move(lock), candidates);
+TripletCache::LockedEntry::LockedEntry(TripletCache* cache, Shard* shard,
+                                       uint64_t key, Rng* rng)
+    : mu_(&shard->mu) {
+  shard->mu.Lock();
+  candidates_ = cache->GetOrInitLocked(shard, key, rng);
+}
+
+// The shard is chosen dynamically from the key, which is the one hop the
+// static analysis cannot express — the returned LockedEntry carries the
+// capability out, and callers re-enter the analysis via AssertHeld().
+// Everything this function delegates to (the LockedEntry constructor and
+// GetOrInitLocked) is fully analyzed.
+TripletCache::LockedEntry TripletCache::Acquire(uint64_t key, Rng* rng)
+    NSC_NO_THREAD_SAFETY_ANALYSIS {
+  return LockedEntry(this, &ShardFor(key), key, rng);
 }
 
 std::vector<EntityId>& TripletCache::GetOrInit(uint64_t key, Rng* rng) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  return *GetOrInitLocked(&shard, key, rng);
+  Shard* shard = &ShardFor(key);
+  MutexLock lock(&shard->mu);
+  return *GetOrInitLocked(shard, key, rng);
 }
 
 const std::vector<EntityId>* TripletCache::Find(uint64_t key) const {
-  const Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.entries.find(key);
-  return it == shard.entries.end() ? nullptr : &it->second.candidates;
+  const Shard* shard = &ShardFor(key);
+  MutexLock lock(&shard->mu);
+  auto it = shard->entries.find(key);
+  return it == shard->entries.end() ? nullptr : &it->second.candidates;
 }
 
 size_t TripletCache::num_entries() const {
   size_t total = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+  for (const auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    MutexLock lock(&shard->mu);
     total += shard->entries.size();
   }
   return total;
@@ -101,16 +112,18 @@ size_t TripletCache::num_entries() const {
 
 size_t TripletCache::evictions() const {
   size_t total = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+  for (const auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    MutexLock lock(&shard->mu);
     total += shard->evictions;
   }
   return total;
 }
 
 void TripletCache::Clear() {
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+  for (const auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    MutexLock lock(&shard->mu);
     shard->entries.clear();
     shard->lru.clear();
   }

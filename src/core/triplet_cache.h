@@ -20,18 +20,25 @@
 // Lazy initialisation consumes the caller's Rng identically regardless of
 // the shard count, so an unbounded cache produces bit-for-bit the same
 // entries whether it has 1 shard or 64 (pinned by cache_stress_test).
+//
+// The lock protocol is annotated for Clang's thread-safety analysis
+// (util/thread_annotations.h): every Shard field is NSC_GUARDED_BY its
+// mutex, the lock-assuming helpers are NSC_REQUIRES, and LockedEntry is a
+// scoped capability — candidates() cannot be reached without it. See
+// README "Static analysis".
 #ifndef NSCACHING_CORE_TRIPLET_CACHE_H_
 #define NSCACHING_CORE_TRIPLET_CACHE_H_
 
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "kg/types.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace nsc {
 
@@ -48,29 +55,50 @@ namespace nsc {
 /// per shard (cap = ceil(max_entries / num_shards)); a single shard
 /// reproduces the exact global-LRU semantics.
 class TripletCache {
+ private:
+  struct Shard;  // Defined below; LockedEntry's constructor names it.
+
  public:
   /// `capacity` is N1; `num_entities` bounds the random initial content;
   /// `num_shards` (>= 1) is the lock-striping factor.
   TripletCache(int capacity, int32_t num_entities, size_t max_entries = 0,
                int num_shards = 1);
 
-  /// An entry plus its held shard lock. The candidates vector may be read
-  /// and written freely until the handle is destroyed; the shard (and so
-  /// every other key hashing to it) stays locked for the handle's
+  /// An entry plus its held shard lock — a scoped capability: the shard
+  /// (and so every other key hashing to it) stays locked for the handle's
   /// lifetime, so keep the critical section short. Never hold two handles
   /// from the same cache at once (self-deadlock when the keys share a
   /// shard).
-  class LockedEntry {
+  ///
+  /// candidates() requires the capability, so code holding only a stale
+  /// reference to the vector cannot pass the analysis. After obtaining a
+  /// handle from Acquire(), call AssertHeld() once: the factory picks the
+  /// shard dynamically, which is the one hop the static analysis cannot
+  /// follow (see Acquire()).
+  class NSC_SCOPED_CAPABILITY LockedEntry {
    public:
-    std::vector<EntityId>& candidates() const { return *candidates_; }
+    ~LockedEntry() NSC_RELEASE() { mu_->Unlock(); }
+
+    LockedEntry(const LockedEntry&) = delete;
+    LockedEntry& operator=(const LockedEntry&) = delete;
+
+    /// The entry's candidate ids; may be read and written freely while
+    /// the handle is alive (the analysis enforces exactly that).
+    std::vector<EntityId>& candidates() const NSC_REQUIRES(this) {
+      return *candidates_;
+    }
+
+    /// Statically asserts that this handle holds its shard lock — true by
+    /// construction; bridges the Acquire() factory boundary.
+    void AssertHeld() const NSC_ASSERT_CAPABILITY() {}
 
    private:
     friend class TripletCache;
-    LockedEntry(std::unique_lock<std::mutex> lock,
-                std::vector<EntityId>* candidates)
-        : lock_(std::move(lock)), candidates_(candidates) {}
+    /// Locks `shard` and lazily initialises `key`'s entry under the lock.
+    LockedEntry(TripletCache* cache, Shard* shard, uint64_t key, Rng* rng)
+        NSC_ACQUIRE(shard->mu);
 
-    std::unique_lock<std::mutex> lock_;
+    Mutex* mu_;
     std::vector<EntityId>* candidates_;
   };
 
@@ -113,18 +141,21 @@ class TripletCache {
     std::list<uint64_t>::iterator lru_pos;
   };
 
-  /// One lock stripe: its own map, LRU list and eviction counter.
+  /// One lock stripe: its own map, LRU list and eviction counter, all
+  /// guarded by the stripe's mutex.
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<uint64_t, Entry> entries;
-    std::list<uint64_t> lru;  // Front = most recently touched.
-    size_t evictions = 0;
+    mutable Mutex mu;
+    std::unordered_map<uint64_t, Entry> entries NSC_GUARDED_BY(mu);
+    std::list<uint64_t> lru NSC_GUARDED_BY(mu);  // Front = most recent.
+    size_t evictions NSC_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(uint64_t key) const;
-  /// GetOrInit body; the caller must hold `shard.mu`.
-  std::vector<EntityId>* GetOrInitLocked(Shard* shard, uint64_t key, Rng* rng);
-  void Touch(Shard* shard, uint64_t key, Entry* entry);
+  /// GetOrInit body; the caller must hold `shard->mu`.
+  std::vector<EntityId>* GetOrInitLocked(Shard* shard, uint64_t key, Rng* rng)
+      NSC_REQUIRES(shard->mu);
+  void Touch(Shard* shard, uint64_t key, Entry* entry)
+      NSC_REQUIRES(shard->mu);
 
   int capacity_;
   int32_t num_entities_;

@@ -138,6 +138,17 @@ class Trainer {
   };
 
   /// Per-worker mutable state; workers_[0] doubles as the serial scratch.
+  ///
+  /// Ownership protocol (no mutex — this is index partitioning, which the
+  /// thread-safety analysis cannot express, so it is stated here instead):
+  /// workers_[i] is written ONLY by the worker running with worker index
+  /// i, and only between a ThreadPool::Schedule() handoff and the
+  /// matching Wait() barrier — those order the accesses, so the state
+  /// needs no lock and no atomics. The main thread touches workers_[i]
+  /// exclusively outside Schedule/Wait windows (construction, serial
+  /// paths via workers_[0]). Every intentionally unsynchronized access in
+  /// the trainer targets the SHARED model tables (Hogwild), never a
+  /// WorkerState — see tsan.supp for that inventory.
   struct WorkerState {
     GradAccumulator entity_grads;
     std::vector<float> relation_grad;  // The pair's one touched relation row.

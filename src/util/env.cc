@@ -6,6 +6,8 @@
 namespace nsc {
 
 int64_t GetEnvInt(const char* name, int64_t fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv at flag-
+  // parse time, before any worker thread exists; nothing calls setenv.
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
@@ -15,6 +17,8 @@ int64_t GetEnvInt(const char* name, int64_t fallback) {
 }
 
 double GetEnvDouble(const char* name, double fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv at flag-
+  // parse time, before any worker thread exists; nothing calls setenv.
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
@@ -24,6 +28,8 @@ double GetEnvDouble(const char* name, double fallback) {
 }
 
 bool GetEnvBool(const char* name, bool fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv at flag-
+  // parse time, before any worker thread exists; nothing calls setenv.
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   if (std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
@@ -38,6 +44,8 @@ bool GetEnvBool(const char* name, bool fallback) {
 }
 
 std::string GetEnvString(const char* name, const std::string& fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv at flag-
+  // parse time, before any worker thread exists; nothing calls setenv.
   const char* v = std::getenv(name);
   return (v == nullptr || *v == '\0') ? fallback : std::string(v);
 }

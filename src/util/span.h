@@ -17,12 +17,15 @@ class Span {
   constexpr Span(T* data, std::size_t size) : data_(data), size_(size) {}
 
   /// From a vector of the element type (or, for Span<const T>, a vector
-  /// of the non-const element type).
-  Span(std::vector<std::remove_const_t<T>>& v)  // NOLINT(runtime/explicit)
+  /// of the non-const element type). Implicit by design, like
+  /// absl::Span: a view type exists to be passed where a vector is held.
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit view conversion.
+  Span(std::vector<std::remove_const_t<T>>& v)
       : data_(v.data()), size_(v.size()) {}
   template <typename U = T,
             typename = std::enable_if_t<std::is_const<U>::value>>
-  Span(const std::vector<std::remove_const_t<T>>& v)  // NOLINT
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit view conversion.
+  Span(const std::vector<std::remove_const_t<T>>& v)
       : data_(v.data()), size_(v.size()) {}
 
   constexpr T* data() const { return data_; }

@@ -79,10 +79,13 @@ class Status {
 template <typename T>
 class StatusOr {
  public:
-  /// Implicit from value.
-  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from value — mirrors absl::StatusOr, so `return value;`
+  /// works from a StatusOr-returning function.
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by contract.
+  StatusOr(T value) : status_(), value_(std::move(value)) {}
   /// Implicit from error status; `status.ok()` must be false.
-  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by contract.
+  StatusOr(Status status) : status_(std::move(status)) {}
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }

@@ -1,0 +1,93 @@
+// Portable Clang thread-safety-analysis annotation macros.
+//
+// Under Clang these expand to the capability attributes that power
+// -Wthread-safety (see https://clang.llvm.org/docs/ThreadSafetyAnalysis.html);
+// under every other compiler they expand to nothing, so annotated code
+// stays warning-clean on GCC. CI builds the whole tree with
+//   clang++ -Wthread-safety -Wthread-safety-beta -Werror
+// which turns every lock-protocol violation the analysis can see into a
+// compile error (the static-analysis job; see README "Static analysis").
+//
+// Vocabulary (all macros are no-ops outside Clang):
+//   NSC_CAPABILITY(name)      — class is a capability (e.g. a mutex type).
+//   NSC_SCOPED_CAPABILITY     — RAII class that acquires on construction
+//                               and releases on destruction; the object
+//                               itself can be named in NSC_REQUIRES.
+//   NSC_GUARDED_BY(mu)        — field may only be accessed holding mu.
+//   NSC_PT_GUARDED_BY(mu)     — pointee may only be accessed holding mu.
+//   NSC_REQUIRES(...)         — function requires the capabilities held.
+//   NSC_ACQUIRE(...)/NSC_RELEASE(...)
+//                             — function acquires/releases them.
+//   NSC_TRY_ACQUIRE(b, ...)   — try-lock; returns b on success.
+//   NSC_EXCLUDES(...)         — caller must NOT hold them (deadlock guard).
+//   NSC_ASSERT_CAPABILITY(...)— runtime assertion that they are held; adds
+//                               the fact to the analysis state. With no
+//                               argument, applies to `this`.
+//   NSC_RETURN_CAPABILITY(mu) — function returns a reference to mu.
+//   NSC_NO_THREAD_SAFETY_ANALYSIS
+//                             — opt a function out; every use must carry a
+//                               reason comment (the same rule as NOLINT in
+//                               .clang-tidy — see README).
+//
+// The capability expressions passed to these macros must stay
+// UNPARENTHESIZED (`NSC_GUARDED_BY(mu)`, not `(mu)`): they are attribute
+// arguments, not value expressions, and the analysis matches them
+// syntactically. (This is also why bugprone-macro-parentheses is disabled
+// for this header's idiom in .clang-tidy.)
+#ifndef NSCACHING_UTIL_THREAD_ANNOTATIONS_H_
+#define NSCACHING_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define NSC_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define NSC_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+#define NSC_CAPABILITY(x) NSC_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define NSC_SCOPED_CAPABILITY NSC_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define NSC_GUARDED_BY(x) NSC_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define NSC_PT_GUARDED_BY(x) NSC_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define NSC_ACQUIRED_BEFORE(...) \
+  NSC_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define NSC_ACQUIRED_AFTER(...) \
+  NSC_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define NSC_REQUIRES(...) \
+  NSC_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define NSC_REQUIRES_SHARED(...) \
+  NSC_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define NSC_ACQUIRE(...) \
+  NSC_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define NSC_ACQUIRE_SHARED(...) \
+  NSC_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define NSC_RELEASE(...) \
+  NSC_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define NSC_RELEASE_SHARED(...) \
+  NSC_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define NSC_TRY_ACQUIRE(...) \
+  NSC_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define NSC_EXCLUDES(...) \
+  NSC_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define NSC_ASSERT_CAPABILITY(...) \
+  NSC_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(__VA_ARGS__))
+
+#define NSC_RETURN_CAPABILITY(x) \
+  NSC_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define NSC_NO_THREAD_SAFETY_ANALYSIS \
+  NSC_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // NSCACHING_UTIL_THREAD_ANNOTATIONS_H_

@@ -21,33 +21,33 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Schedule(std::function<void(int)> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (in_flight_ != 0) all_done_.Wait(&mu_);
 }
 
 void ThreadPool::WorkerLoop(int worker_index) {
   for (;;) {
     std::function<void(int)> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && tasks_.empty()) task_ready_.Wait(&mu_);
       if (tasks_.empty()) {
         if (shutdown_) return;
         continue;
@@ -57,9 +57,9 @@ void ThreadPool::WorkerLoop(int worker_index) {
     }
     task(worker_index);
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -54,6 +54,7 @@ TEST(ShardedCacheParityTest, AcquireAndGetOrInitAgree) {
   Rng rng_a(9), rng_b(9);
   for (uint64_t key = 0; key < 25; ++key) {
     TripletCache::LockedEntry locked = via_acquire.Acquire(key, &rng_a);
+    locked.AssertHeld();  // Bridges Acquire()'s dynamic shard pick.
     const auto& plain = via_getorinit.GetOrInit(key, &rng_b);
     EXPECT_EQ(locked.candidates(), plain);
   }
@@ -79,6 +80,7 @@ TEST(CacheStressTest, ConcurrentAcquireOnSharedKeys) {
       for (int i = 0; i < kIters; ++i) {
         const uint64_t key = rng.UniformInt(kKeys);
         TripletCache::LockedEntry entry = cache.Acquire(key, &rng);
+        entry.AssertHeld();
         std::vector<EntityId>& c = entry.candidates();
         ASSERT_EQ(c.size(), static_cast<size_t>(kCapacity));
         for (EntityId e : c) {
@@ -112,6 +114,7 @@ TEST(CacheStressTest, ConcurrentAcquireOnBoundedCacheEvicts) {
       for (int i = 0; i < kIters; ++i) {
         const uint64_t key = rng.UniformInt(200);  // Far over the bound.
         TripletCache::LockedEntry entry = cache.Acquire(key, &rng);
+        entry.AssertHeld();
         ASSERT_EQ(entry.candidates().size(), 4u);
       }
     });

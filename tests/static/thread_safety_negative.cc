@@ -1,0 +1,78 @@
+// NEGATIVE compile-time test for the thread-safety annotations.
+//
+// This TU deliberately violates the annotated lock protocols and MUST
+// FAIL to compile under clang with -Wthread-safety -Werror. CI builds it
+// with the build expected to fail:
+//
+//   cmake --build build --target thread_safety_negative   # must fail
+//
+// If it ever compiles under clang, the annotations have rotted (macros
+// expanding to nothing under clang, an attribute dropped, the analysis
+// disabled) — the positive build alone cannot detect that, because a
+// no-op analysis also produces zero warnings there.
+//
+// Under GCC the NSC_* macros expand to nothing and this file compiles;
+// that is fine — the target is EXCLUDE_FROM_ALL and only the clang CI
+// job builds it. Nothing here is ever executed.
+#include "core/triplet_cache.h"
+#include "util/mutex.h"
+#include "util/rng.h"
+#include "util/thread_annotations.h"
+
+namespace nsc {
+namespace {
+
+// Violation 1: reading a LockedEntry's candidates() without the analysis
+// knowing the capability is held. Acquire() returns the handle across its
+// no-analysis boundary, so the caller must AssertHeld() first; skipping
+// it must be a compile error, or the scoped-capability design is dead.
+size_t UseEntryWithoutAssert(TripletCache* cache, Rng* rng) {
+  TripletCache::LockedEntry entry = cache->Acquire(7, rng);
+  // Missing: entry.AssertHeld();
+  return entry.candidates().size();  // error: requires holding 'entry'
+}
+
+// Violation 2: a helper that assumes the lock without declaring it. The
+// annotated equivalent (NSCachingSampler::SelectAndRefreshHead) carries
+// NSC_REQUIRES(entry); without it the call must not check.
+size_t HelperWithoutRequires(TripletCache::LockedEntry& entry) {
+  return entry.candidates().size();  // error: requires holding 'entry'
+}
+
+// Violation 3: touching a guarded field with no lock held.
+struct Counter {
+  Mutex mu;
+  int value NSC_GUARDED_BY(mu) = 0;
+};
+
+void WriteGuardedFieldUnlocked(Counter* c) {
+  c->value = 1;  // error: writing variable 'value' requires holding 'mu'
+}
+
+// Violation 4: double acquisition of the same mutex (self-deadlock).
+void DoubleLock(Counter* c) {
+  MutexLock outer(&c->mu);
+  MutexLock inner(&c->mu);  // error: acquiring mutex 'mu' already held
+  c->value = 2;
+}
+
+// Violation 5: leaking a lock — acquired but never released on a path.
+void LockWithoutUnlock(Counter* c) {
+  c->mu.Lock();
+  c->value = 3;
+}  // error: mutex 'mu' is still held at the end of function
+
+// Anchors every violation as odr-used so -Wunused-function noise cannot
+// mask (or mimic) the thread-safety diagnostics. Never called.
+const void* const kAnchors[] = {
+    reinterpret_cast<const void*>(&UseEntryWithoutAssert),
+    reinterpret_cast<const void*>(&HelperWithoutRequires),
+    reinterpret_cast<const void*>(&WriteGuardedFieldUnlocked),
+    reinterpret_cast<const void*>(&DoubleLock),
+    reinterpret_cast<const void*>(&LockWithoutUnlock),
+};
+
+}  // namespace
+}  // namespace nsc
+
+int main() { return nsc::kAnchors[0] == nullptr; }

@@ -1,0 +1,375 @@
+#!/usr/bin/env python3
+"""Kernel-registry linter for the SIMD dispatch tables.
+
+The runtime dispatcher (src/util/simd.cc) indexes `ScorerKernels` by
+POSITION: the scalar, AVX2 and NEON tables are brace-initialized structs,
+so a missing, reordered or copy-pasted-from-the-wrong-scorer entry
+compiles cleanly and silently scores with the wrong kernel. This linter
+makes those invariants machine-checked:
+
+  1. Every dispatch table initializes EXACTLY the slot set declared by
+     `struct ScorerKernels` in src/util/simd.h — no short counts (which
+     would zero-fill the tail), no nullptr slots.
+  2. Every slot's entry names its scorer: the `transe_*` slot cannot hold
+     a DistMult kernel. (Checked textually against the entry identifier,
+     template arguments included.)
+  3. Every `SweepTopKFn` / `SweepTopKBatchFn` slot pairs with the
+     registered `SweepFn` of the same scorer and side: template-form
+     entries (SweepTopKViaTiles<X>, SweepTopKNeon<X>) must instantiate
+     exactly the registered sweep kernel X; bool-template entries
+     (TransESweepTopKAvx2<kCandIsHead>) must pass true for _head and
+     false for _tail; dedicated side-less names (DistMultSweepTopKAvx2)
+     are allowed only when the scorer's sweep is itself side-symmetric
+     (same entry registered for head and tail).
+  4. CMakeLists.txt builds src/util/simd_avx2.cc with exactly the flag
+     set the scalar-parity contract depends on: -mavx2 AND -mfma (the
+     kernels use FMA intrinsics unconditionally) AND -ffp-contract=off
+     (so the compiler cannot contract mul+add sequences the parity tests
+     pin) — and no OTHER source picks up -mavx2 (the runtime CPUID check
+     only guards the one TU).
+
+Stdlib only. Exit 0 = clean, 1 = violations (printed one per line).
+`--self-test` seeds each violation class into a temp copy of the tree and
+asserts the linter catches it (and that the pristine tree passes).
+"""
+
+import argparse
+import os
+import re
+import shutil
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SIMD_H = "src/util/simd.h"
+TABLES = {
+    "kScalarKernels": "src/util/simd.cc",
+    "kAvx2Kernels": "src/util/simd_avx2.cc",
+    "kNeonKernels": "src/util/simd_neon.cc",
+}
+CMAKE = "CMakeLists.txt"
+AVX2_TU = "simd_avx2.cc"
+AVX2_REQUIRED_FLAGS = ("-mavx2", "-mfma", "-ffp-contract=off")
+
+SLOT_TYPES = ("ScoreFn", "BackwardFn", "SweepFn", "SweepTopKFn",
+              "SweepTopKBatchFn")
+SLOT_RE = re.compile(
+    r"^\s*(" + "|".join(SLOT_TYPES) + r")\s+([a-z_][a-z0-9_]*)\s*;\s*(?://.*)?$",
+    re.MULTILINE,
+)
+
+
+def strip_comments(text):
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    text = re.sub(r"//[^\n]*", "", text)
+    return text
+
+
+def parse_slots(root, findings):
+    """[(type, name)] in declaration order from struct ScorerKernels."""
+    path = os.path.join(root, SIMD_H)
+    text = open(path, encoding="utf-8").read()
+    m = re.search(r"struct\s+ScorerKernels\s*\{(.*?)\n\};", text, re.DOTALL)
+    if not m:
+        findings.append(f"{SIMD_H}: struct ScorerKernels not found")
+        return []
+    slots = SLOT_RE.findall(m.group(1))
+    if not slots:
+        findings.append(f"{SIMD_H}: no kernel slots parsed from ScorerKernels")
+    return slots
+
+
+def split_entries(body):
+    """Splits an initializer body on top-level commas (<> and () aware)."""
+    entries, depth, cur = [], 0, []
+    for ch in body:
+        if ch in "<(":
+            depth += 1
+        elif ch in ">)":
+            depth -= 1
+        if ch == "," and depth == 0:
+            entries.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        entries.append(tail)
+    return [re.sub(r"\s+", " ", e) for e in entries]
+
+
+def parse_table(root, table, rel_path, findings):
+    path = os.path.join(root, rel_path)
+    text = strip_comments(open(path, encoding="utf-8").read())
+    m = re.search(
+        r"const\s+ScorerKernels\s+" + table + r"\s*=\s*\{(.*?)\};",
+        text,
+        re.DOTALL,
+    )
+    if not m:
+        findings.append(f"{rel_path}: initializer of {table} not found")
+        return None
+    return split_entries(m.group(1))
+
+
+def template_arg(entry):
+    m = re.match(r"^[\w:]+\s*<(.*)>$", entry)
+    return m.group(1).strip() if m else None
+
+
+def check_table(table, rel_path, slots, entries, findings):
+    where = f"{rel_path}:{table}"
+    if len(entries) != len(slots):
+        findings.append(
+            f"{where}: {len(entries)} entries for {len(slots)} declared "
+            f"slots — positional init would misalign every later slot"
+        )
+        return
+    by_slot = {}
+    for (slot_type, slot_name), entry in zip(slots, entries):
+        by_slot[slot_name] = (slot_type, entry)
+        if entry == "nullptr" or entry == "0":
+            findings.append(f"{where}: slot {slot_name} is {entry}")
+            continue
+        scorer = slot_name.split("_")[0]
+        if scorer not in entry.lower():
+            findings.append(
+                f"{where}: slot {slot_name} holds '{entry}' which does not "
+                f"name scorer '{scorer}' — wrong-scorer registration"
+            )
+        if slot_type in ("SweepTopKFn", "SweepTopKBatchFn"):
+            if (slot_type == "SweepTopKBatchFn") != ("batch" in entry.lower()):
+                findings.append(
+                    f"{where}: slot {slot_name} ({slot_type}) holds "
+                    f"'{entry}' — batch/non-batch kernel mismatch"
+                )
+
+    # Pairing: each top-K slot against its scorer+side SweepFn.
+    for slot_name, (slot_type, entry) in by_slot.items():
+        if slot_type not in ("SweepTopKFn", "SweepTopKBatchFn"):
+            continue
+        if entry in ("nullptr", "0"):
+            continue
+        m = re.match(r"(\w+)_topk(?:_batch)?_(head|tail)$", slot_name)
+        if not m:
+            findings.append(
+                f"{where}: top-K slot {slot_name} does not follow the "
+                f"<scorer>_topk[_batch]_<side> naming scheme"
+            )
+            continue
+        scorer, side = m.groups()
+        sweep_slot = f"{scorer}_sweep_{side}"
+        if sweep_slot not in by_slot:
+            findings.append(
+                f"{where}: top-K slot {slot_name} has no registered "
+                f"SweepFn slot {sweep_slot}"
+            )
+            continue
+        sweep_entry = by_slot[sweep_slot][1]
+        arg = template_arg(entry)
+        if arg is not None and re.fullmatch(r"[\w:]*Sweep[\w:]*", arg):
+            # Tile-loop wrapper instantiated over a sweep kernel: must be
+            # exactly the sweep registered for this scorer+side.
+            if arg != sweep_entry:
+                findings.append(
+                    f"{where}: {slot_name} instantiates '{arg}' but the "
+                    f"{sweep_slot} slot registers '{sweep_entry}' — "
+                    f"sweep/top-K pairing mismatch"
+                )
+        elif arg is not None and arg in ("true", "false"):
+            want = "true" if side == "head" else "false"
+            if arg != want:
+                findings.append(
+                    f"{where}: {slot_name} passes kCandIsHead={arg}; the "
+                    f"{side} slot requires {want}"
+                )
+        else:
+            # Dedicated side-less kernel name: only sound when the sweep
+            # itself is side-symmetric for this scorer.
+            other = by_slot.get(f"{scorer}_sweep_" +
+                                ("tail" if side == "head" else "head"))
+            if other is not None and other[1] != sweep_entry:
+                findings.append(
+                    f"{where}: {slot_name} holds side-less '{entry}' but "
+                    f"scorer '{scorer}' has side-distinct sweeps "
+                    f"('{sweep_entry}' vs '{other[1]}')"
+                )
+
+
+def check_cmake(root, findings):
+    path = os.path.join(root, CMAKE)
+    raw = open(path, encoding="utf-8").read()
+    text = re.sub(r"#[^\n]*", "", raw)  # CMake comments.
+    blocks = re.findall(
+        r"set_source_files_properties\([^)]*" + re.escape(AVX2_TU) + r"[^)]*\)",
+        text,
+        re.DOTALL,
+    )
+    if not blocks:
+        findings.append(
+            f"{CMAKE}: no set_source_files_properties() block for {AVX2_TU} — "
+            f"the AVX2 TU would build without its required flags"
+        )
+    for block in blocks:
+        for flag in AVX2_REQUIRED_FLAGS:
+            if flag not in block:
+                findings.append(
+                    f"{CMAKE}: {AVX2_TU} COMPILE_OPTIONS is missing "
+                    f"'{flag}' (required set: {';'.join(AVX2_REQUIRED_FLAGS)})"
+                )
+    # No stray -mavx2 outside that block (and outside compiler probes):
+    # only the runtime-dispatched TU may be built for AVX2.
+    remainder = text
+    for block in blocks:
+        remainder = remainder.replace(block, "")
+    remainder = re.sub(r"check_cxx_compiler_flag\([^)]*\)", "", remainder)
+    if "-mavx2" in remainder:
+        findings.append(
+            f"{CMAKE}: '-mavx2' applied outside the {AVX2_TU} "
+            f"set_source_files_properties block — unguarded AVX2 codegen"
+        )
+
+
+def lint(root):
+    findings = []
+    slots = parse_slots(root, findings)
+    if slots:
+        for table, rel_path in TABLES.items():
+            entries = parse_table(root, table, rel_path, findings)
+            if entries is not None:
+                check_table(table, rel_path, slots, entries, findings)
+    check_cmake(root, findings)
+    return findings
+
+
+# ---- Self-test -------------------------------------------------------------
+
+LINT_FILES = [SIMD_H] + sorted(set(TABLES.values())) + [CMAKE]
+
+
+def make_tree(tmp):
+    root = tempfile.mkdtemp(dir=tmp)
+    for rel in LINT_FILES:
+        dst = os.path.join(root, rel)
+        os.makedirs(os.path.dirname(dst), exist_ok=True)
+        shutil.copyfile(os.path.join(REPO_ROOT, rel), dst)
+    return root
+
+
+def mutate(root, rel, old, new):
+    path = os.path.join(root, rel)
+    text = open(path, encoding="utf-8").read()
+    if old not in text:
+        raise AssertionError(f"self-test seed '{old}' not found in {rel}")
+    open(path, "w", encoding="utf-8").write(text.replace(old, new, 1))
+
+
+def self_test():
+    # (description, file, old, new, substring expected in some finding)
+    cases = [
+        (
+            "nullptr slot",
+            "src/util/simd.cc",
+            "TransEScoreScalar,",
+            "nullptr,",
+            "is nullptr",
+        ),
+        (
+            "wrong-scorer registration",
+            "src/util/simd_avx2.cc",
+            "DistMultScoreAvx2,",
+            "TransEScoreAvx2,",
+            "wrong-scorer registration",
+        ),
+        (
+            "deleted entry (count misalignment)",
+            "src/util/simd_neon.cc",
+            "TransESweepHeadNeon,  TransESweepTailNeon,",
+            "TransESweepHeadNeon,",
+            "positional init would misalign",
+        ),
+        (
+            "sweep/top-K pairing mismatch",
+            "src/util/simd.cc",
+            "SweepTopKViaTiles<TransESweepHeadScalar>",
+            "SweepTopKViaTiles<TransESweepTailScalar>",
+            "pairing mismatch",
+        ),
+        (
+            "kCandIsHead side flip",
+            "src/util/simd_avx2.cc",
+            "TransESweepTopKAvx2</*kCandIsHead=*/true>",
+            "TransESweepTopKAvx2</*kCandIsHead=*/false>",
+            "requires true",
+        ),
+        (
+            "dropped -ffp-contract=off",
+            "CMakeLists.txt",
+            '"-mavx2;-mfma;-ffp-contract=off"',
+            '"-mavx2;-mfma"',
+            "missing '-ffp-contract=off'",
+        ),
+        (
+            "stray -mavx2 on the whole library",
+            "CMakeLists.txt",
+            "add_compile_options(-Wall -Wextra)",
+            "add_compile_options(-Wall -Wextra -mavx2)",
+            "outside the simd_avx2.cc",
+        ),
+    ]
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        pristine = lint(make_tree(tmp))
+        if pristine:
+            failures.append(
+                "pristine tree must lint clean, got:\n  "
+                + "\n  ".join(pristine)
+            )
+        for desc, rel, old, new, expect in cases:
+            root = make_tree(tmp)
+            mutate(root, rel, old, new)
+            found = lint(root)
+            if not any(expect in f for f in found):
+                failures.append(
+                    f"seeded '{desc}' NOT detected (expected a finding "
+                    f"containing '{expect}'; got {found or 'nothing'})"
+                )
+            else:
+                print(f"self-test: detected seeded {desc}")
+    if failures:
+        print("\nlint_kernel_registry SELF-TEST FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"self-test: OK ({len(cases)} seeded violations all detected)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=REPO_ROOT)
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="seed each violation class into a temp tree; assert detection",
+    )
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    findings = lint(args.root)
+    if findings:
+        print(f"lint_kernel_registry: {len(findings)} violation(s):")
+        for f in findings:
+            print(f"  {f}")
+        return 1
+    slots = parse_slots(args.root, [])
+    print(
+        f"lint_kernel_registry: OK — {len(slots)} slots x {len(TABLES)} "
+        f"dispatch tables + CMake AVX2 flags verified"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Baseline-gated clang-tidy driver.
+
+Runs clang-tidy (config from the root .clang-tidy) over the repo's
+translation units using a CMake compile_commands.json, then diffs the
+findings against a committed baseline (tools/clang_tidy_baseline.txt).
+The gate FAILS ONLY ON NEW FINDINGS — pre-existing ones are tolerated
+until someone fixes them and shrinks the baseline. This makes enabling a
+new check cheap: record today's findings, block tomorrow's.
+
+Finding identity is `file|check|message` (no line/column), so moving code
+around does not churn the baseline; identical findings are multiset-
+counted, so introducing a SECOND instance of an already-baselined finding
+still fails.
+
+Default scope is the TUs changed relative to --diff-base (fast enough for
+per-PR CI); --all scans every TU in the compilation database (the
+scheduled full-tree CI run). Stdlib only; no pip dependencies.
+
+Usage:
+  tools/run_clang_tidy.py                       # changed TUs vs origin/main
+  tools/run_clang_tidy.py --all                 # full tree
+  tools/run_clang_tidy.py --all --update-baseline
+  tools/run_clang_tidy.py --skip-if-missing     # no-op without clang-tidy
+"""
+
+import argparse
+import collections
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_DEFAULT = os.path.join(REPO_ROOT, "tools", "clang_tidy_baseline.txt")
+BASELINE_HEADER = (
+    "# clang-tidy baseline: one `file|check|message` per finding occurrence.\n"
+    "# Regenerate with: tools/run_clang_tidy.py --all --update-baseline\n"
+    "# Shrink it by fixing findings; never grow it by hand.\n"
+)
+
+# clang-tidy diagnostic line:  path:line:col: warning: message [check]
+DIAG_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<sev>warning|error):\s+(?P<msg>.*?)\s+\[(?P<check>[^\]]+)\]\s*$"
+)
+
+
+def find_clang_tidy(explicit):
+    """Locates a clang-tidy binary, preferring an explicit path, then
+    versioned names (newest first), then the unversioned one."""
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    candidates = ["clang-tidy"] + [f"clang-tidy-{v}" for v in range(21, 13, -1)]
+    for name in candidates:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def load_compdb(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(path):
+        sys.exit(
+            f"error: {path} not found — configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON first"
+        )
+    with open(path, encoding="utf-8") as f:
+        entries = json.load(f)
+    tus = {}
+    for entry in entries:
+        src = os.path.normpath(
+            os.path.join(entry["directory"], entry["file"])
+            if not os.path.isabs(entry["file"])
+            else entry["file"]
+        )
+        tus[src] = entry
+    return tus
+
+
+def changed_tus(diff_base, all_tus):
+    """TUs touched relative to diff_base, plus TUs whose changed headers
+    they could include (conservative: any header change selects every TU —
+    header->TU dependence isn't tracked, and over-scanning only costs
+    time, never misses a finding)."""
+    try:
+        out = subprocess.run(
+            ["git", "diff", "--name-only", f"{diff_base}...HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except subprocess.CalledProcessError as e:
+        sys.exit(
+            f"error: git diff against '{diff_base}' failed "
+            f"({e.stderr.strip()}); pass --all or a valid --diff-base"
+        )
+    changed = [line.strip() for line in out.splitlines() if line.strip()]
+    if any(p.endswith(".h") for p in changed):
+        return sorted(all_tus)  # Header changed: fall back to full scan.
+    selected = []
+    for rel in changed:
+        absolute = os.path.normpath(os.path.join(REPO_ROOT, rel))
+        if absolute in all_tus:
+            selected.append(absolute)
+    return sorted(selected)
+
+
+def run_tidy(binary, tus, build_dir, jobs):
+    """Runs clang-tidy over `tus`, returns the finding multiset."""
+    findings = collections.Counter()
+    procs = []
+
+    def drain(proc):
+        out, _ = proc.communicate()
+        if proc.returncode not in (0, 1):
+            # 0 = clean, 1 = findings; anything else is an infrastructure
+            # failure (bad flags, crashed) and must not pass silently.
+            sys.stderr.write(out)
+            sys.exit(f"error: clang-tidy failed on {proc.args[-1]}")
+        for line in out.splitlines():
+            m = DIAG_RE.match(line)
+            if not m:
+                continue
+            rel = os.path.relpath(os.path.normpath(m.group("file")), REPO_ROOT)
+            if rel.startswith(".."):
+                continue  # System/third-party header: not ours to gate.
+            findings[f"{rel}|{m.group('check')}|{m.group('msg')}"] += 1
+
+    for tu in tus:
+        procs.append(
+            subprocess.Popen(
+                [binary, "-p", build_dir, "--quiet", tu],
+                cwd=REPO_ROOT,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+        )
+        if len(procs) >= jobs:
+            drain(procs.pop(0))
+    for proc in procs:
+        drain(proc)
+    return findings
+
+
+def load_baseline(path):
+    baseline = collections.Counter()
+    if not os.path.isfile(path):
+        return baseline
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if line and not line.startswith("#"):
+                baseline[line] += 1
+    return baseline
+
+
+def write_baseline(path, findings):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(BASELINE_HEADER)
+        for key in sorted(findings.elements()):
+            f.write(key + "\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    ap.add_argument("--baseline", default=BASELINE_DEFAULT)
+    ap.add_argument("--clang-tidy", default=None, help="binary to use")
+    ap.add_argument(
+        "--diff-base",
+        default="origin/main",
+        help="git ref the changed-TU scope diffs against",
+    )
+    ap.add_argument(
+        "--all", action="store_true", help="scan every TU, not just changed ones"
+    )
+    ap.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="record current findings as the new baseline (use with --all)",
+    )
+    ap.add_argument(
+        "--skip-if-missing",
+        action="store_true",
+        help="exit 0 when no clang-tidy binary exists (local GCC-only dev); "
+        "CI must NOT pass this — a missing binary there is a hard error",
+    )
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    args = ap.parse_args()
+
+    binary = find_clang_tidy(args.clang_tidy)
+    if binary is None:
+        if args.skip_if_missing:
+            print("run_clang_tidy: no clang-tidy binary found; skipping")
+            return 0
+        sys.exit("error: no clang-tidy binary found (install clang-tidy)")
+
+    all_tus = load_compdb(args.build_dir)
+    tus = sorted(all_tus) if args.all else changed_tus(args.diff_base, all_tus)
+    if not tus:
+        print("run_clang_tidy: no changed TUs; nothing to scan")
+        return 0
+    scope = "all" if args.all else f"changed vs {args.diff_base}"
+    print(f"run_clang_tidy: {binary}, {len(tus)} TU(s) [{scope}]")
+
+    findings = run_tidy(binary, tus, args.build_dir, args.jobs)
+
+    if args.update_baseline:
+        write_baseline(args.baseline, findings)
+        print(
+            f"run_clang_tidy: baseline updated with "
+            f"{sum(findings.values())} finding(s) -> {args.baseline}"
+        )
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    new = findings - baseline  # Multiset diff: extra occurrences count.
+    fixed = baseline - findings
+    if fixed and args.all:
+        # Only a full scan proves a baselined finding is gone.
+        print(
+            f"run_clang_tidy: {sum(fixed.values())} baselined finding(s) "
+            "no longer occur — consider --update-baseline to shrink it"
+        )
+    if new:
+        print(
+            f"\nrun_clang_tidy: {sum(new.values())} NEW finding(s) "
+            "not in the baseline:\n"
+        )
+        for key, count in sorted(new.items()):
+            suffix = f"  (x{count})" if count > 1 else ""
+            print(f"  {key}{suffix}")
+        print(
+            "\nFix them, or — only for findings that are intentional and "
+            "documented — NOLINT with a reason comment. Do not grow the "
+            "baseline by hand."
+        )
+        return 1
+    print(f"run_clang_tidy: clean ({sum(findings.values())} baselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
