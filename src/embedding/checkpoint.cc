@@ -10,17 +10,18 @@ namespace {
 constexpr char kMagic[8] = {'N', 'S', 'C', 'K', 'P', 'T', '0', '1'};
 
 // Tables are serialised row-by-row over the logical width, so the on-disk
-// format is the compact layout regardless of the in-memory row stride
-// (padding is neither written nor read; files from pre-padding builds
-// load unchanged).
-void WriteTable(std::ofstream& out, const EmbeddingTable& table) {
+// format is the compact layout regardless of the in-memory row stride OR
+// shard count (padding is neither written nor read; rows resolve through
+// the shard layout; files from pre-padding/pre-sharding builds load
+// unchanged and a model saved with N shards reloads into any M).
+void WriteTable(std::ofstream& out, const ShardedEmbeddingTable& table) {
   for (int32_t r = 0; r < table.rows(); ++r) {
     out.write(reinterpret_cast<const char*>(table.Row(r)),
               static_cast<std::streamsize>(table.width() * sizeof(float)));
   }
 }
 
-void ReadTable(std::ifstream& in, EmbeddingTable* table) {
+void ReadTable(std::ifstream& in, ShardedEmbeddingTable* table) {
   for (int32_t r = 0; r < table->rows(); ++r) {
     in.read(reinterpret_cast<char*>(table->Row(r)),
             static_cast<std::streamsize>(table->width() * sizeof(float)));
@@ -46,7 +47,8 @@ Status SaveModel(const KgeModel& model, const std::string& path) {
   return Status::OK();
 }
 
-StatusOr<KgeModel> LoadModel(const std::string& path) {
+StatusOr<KgeModel> LoadModel(const std::string& path,
+                             const ShardOptions& entity_sharding) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
 
@@ -73,7 +75,8 @@ StatusOr<KgeModel> LoadModel(const std::string& path) {
   if (scorer == nullptr) {
     return Status::InvalidArgument(path + ": unknown scorer " + scorer_name);
   }
-  KgeModel model(shape[0], shape[1], shape[2], std::move(scorer));
+  KgeModel model(shape[0], shape[1], shape[2], std::move(scorer),
+                 TableLayout::kPadded, entity_sharding);
   ReadTable(in, &model.entity_table());
   ReadTable(in, &model.relation_table());
   if (!in) return Status::InvalidArgument(path + ": truncated tables");

@@ -19,8 +19,12 @@ namespace nsc {
 Status SaveModel(const KgeModel& model, const std::string& path);
 
 /// Reads a model written by SaveModel. Fails with IOError on unreadable
-/// files and InvalidArgument on malformed/unknown content.
-StatusOr<KgeModel> LoadModel(const std::string& path);
+/// files and InvalidArgument on malformed/unknown content. The format is
+/// layout-independent, so `entity_sharding` restores the same logical
+/// model into any shard count (default: one shard).
+StatusOr<KgeModel> LoadModel(const std::string& path,
+                             const ShardOptions& entity_sharding =
+                                 ShardOptions());
 
 }  // namespace nsc
 

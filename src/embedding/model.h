@@ -11,6 +11,7 @@
 
 #include "embedding/embedding_table.h"
 #include "embedding/scoring_function.h"
+#include "embedding/sharded_table.h"
 #include "kg/types.h"
 #include "util/rng.h"
 
@@ -28,16 +29,26 @@ class KgeModel {
  public:
   /// Allocates tables sized by the scorer's widths; rows start at zero —
   /// call InitXavier (or copy from a pretrained model) before training.
+  /// `entity_sharding` partitions the entity table into power-of-two row
+  /// blocks (ShardedEmbeddingTable); the relation table stays one shard
+  /// (relation counts are tiny). Sharding is pure layout: training,
+  /// evaluation and retrieval are bit-identical across shard counts.
   KgeModel(int32_t num_entities, int32_t num_relations, int dim,
            std::unique_ptr<ScoringFunction> scorer,
-           TableLayout layout = TableLayout::kPadded);
+           TableLayout layout = TableLayout::kPadded,
+           const ShardOptions& entity_sharding = ShardOptions());
 
   /// Adopts externally built tables (checkpoint restore, future mmap
-  /// loaders). CHECK-fails unless each table's logical width matches the
-  /// width the scorer declares for `dim` — a scorer must never interpret
-  /// rows of the wrong shape.
+  /// loaders) as single-shard sharded tables. CHECK-fails unless each
+  /// table's logical width matches the width the scorer declares for
+  /// `dim` — a scorer must never interpret rows of the wrong shape.
   KgeModel(int dim, std::unique_ptr<ScoringFunction> scorer,
            EmbeddingTable entities, EmbeddingTable relations);
+
+  /// Adopts already-sharded tables (Clone, shard-aware loaders). Same
+  /// width CHECKs as the slab-adopting constructor.
+  KgeModel(int dim, std::unique_ptr<ScoringFunction> scorer,
+           ShardedEmbeddingTable entities, ShardedEmbeddingTable relations);
 
   /// Xavier-uniform initialisation of both tables (paper's "from scratch").
   void InitXavier(Rng* rng);
@@ -57,11 +68,12 @@ class KgeModel {
                   std::vector<double>* out) const;
 
   /// Scores every entity as a candidate head for fixed (r, t) in one
-  /// 1-vs-all kernel sweep over the contiguous entity table:
+  /// 1-vs-all kernel sweep per entity shard (a shard IS a slab):
   /// out[e] = f(e, r, t) for e in [0, num_entities). `out` must hold
   /// num_entities() doubles. This is the link-prediction ranking hot
-  /// path: no per-candidate pointer arrays, virtual dispatch once per
-  /// sweep (ScoringFunction::ScoreAllCandidates).
+  /// path: no per-candidate pointer arrays, one virtual dispatch per
+  /// shard sweep (ScoringFunction::ScoreAllCandidates); per-candidate
+  /// scores are slab-independent, so results are shard-count-invariant.
   void ScoreAllHeads(RelationId r, EntityId t, double* out) const;
 
   /// Scores every entity as a candidate tail for fixed (h, r).
@@ -162,10 +174,10 @@ class KgeModel {
     scorer_->ProjectRelationRow(relations_.Row(r), dim_);
   }
 
-  EmbeddingTable& entity_table() { return entities_; }
-  const EmbeddingTable& entity_table() const { return entities_; }
-  EmbeddingTable& relation_table() { return relations_; }
-  const EmbeddingTable& relation_table() const { return relations_; }
+  ShardedEmbeddingTable& entity_table() { return entities_; }
+  const ShardedEmbeddingTable& entity_table() const { return entities_; }
+  ShardedEmbeddingTable& relation_table() { return relations_; }
+  const ShardedEmbeddingTable& relation_table() const { return relations_; }
 
   const ScoringFunction& scorer() const { return *scorer_; }
   int dim() const { return dim_; }
@@ -185,8 +197,8 @@ class KgeModel {
  private:
   int dim_;
   std::unique_ptr<ScoringFunction> scorer_;
-  EmbeddingTable entities_;
-  EmbeddingTable relations_;
+  ShardedEmbeddingTable entities_;
+  ShardedEmbeddingTable relations_;
 };
 
 }  // namespace nsc

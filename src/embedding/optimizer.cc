@@ -6,53 +6,57 @@
 
 namespace nsc {
 
-void SgdOptimizer::Apply(EmbeddingTable* table, int32_t row,
+void SgdOptimizer::Apply(ShardedEmbeddingTable* table, int32_t row,
                          const float* grad) {
   float* p = table->Row(row);
   const int w = table->width();
   for (int i = 0; i < w; ++i) p[i] -= static_cast<float>(lr_) * grad[i];
 }
 
-AdagradOptimizer::AdagradOptimizer(double lr, const EmbeddingTable& shape,
+AdagradOptimizer::AdagradOptimizer(double lr,
+                                   const ShardedEmbeddingTable& shape,
                                    double eps)
     : lr_(lr),
       eps_(eps),
-      accum_(shape.size(), 0.0f),
+      accum_(ShardedEmbeddingTable::ZerosLike(shape)),
       width_(shape.width()),
       stride_(shape.stride()) {}
 
-void AdagradOptimizer::Apply(EmbeddingTable* table, int32_t row,
+void AdagradOptimizer::Apply(ShardedEmbeddingTable* table, int32_t row,
                              const float* grad) {
   CHECK_EQ(table->width(), width_);
   CHECK_EQ(table->stride(), stride_);
   float* p = table->Row(row);
-  float* a = accum_.data() + static_cast<size_t>(row) * stride_;
+  // Moment rows resolve through the mirrored shard layout — never
+  // through base + row * stride arithmetic, which would assume one
+  // contiguous slab.
+  float* a = accum_.Row(row);
   for (int i = 0; i < width_; ++i) {
     a[i] += grad[i] * grad[i];
     p[i] -= static_cast<float>(lr_ * grad[i] / (std::sqrt(double(a[i])) + eps_));
   }
 }
 
-AdamOptimizer::AdamOptimizer(double lr, const EmbeddingTable& shape,
+AdamOptimizer::AdamOptimizer(double lr, const ShardedEmbeddingTable& shape,
                              double beta1, double beta2, double eps)
     : lr_(lr),
       beta1_(beta1),
       beta2_(beta2),
       eps_(eps),
-      m_(shape.size(), 0.0f),
-      v_(shape.size(), 0.0f),
+      m_(ShardedEmbeddingTable::ZerosLike(shape)),
+      v_(ShardedEmbeddingTable::ZerosLike(shape)),
       width_(shape.width()),
       stride_(shape.stride()) {}
 
-void AdamOptimizer::Apply(EmbeddingTable* table, int32_t row,
+void AdamOptimizer::Apply(ShardedEmbeddingTable* table, int32_t row,
                           const float* grad) {
   CHECK_EQ(table->width(), width_);
   CHECK_EQ(table->stride(), stride_);
   const int64_t step = step_.load(std::memory_order_relaxed);
   CHECK_GT(step, 0) << "call BeginStep() before Apply()";
   float* p = table->Row(row);
-  float* m = m_.data() + static_cast<size_t>(row) * stride_;
-  float* v = v_.data() + static_cast<size_t>(row) * stride_;
+  float* m = m_.Row(row);
+  float* v = v_.Row(row);
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step));
   for (int i = 0; i < width_; ++i) {
@@ -66,7 +70,7 @@ void AdamOptimizer::Apply(EmbeddingTable* table, int32_t row,
 }
 
 std::unique_ptr<Optimizer> MakeOptimizer(const std::string& name, double lr,
-                                         const EmbeddingTable& shape) {
+                                         const ShardedEmbeddingTable& shape) {
   if (name == "sgd") return std::make_unique<SgdOptimizer>(lr);
   if (name == "adagrad") return std::make_unique<AdagradOptimizer>(lr, shape);
   if (name == "adam") return std::make_unique<AdamOptimizer>(lr, shape);

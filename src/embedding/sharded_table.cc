@@ -1,0 +1,139 @@
+#include "embedding/sharded_table.h"
+
+#if defined(NSC_NUMA_ENABLED)
+#include <numa.h>
+#endif
+
+namespace nsc {
+
+namespace {
+
+// Smallest power of two >= n (n >= 1). Used for the per-shard row block
+// so Row(i) resolves with shift/mask instead of a division.
+int64_t NextPow2(int64_t n) {
+  int64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+int ShiftFor(int64_t pow2) {
+  int shift = 0;
+  while ((int64_t{1} << shift) < pow2) ++shift;
+  return shift;
+}
+
+}  // namespace
+
+ShardPlacementLog& ShardPlacementLog::Instance() {
+  static ShardPlacementLog* log = new ShardPlacementLog();
+  return *log;
+}
+
+ShardedEmbeddingTable::ShardedEmbeddingTable(int32_t rows, int width,
+                                             int pad_lanes,
+                                             const ShardOptions& options)
+    : rows_(rows), width_(width) {
+  CHECK_GE(rows, 0);
+  CHECK_GT(options.target_shards, 0);
+  // Row block: ceil(rows / target_shards) rounded up to a power of two.
+  // target_shards > rows degenerates to one row per shard; rows == 0
+  // keeps a single empty shard so width/stride stay well-defined.
+  const int64_t requested =
+      rows == 0 ? 1
+                : (int64_t{rows} + options.target_shards - 1) /
+                      options.target_shards;
+  const int64_t block = NextPow2(requested);
+  shard_shift_ = ShiftFor(block);
+  shard_mask_ = static_cast<int32_t>(block - 1);
+  const int64_t num_shards = rows == 0 ? 1 : (int64_t{rows} + block - 1) / block;
+  shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (int64_t s = 0; s < num_shards; ++s) {
+    const int64_t first = s * block;
+    const int32_t count =
+        static_cast<int32_t>(std::min<int64_t>(block, int64_t{rows} - first));
+    shards_.emplace_back(count, width, pad_lanes);
+  }
+  stride_ = shards_.front().stride();
+  MaybePlaceShards(options);
+}
+
+ShardedEmbeddingTable::ShardedEmbeddingTable(EmbeddingTable slab)
+    : rows_(slab.rows()), width_(slab.width()), stride_(slab.stride()) {
+  // One shard covering every row: the block must be a power of two >=
+  // rows so i >> shift is always 0.
+  const int64_t block = NextPow2(std::max<int64_t>(1, rows_));
+  shard_shift_ = ShiftFor(block);
+  shard_mask_ = static_cast<int32_t>(block - 1);
+  shards_.push_back(std::move(slab));
+}
+
+ShardedEmbeddingTable ShardedEmbeddingTable::ZerosLike(
+    const ShardedEmbeddingTable& shape) {
+  ShardedEmbeddingTable zeros;
+  zeros.rows_ = shape.rows_;
+  zeros.width_ = shape.width_;
+  zeros.stride_ = shape.stride_;
+  zeros.shard_shift_ = shape.shard_shift_;
+  zeros.shard_mask_ = shape.shard_mask_;
+  zeros.shards_.reserve(shape.shards_.size());
+  for (const EmbeddingTable& s : shape.shards_) {
+    // pad_lanes = stride reproduces the stride exactly (ComputeStride
+    // rounds width up to a stride multiple, and stride >= width).
+    zeros.shards_.emplace_back(s.rows(), s.width(), s.stride());
+  }
+  return zeros;
+}
+
+void ShardedEmbeddingTable::CopyLogicalFrom(const ShardedEmbeddingTable& other) {
+  CHECK_EQ(rows_, other.rows_);
+  CHECK_EQ(width_, other.width_);
+  for (int32_t r = 0; r < rows_; ++r) {
+    float* dst = Row(r);
+    const float* src = other.Row(r);
+    for (int i = 0; i < width_; ++i) dst[i] = src[i];
+  }
+}
+
+std::vector<float> ShardedEmbeddingTable::LogicalCopy() const {
+  std::vector<float> out(logical_size());
+  for (int32_t r = 0; r < rows_; ++r) {
+    const float* src = Row(r);
+    std::copy(src, src + width_, out.begin() + static_cast<std::size_t>(r) * width_);
+  }
+  return out;
+}
+
+bool ShardedEmbeddingTable::NumaAvailable() {
+#if defined(NSC_NUMA_ENABLED)
+  return numa_available() >= 0;
+#else
+  return false;
+#endif
+}
+
+void ShardedEmbeddingTable::MaybePlaceShards(const ShardOptions& options) {
+  if (!options.numa_interleave) return;
+#if defined(NSC_NUMA_ENABLED)
+  if (numa_available() >= 0) {
+    const int nodes = std::max(1, numa_num_configured_nodes());
+    for (int s = 0; s < num_shards(); ++s) {
+      EmbeddingTable& shard_table = shards_[static_cast<std::size_t>(s)];
+      const std::size_t bytes = shard_table.size() * sizeof(float);
+      const int node = s % nodes;
+      if (bytes > 0) {
+        numa_tonode_memory(shard_table.data().data(), bytes, node);
+      }
+      ShardPlacementLog::Instance().Record({s, node, bytes});
+    }
+    return;
+  }
+#endif
+  // Stub path: placement was requested but this build/machine cannot
+  // bind memory — record it so benches can report the degraded mode.
+  for (int s = 0; s < num_shards(); ++s) {
+    ShardPlacementLog::Instance().Record(
+        {s, -1, shards_[static_cast<std::size_t>(s)].size() * sizeof(float)});
+  }
+}
+
+}  // namespace nsc

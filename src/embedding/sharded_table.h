@@ -1,0 +1,208 @@
+// Sharded embedding storage: entity rows partitioned into fixed-size
+// power-of-two row blocks, each block an independent EmbeddingTable — so
+// a shard IS a slab under the PR 5 sweep convention (base + stride +
+// count) and every sweep / top-K kernel composes over shards with zero
+// new kernel work.
+//
+// Why shards: one contiguous allocation stops working past one socket's
+// local memory — and even before that, every Hogwild worker and the
+// optimizer's moment rows share one cache-coherence domain. Per-shard
+// 64-byte-aligned allocations give each block its own pages, so shard
+// memory can be placed on the socket that sweeps it (first-touch, or
+// explicitly via the NSC_NUMA build knob below) and optimizer moment
+// buffers mirror the same shard geometry (ZerosLike).
+//
+// Layout invariants:
+//   - rows_per_shard() is a power of two, so Row(i) resolves with one
+//     shift + one mask — no division on the hot path.
+//   - Every shard has the same width and stride; only the last shard may
+//     hold fewer than rows_per_shard() rows.
+//   - Logical contents are layout-independent: checkpoints, RNG init
+//     streams and training trajectories are bit-identical across shard
+//     counts (pinned by tests/embedding/sharded_table_test.cc).
+//
+// NUMA: configure with -DNSC_NUMA=ON to bind shard allocations
+// round-robin across NUMA nodes (numa_tonode_memory). Without the knob
+// (or without libnuma at configure time) placement is a no-op stub and
+// NumaAvailable() reports false — the layout is identical either way.
+#ifndef NSCACHING_EMBEDDING_SHARDED_TABLE_H_
+#define NSCACHING_EMBEDDING_SHARDED_TABLE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "embedding/embedding_table.h"
+#include "util/logging.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace nsc {
+
+/// Sharding configuration for a ShardedEmbeddingTable.
+struct ShardOptions {
+  /// Requested number of shards (>= 1). The table rounds the per-shard
+  /// row block up to a power of two, so the realized num_shards() may be
+  /// smaller than the target (never larger).
+  int target_shards = 1;
+
+  /// Bind each shard's rows round-robin across NUMA nodes. Only
+  /// effective in NSC_NUMA builds on machines where numa_available()
+  /// succeeds; otherwise a recorded no-op.
+  bool numa_interleave = false;
+};
+
+/// Process-wide record of shard→NUMA-node placements, for bench
+/// reporting and tests. Guarded state in the PR 7 style: the clang
+/// -Wthread-safety CI job enforces that every access holds mu_.
+class ShardPlacementLog {
+ public:
+  struct Entry {
+    int shard = 0;
+    int node = -1;  ///< -1: placement requested but NUMA unavailable.
+    std::size_t bytes = 0;
+  };
+
+  static ShardPlacementLog& Instance();
+
+  void Record(const Entry& entry) NSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    entries_.push_back(entry);
+  }
+  std::vector<Entry> Snapshot() const NSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return entries_;
+  }
+  void Clear() NSC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    entries_.clear();
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::vector<Entry> entries_ NSC_GUARDED_BY(mu_);
+};
+
+/// Entity/relation storage partitioned into per-shard EmbeddingTable
+/// slabs. Mirrors the EmbeddingTable row API (Row/rows/width/stride/...)
+/// so row-wise consumers are layout-agnostic; slab consumers (sweep and
+/// top-K kernels) iterate shards via ForEachSlab()/shard().
+class ShardedEmbeddingTable {
+ public:
+  ShardedEmbeddingTable() = default;
+
+  /// Allocates `rows` zero-initialised rows split into
+  /// ceil(rows / rows_per_shard) shards, where rows_per_shard is
+  /// ceil(rows / target_shards) rounded up to a power of two.
+  ShardedEmbeddingTable(int32_t rows, int width, int pad_lanes = 1,
+                        const ShardOptions& options = ShardOptions());
+
+  /// Adopts an externally built single slab as a one-shard table
+  /// (checkpoint restore, future mmap loaders). Zero-copy.
+  explicit ShardedEmbeddingTable(EmbeddingTable slab);
+
+  /// A zero-filled table with exactly `shape`'s geometry (rows, width,
+  /// stride, shard layout) — how optimizer moment buffers follow shard
+  /// ownership.
+  static ShardedEmbeddingTable ZerosLike(const ShardedEmbeddingTable& shape);
+
+  int32_t rows() const { return rows_; }
+  int width() const { return width_; }
+  int stride() const { return stride_; }
+  bool padded() const { return stride_ != width_; }
+
+  /// Raw storage in floats summed over shards (includes padding).
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const EmbeddingTable& s : shards_) total += s.size();
+    return total;
+  }
+  std::size_t logical_size() const {
+    return static_cast<std::size_t>(rows_) * width_;
+  }
+
+  float* Row(int32_t i) {
+    CHECK_GE(i, 0);
+    CHECK_LT(i, rows_);
+    return shards_[i >> shard_shift_].Row(i & shard_mask_);
+  }
+  const float* Row(int32_t i) const {
+    CHECK_GE(i, 0);
+    CHECK_LT(i, rows_);
+    return shards_[i >> shard_shift_].Row(i & shard_mask_);
+  }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// Power-of-two row-block size; shard s covers global rows
+  /// [s * rows_per_shard(), ...) (the last shard may be short).
+  int64_t rows_per_shard() const { return int64_t{1} << shard_shift_; }
+  int32_t shard_first_row(int s) const {
+    return static_cast<int32_t>(int64_t{s} << shard_shift_);
+  }
+  EmbeddingTable& shard(int s) { return shards_[s]; }
+  const EmbeddingTable& shard(int s) const { return shards_[s]; }
+
+  /// Invokes fn(shard_index, base, global_first, count) for each maximal
+  /// per-shard slab covering global rows [first, first + count): the
+  /// bridge from a row range to the sweep kernels' (base, stride, count)
+  /// convention. Slabs are visited in increasing row order, which is
+  /// what keeps per-shard top-K offers index-ordered.
+  template <typename Fn>
+  void ForEachSlab(std::size_t first, std::size_t count, Fn&& fn) const {
+    CHECK_LE(first + count, static_cast<std::size_t>(rows_));
+    while (count > 0) {
+      const int s = static_cast<int>(first >> shard_shift_);
+      const std::size_t local = first & static_cast<std::size_t>(shard_mask_);
+      const std::size_t take =
+          std::min(count, static_cast<std::size_t>(shards_[s].rows()) - local);
+      fn(s, shards_[s].Row(static_cast<int32_t>(local)), first, take);
+      first += take;
+      count -= take;
+    }
+  }
+
+  /// Copies another table's logical contents row-by-row. Layout-safe:
+  /// strides and shard layouts may differ, but rows and logical width
+  /// must agree (CHECKed). Padding is left untouched.
+  void CopyLogicalFrom(const ShardedEmbeddingTable& other);
+
+  /// The logical contents as one compact rows × width buffer — the
+  /// layout-independent image tests compare across shard counts.
+  std::vector<float> LogicalCopy() const;
+
+  /// Scales row i so its L2 norm over the first `prefix` floats is at
+  /// most `max_norm` (no-op when already inside the ball).
+  void ProjectRowToL2Ball(int32_t i, int prefix, float max_norm) {
+    CHECK_GE(i, 0);
+    CHECK_LT(i, rows_);
+    shards_[i >> shard_shift_].ProjectRowToL2Ball(i & shard_mask_, prefix,
+                                                  max_norm);
+  }
+
+  /// L2 norm of the first `prefix` floats of row i.
+  float RowNorm(int32_t i, int prefix) const {
+    CHECK_GE(i, 0);
+    CHECK_LT(i, rows_);
+    return shards_[i >> shard_shift_].RowNorm(i & shard_mask_, prefix);
+  }
+
+  /// Whether this build can actually bind shard memory to NUMA nodes
+  /// (NSC_NUMA configured in AND libnuma reports a NUMA machine).
+  static bool NumaAvailable();
+
+ private:
+  void MaybePlaceShards(const ShardOptions& options);
+
+  int32_t rows_ = 0;
+  int width_ = 0;
+  int stride_ = 0;
+  int shard_shift_ = 0;     ///< log2(rows_per_shard()).
+  int32_t shard_mask_ = 0;  ///< rows_per_shard() - 1.
+  std::vector<EmbeddingTable> shards_;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_EMBEDDING_SHARDED_TABLE_H_

@@ -31,8 +31,10 @@ TEST(CheckpointTest, RoundTripPreservesEverything) {
   EXPECT_EQ(copy.num_entities(), 17);
   EXPECT_EQ(copy.num_relations(), 4);
   EXPECT_EQ(copy.dim(), 6);
-  EXPECT_EQ(copy.entity_table().data(), model.entity_table().data());
-  EXPECT_EQ(copy.relation_table().data(), model.relation_table().data());
+  EXPECT_EQ(copy.entity_table().LogicalCopy(),
+            model.entity_table().LogicalCopy());
+  EXPECT_EQ(copy.relation_table().LogicalCopy(),
+            model.relation_table().LogicalCopy());
   // Scores identical on a few probes.
   for (EntityId h = 0; h < 5; ++h) {
     EXPECT_DOUBLE_EQ(copy.Score(h, 1, 16 - h), model.Score(h, 1, 16 - h));
@@ -48,8 +50,8 @@ TEST(CheckpointTest, RoundTripEveryScorer) {
     auto loaded = LoadModel(path);
     ASSERT_TRUE(loaded.ok()) << scorer << ": " << loaded.status().ToString();
     EXPECT_EQ(loaded.value().scorer().name(), scorer);
-    EXPECT_EQ(loaded.value().entity_table().data(),
-              model.entity_table().data());
+    EXPECT_EQ(loaded.value().entity_table().LogicalCopy(),
+              model.entity_table().LogicalCopy());
     std::remove(path.c_str());
   }
 }

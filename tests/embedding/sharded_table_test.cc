@@ -1,0 +1,687 @@
+// Shard-count-invariance property suite for ShardedEmbeddingTable.
+//
+// Sharding is pure layout: the contract of this PR is that NOTHING the
+// library computes — training trajectories (serial AND Hogwild),
+// link-prediction metrics, 1-vs-all sweeps, fused top-K retrieval,
+// candidate gathers, RNG init streams, checkpoint bytes — changes by one
+// bit when the entity table is split into shards. Every test here pins
+// that property across shard targets {1, 2, 7, 16} and, where SIMD
+// kernels are involved, across padded/compact layouts × native /
+// forced-scalar dispatch.
+//
+// The file is also the regression home of the latent-assumption audit:
+// every converted `data() + row * stride` base-pointer site (the model's
+// Row(0) sweep bases, the range sweeps, the candidate gather, the
+// optimizer moment rows) has a test that straddles shard boundaries.
+#include "embedding/sharded_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "embedding/checkpoint.h"
+#include "embedding/initializer.h"
+#include "embedding/model.h"
+#include "core/nscaching_sampler.h"
+#include "kg/kg_index.h"
+#include "kg/synthetic.h"
+#include "sampler/bernoulli_sampler.h"
+#include "train/link_prediction.h"
+#include "train/trainer.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace nsc {
+namespace {
+
+constexpr int kShardTargets[] = {1, 2, 7, 16};
+
+// Deterministic per-cell fill so layout bugs (wrong shard, wrong local
+// row, padding bleed) show up as value mismatches, not just crashes.
+float Cell(int32_t row, int col) {
+  return static_cast<float>(row) * 131.0f + static_cast<float>(col) * 0.25f;
+}
+
+void FillPattern(ShardedEmbeddingTable* table) {
+  for (int32_t r = 0; r < table->rows(); ++r) {
+    float* row = table->Row(r);
+    for (int c = 0; c < table->width(); ++c) row[c] = Cell(r, c);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Geometry & boundary cases
+// ---------------------------------------------------------------------------
+
+TEST(ShardedTableGeometryTest, RowsResolveIdenticallyToSingleSlab) {
+  for (const int32_t rows : {1, 5, 64, 100, 129}) {
+    for (const int target : kShardTargets) {
+      ShardOptions opts;
+      opts.target_shards = target;
+      ShardedEmbeddingTable sharded(rows, 12, simd::kPadLanes, opts);
+      ShardedEmbeddingTable flat(rows, 12, simd::kPadLanes);
+      FillPattern(&sharded);
+      FillPattern(&flat);
+      EXPECT_EQ(sharded.LogicalCopy(), flat.LogicalCopy())
+          << "rows=" << rows << " target=" << target;
+      // The realized shard count never exceeds the target, shards tile
+      // the row space exactly, and the block is a power of two.
+      EXPECT_LE(sharded.num_shards(), target);
+      EXPECT_EQ(sharded.rows_per_shard() & (sharded.rows_per_shard() - 1), 0);
+      int32_t covered = 0;
+      for (int s = 0; s < sharded.num_shards(); ++s) {
+        EXPECT_EQ(sharded.shard_first_row(s), covered);
+        covered += sharded.shard(s).rows();
+      }
+      EXPECT_EQ(covered, rows);
+    }
+  }
+}
+
+TEST(ShardedTableGeometryTest, EveryShardRowIs64ByteAligned) {
+  ShardOptions opts;
+  opts.target_shards = 7;
+  const ShardedEmbeddingTable table(100, 12, simd::kPadLanes, opts);
+  for (int s = 0; s < table.num_shards(); ++s) {
+    for (int32_t r = 0; r < table.shard(s).rows(); ++r) {
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(table.shard(s).Row(r)) %
+                    simd::kRowAlignment,
+                0u)
+          << "shard " << s << " row " << r;
+    }
+  }
+}
+
+TEST(ShardedTableGeometryTest, ShardCountGreaterThanRows) {
+  // target 16 over 5 rows degenerates to one row per shard — never an
+  // empty shard, never an out-of-range resolve.
+  ShardOptions opts;
+  opts.target_shards = 16;
+  ShardedEmbeddingTable table(5, 4);
+  ShardedEmbeddingTable degenerate(5, 4, 1, opts);
+  FillPattern(&table);
+  FillPattern(&degenerate);
+  EXPECT_EQ(degenerate.num_shards(), 5);
+  EXPECT_EQ(degenerate.rows_per_shard(), 1);
+  EXPECT_EQ(degenerate.LogicalCopy(), table.LogicalCopy());
+}
+
+TEST(ShardedTableGeometryTest, RowsNotDivisibleByBlockLeaveShortLastShard) {
+  ShardOptions opts;
+  opts.target_shards = 7;
+  const ShardedEmbeddingTable table(100, 6);
+  const ShardedEmbeddingTable sharded(100, 6, 1, opts);
+  // ceil(100 / 7) = 15 → block 16 → 7 shards, the last holding 4 rows.
+  EXPECT_EQ(sharded.rows_per_shard(), 16);
+  EXPECT_EQ(sharded.num_shards(), 7);
+  EXPECT_EQ(sharded.shard(6).rows(), 4);
+  EXPECT_EQ(sharded.rows(), table.rows());
+}
+
+TEST(ShardedTableGeometryTest, AdoptedSlabIsZeroCopySingleShard) {
+  EmbeddingTable slab(10, 6, simd::kPadLanes);
+  for (int32_t r = 0; r < slab.rows(); ++r) {
+    for (int c = 0; c < slab.width(); ++c) slab.Row(r)[c] = Cell(r, c);
+  }
+  const float* base = slab.Row(0);
+  const int stride = slab.stride();
+  const ShardedEmbeddingTable adopted(std::move(slab));
+  EXPECT_EQ(adopted.num_shards(), 1);
+  for (int32_t r = 0; r < adopted.rows(); ++r) {
+    EXPECT_EQ(adopted.Row(r), base + static_cast<size_t>(r) * stride);
+  }
+}
+
+TEST(ShardedTableGeometryTest, ZerosLikeMirrorsGeometry) {
+  ShardOptions opts;
+  opts.target_shards = 7;
+  ShardedEmbeddingTable table(100, 12, simd::kPadLanes, opts);
+  FillPattern(&table);
+  const ShardedEmbeddingTable zeros = ShardedEmbeddingTable::ZerosLike(table);
+  EXPECT_EQ(zeros.rows(), table.rows());
+  EXPECT_EQ(zeros.width(), table.width());
+  EXPECT_EQ(zeros.stride(), table.stride());
+  EXPECT_EQ(zeros.num_shards(), table.num_shards());
+  for (int s = 0; s < table.num_shards(); ++s) {
+    EXPECT_EQ(zeros.shard(s).rows(), table.shard(s).rows());
+    EXPECT_EQ(zeros.shard(s).stride(), table.shard(s).stride());
+  }
+  for (const float v : zeros.LogicalCopy()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ShardedTableGeometryTest, CopyLogicalFromAcrossLayoutsAndShardings) {
+  ShardOptions seven;
+  seven.target_shards = 7;
+  ShardOptions two;
+  two.target_shards = 2;
+  ShardedEmbeddingTable src(100, 12, 1, two);  // compact, 2 shards
+  FillPattern(&src);
+  ShardedEmbeddingTable dst(100, 12, simd::kPadLanes, seven);
+  dst.CopyLogicalFrom(src);
+  EXPECT_EQ(dst.LogicalCopy(), src.LogicalCopy());
+}
+
+TEST(ShardedTableFuzzTest, RandomRowIdsStraddlingShardEdges) {
+  Rng rng(17);
+  for (int it = 0; it < 50; ++it) {
+    const int32_t rows = 1 + static_cast<int32_t>(rng.UniformInt(260));
+    const int target = 1 + static_cast<int>(rng.UniformInt(24));
+    ShardOptions opts;
+    opts.target_shards = target;
+    ShardedEmbeddingTable table(rows, 5, simd::kPadLanes, opts);
+    FillPattern(&table);
+    // Every shard-boundary row (first/last of each shard) resolves to
+    // the same memory through the global and the shard-local accessors.
+    for (int s = 0; s < table.num_shards(); ++s) {
+      const int32_t first = table.shard_first_row(s);
+      const int32_t last = first + table.shard(s).rows() - 1;
+      EXPECT_EQ(table.Row(first), table.shard(s).Row(0));
+      EXPECT_EQ(table.Row(last),
+                table.shard(s).Row(table.shard(s).rows() - 1));
+    }
+    // Random global rows carry the expected pattern.
+    for (int probe = 0; probe < 20; ++probe) {
+      const int32_t r = static_cast<int32_t>(rng.UniformInt(rows));
+      for (int c = 0; c < table.width(); ++c) {
+        EXPECT_EQ(table.Row(r)[c], Cell(r, c));
+      }
+    }
+    // ForEachSlab tiles any sub-range exactly once, in increasing row
+    // order (the precondition of the merged top-K collector).
+    const auto first =
+        static_cast<std::size_t>(rng.UniformInt(static_cast<uint64_t>(rows)));
+    const std::size_t count = static_cast<std::size_t>(
+        rng.UniformInt(static_cast<uint64_t>(rows) - first + 1));
+    std::size_t next = first;
+    table.ForEachSlab(first, count,
+                      [&](int s, const float* base, std::size_t global_first,
+                          std::size_t n) {
+                        EXPECT_EQ(global_first, next);
+                        EXPECT_GT(n, 0u);
+                        EXPECT_EQ(base,
+                                  table.Row(static_cast<int32_t>(global_first)));
+                        EXPECT_EQ(s, static_cast<int>(global_first /
+                                                      static_cast<std::size_t>(
+                                                          table.rows_per_shard())));
+                        next = global_first + n;
+                      });
+    EXPECT_EQ(next, first + count);
+  }
+}
+
+TEST(ShardedTableDeathTest, MismatchedShardAndScorerWidthsAbort) {
+  // Mirrors the PR 3 adopting-ctor CHECK: a scorer must never interpret
+  // rows of the wrong shape, sharded or not.
+  ShardOptions opts;
+  opts.target_shards = 7;
+  EXPECT_DEATH(
+      {
+        ShardedEmbeddingTable entities(50, 7, simd::kPadLanes, opts);
+        ShardedEmbeddingTable relations(4, 6, simd::kPadLanes);
+        KgeModel model(6, MakeScoringFunction("transe"), std::move(entities),
+                       std::move(relations));
+      },
+      "width does not match");
+}
+
+// ---------------------------------------------------------------------------
+// Shard-count invariance: sweeps, retrieval, eval, training
+// ---------------------------------------------------------------------------
+
+KgeModel ShardedModel(const std::string& scorer, int32_t num_entities,
+                      int32_t num_relations, int dim, int target_shards,
+                      TableLayout layout, uint64_t seed) {
+  ShardOptions opts;
+  opts.target_shards = target_shards;
+  KgeModel model(num_entities, num_relations, dim, MakeScoringFunction(scorer),
+                 layout, opts);
+  Rng rng(seed);
+  model.InitXavier(&rng);
+  return model;
+}
+
+TEST(ShardInvarianceTest, XavierInitStreamIndependentOfShardCount) {
+  for (const TableLayout layout : {TableLayout::kPadded, TableLayout::kCompact}) {
+    const KgeModel reference =
+        ShardedModel("complex", 100, 5, 8, 1, layout, 11);
+    for (const int target : kShardTargets) {
+      const KgeModel model = ShardedModel("complex", 100, 5, 8, target, layout, 11);
+      EXPECT_EQ(model.entity_table().LogicalCopy(),
+                reference.entity_table().LogicalCopy())
+          << "target=" << target;
+      EXPECT_EQ(model.relation_table().LogicalCopy(),
+                reference.relation_table().LogicalCopy());
+    }
+  }
+}
+
+// Runs `body` once on the native dispatch path and once forced-scalar.
+template <typename Fn>
+void ForEachDispatchPath(Fn&& body) {
+  body("native");
+  {
+    simd::ScopedForcePath force(simd::Path::kScalar);
+    body("scalar");
+  }
+}
+
+TEST(ShardInvarianceTest, SweepsAndRangesBitIdentical) {
+  // Regression for the converted ScoreAllHeads/Tails + Score*Range
+  // Row(0)-base sites: per-shard sweeps must reproduce the single-slab
+  // sweep bit-for-bit, including ranges straddling shard edges.
+  const int32_t kEntities = 150;
+  for (const std::string& scorer : {std::string("transe"), std::string("complex")}) {
+    for (const TableLayout layout :
+         {TableLayout::kPadded, TableLayout::kCompact}) {
+      ForEachDispatchPath([&](const char* path) {
+        const KgeModel reference =
+            ShardedModel(scorer, kEntities, 6, 10, 1, layout, 23);
+        std::vector<double> want(kEntities);
+        reference.ScoreAllHeads(2, 7, want.data());
+        std::vector<double> want_tails(kEntities);
+        reference.ScoreAllTails(3, 4, want_tails.data());
+        for (const int target : kShardTargets) {
+          const KgeModel model =
+              ShardedModel(scorer, kEntities, 6, 10, target, layout, 23);
+          std::vector<double> got(kEntities);
+          model.ScoreAllHeads(2, 7, got.data());
+          EXPECT_EQ(got, want) << scorer << " target=" << target << " " << path;
+          model.ScoreAllTails(3, 4, got.data());
+          EXPECT_EQ(got, want_tails) << scorer << " target=" << target;
+          // Sub-ranges chosen to straddle the 7-target shard edges
+          // (block 32 → edges at 32, 64, ...), plus fuzzed ones.
+          Rng rng(29);
+          for (int probe = 0; probe < 12; ++probe) {
+            const std::size_t first =
+                probe < 2 ? 30 + probe
+                          : static_cast<std::size_t>(rng.UniformInt(kEntities));
+            const std::size_t count = static_cast<std::size_t>(
+                rng.UniformInt(kEntities - static_cast<uint64_t>(first) + 1));
+            std::vector<double> range(count, -1.0);
+            model.ScoreHeadRange(2, 7, first, count, range.data());
+            for (std::size_t i = 0; i < count; ++i) {
+              ASSERT_EQ(range[i], want[first + i])
+                  << scorer << " target=" << target << " first=" << first;
+            }
+            model.ScoreTailRange(3, 4, first, count, range.data());
+            for (std::size_t i = 0; i < count; ++i) {
+              ASSERT_EQ(range[i], want_tails[first + i]);
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+void ExpectSameEntries(const std::vector<TopKEntry>& got,
+                       const std::vector<TopKEntry>& want,
+                       const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].index, want[i].index) << label << " entry " << i;
+    EXPECT_EQ(got[i].score, want[i].score) << label << " entry " << i;
+  }
+}
+
+TEST(ShardInvarianceTest, TopKRetrievalBitIdentical) {
+  // Regression for the merged-collector design: per-shard fused sweeps
+  // with an index base must retrieve exactly the single-slab result —
+  // same EntityIds, same score bits, same tie resolution — for every
+  // k regime (tiny, mid, == |E|, > |E|).
+  const int32_t kEntities = 150;
+  const std::vector<std::pair<RelationId, EntityId>> head_queries = {
+      {0, 3}, {2, 77}, {5, 149}};
+  const std::vector<std::pair<EntityId, RelationId>> tail_queries = {
+      {0, 0}, {96, 1}, {31, 4}};
+  for (const std::string& scorer : {std::string("transe"), std::string("distmult")}) {
+    for (const TableLayout layout :
+         {TableLayout::kPadded, TableLayout::kCompact}) {
+      ForEachDispatchPath([&](const char* path) {
+        const KgeModel reference =
+            ShardedModel(scorer, kEntities, 6, 10, 1, layout, 31);
+        for (const int target : kShardTargets) {
+          const KgeModel model =
+              ShardedModel(scorer, kEntities, 6, 10, target, layout, 31);
+          for (const std::size_t k : {std::size_t{1}, std::size_t{10},
+                                      std::size_t{150}, std::size_t{200}}) {
+            const std::string label = scorer + " target=" +
+                                      std::to_string(target) + " k=" +
+                                      std::to_string(k) + " " + path;
+            std::vector<TopKEntry> want;
+            std::vector<TopKEntry> got;
+            reference.TopKHeads(2, 7, k, &want);
+            model.TopKHeads(2, 7, k, &got);
+            ExpectSameEntries(got, want, "heads " + label);
+            reference.TopKTails(3, 4, k, &want);
+            model.TopKTails(3, 4, k, &got);
+            ExpectSameEntries(got, want, "tails " + label);
+
+            std::vector<std::vector<TopKEntry>> want_batch;
+            std::vector<std::vector<TopKEntry>> got_batch;
+            reference.TopKHeadsBatch(head_queries, k, &want_batch);
+            model.TopKHeadsBatch(head_queries, k, &got_batch);
+            ASSERT_EQ(got_batch.size(), want_batch.size());
+            for (std::size_t q = 0; q < got_batch.size(); ++q) {
+              ExpectSameEntries(got_batch[q], want_batch[q],
+                                "headsbatch q" + std::to_string(q) + " " + label);
+            }
+            reference.TopKTailsBatch(tail_queries, k, &want_batch);
+            model.TopKTailsBatch(tail_queries, k, &got_batch);
+            for (std::size_t q = 0; q < got_batch.size(); ++q) {
+              ExpectSameEntries(got_batch[q], want_batch[q],
+                                "tailsbatch q" + std::to_string(q) + " " + label);
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+TEST(ShardInvarianceTest, CandidateGatherPathsBitIdentical) {
+  // Regression for the converted GatherCandidateRows site (NSCaching's
+  // cache-refresh primitive): candidates drawn across shard boundaries
+  // gather into the same slab contents regardless of shard count.
+  const int32_t kEntities = 150;
+  Rng rng(37);
+  std::vector<EntityId> candidates;
+  candidates.reserve(40);
+  for (int i = 0; i < 40; ++i) {
+    candidates.push_back(static_cast<EntityId>(rng.UniformInt(kEntities)));
+  }
+  ForEachDispatchPath([&](const char* path) {
+    const KgeModel reference =
+        ShardedModel("transe", kEntities, 6, 10, 1, TableLayout::kPadded, 41);
+    std::vector<double> want;
+    reference.ScoreHeadCandidates(1, 9, candidates, &want);
+    std::vector<TopKEntry> want_topk;
+    reference.TopKHeadCandidates(1, 9, candidates, 7, &want_topk);
+    for (const int target : kShardTargets) {
+      const KgeModel model = ShardedModel("transe", kEntities, 6, 10, target,
+                                          TableLayout::kPadded, 41);
+      std::vector<double> got;
+      model.ScoreHeadCandidates(1, 9, candidates, &got);
+      EXPECT_EQ(got, want) << "target=" << target << " " << path;
+      std::vector<TopKEntry> got_topk;
+      model.TopKHeadCandidates(1, 9, candidates, 7, &got_topk);
+      ExpectSameEntries(got_topk, want_topk,
+                        std::string("candidates target=") +
+                            std::to_string(target) + " " + path);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Training invariance (serial + Hogwild) and evaluation invariance
+// ---------------------------------------------------------------------------
+
+Dataset InvarianceDataset() {
+  SyntheticKgConfig c;
+  c.num_entities = 120;
+  c.num_relations = 5;
+  c.num_triples = 900;
+  c.seed = 7;
+  return GenerateSyntheticKg(c);
+}
+
+struct TrainOutcome {
+  std::vector<double> losses;
+  std::vector<float> entities;
+  std::vector<float> relations;
+};
+
+TrainOutcome TrainSharded(const Dataset& data, const KgIndex& index,
+                          const std::string& scorer,
+                          const std::string& sampler_name,
+                          const TrainConfig& config, int target_shards,
+                          TableLayout layout, int epochs) {
+  ShardOptions opts;
+  opts.target_shards = target_shards;
+  KgeModel model(data.num_entities(), data.num_relations(), config.dim,
+                 MakeScoringFunction(scorer), layout, opts);
+  Rng rng(1);
+  model.InitXavier(&rng);
+  std::unique_ptr<NegativeSampler> sampler;
+  if (sampler_name == "nscaching") {
+    NSCachingConfig nsc_config;
+    nsc_config.n1 = 10;
+    nsc_config.n2 = 10;
+    sampler = std::make_unique<NSCachingSampler>(&model, &index, nsc_config);
+  } else {
+    sampler = std::make_unique<BernoulliSampler>(data.num_entities(), &index);
+  }
+  Trainer trainer(&model, &data.train, sampler.get(), config);
+  TrainOutcome out;
+  for (int e = 0; e < epochs; ++e) {
+    out.losses.push_back(trainer.RunEpoch().mean_loss);
+  }
+  out.entities = model.entity_table().LogicalCopy();
+  out.relations = model.relation_table().LogicalCopy();
+  return out;
+}
+
+TEST(ShardInvarianceTest, SerialTrainingBitIdentical) {
+  // The fused trainer hot path (ScoreBatch→Loss→BackwardBatch→ApplyBatch)
+  // and the NSCaching cache refresh both consume the sharded table; with
+  // num_threads == 1 the whole trajectory must be bit-for-bit
+  // shard-count-invariant, across layouts and dispatch paths.
+  const Dataset data = InvarianceDataset();
+  const KgIndex index(data.train);
+  TrainConfig config;
+  config.dim = 12;
+  config.learning_rate = 0.05;
+  config.batch_size = 64;
+  config.num_threads = 1;
+  config.seed = 3;
+  for (const std::string& sampler : {std::string("bernoulli"), std::string("nscaching")}) {
+    for (const TableLayout layout :
+         {TableLayout::kPadded, TableLayout::kCompact}) {
+      ForEachDispatchPath([&](const char* path) {
+        const TrainOutcome reference =
+            TrainSharded(data, index, "transe", sampler, config, 1, layout, 2);
+        for (const int target : {2, 7, 16}) {
+          const TrainOutcome got = TrainSharded(data, index, "transe", sampler,
+                                                config, target, layout, 2);
+          EXPECT_EQ(got.losses, reference.losses)
+              << sampler << " target=" << target << " " << path;
+          EXPECT_EQ(got.entities, reference.entities)
+              << sampler << " target=" << target << " " << path;
+          EXPECT_EQ(got.relations, reference.relations)
+              << sampler << " target=" << target << " " << path;
+        }
+      });
+    }
+  }
+}
+
+TEST(ShardInvarianceTest, EveryOptimizerTrainsShardInvariantly) {
+  // Regression for the converted optimizer moment sites (accum_/m_/v_
+  // were `data() + row * stride` over one flat buffer; they are now
+  // shard-mirrored tables): sgd has no moments, adagrad one, adam two +
+  // the global step — all must stay bit-identical across shard counts.
+  const Dataset data = InvarianceDataset();
+  const KgIndex index(data.train);
+  TrainConfig config;
+  config.dim = 10;
+  config.learning_rate = 0.05;
+  config.batch_size = 64;
+  config.num_threads = 1;
+  config.seed = 5;
+  for (const std::string& opt : {std::string("sgd"), std::string("adagrad"), std::string("adam")}) {
+    config.optimizer = opt;
+    const TrainOutcome reference = TrainSharded(
+        data, index, "transe", "bernoulli", config, 1, TableLayout::kPadded, 2);
+    for (const int target : {7, 16}) {
+      const TrainOutcome got =
+          TrainSharded(data, index, "transe", "bernoulli", config, target,
+                       TableLayout::kPadded, 2);
+      EXPECT_EQ(got.entities, reference.entities) << opt << " target=" << target;
+      EXPECT_EQ(got.relations, reference.relations) << opt;
+      EXPECT_EQ(got.losses, reference.losses) << opt;
+    }
+  }
+}
+
+// Sampler whose negatives live in the positive triple's private row
+// group: triple i is (3i, i, 3i+1) and its negative tail is 3i+2, so
+// every (positive, negative) pair touches rows no other pair touches.
+// That makes Hogwild execution order-independent — the one regime where
+// multi-threaded training can be compared bit-for-bit.
+class PrivateRowsSampler : public NegativeSampler {
+ public:
+  std::string name() const override { return "private_rows"; }
+  NegativeSample Sample(const Triple& pos, Rng* /*rng*/) override {
+    NegativeSample out;
+    out.triple = {pos.h, pos.r, pos.h + 2};
+    out.side = CorruptionSide::kTail;
+    return out;
+  }
+  bool stateless_sampling() const override { return true; }
+};
+
+TEST(ShardInvarianceTest, HogwildTrainingBitIdenticalOnDisjointRows) {
+  // With disjoint row groups per pair, Hogwild (3 workers) has no write
+  // conflicts and must be deterministic AND shard-count-invariant: the
+  // per-worker sub-ranges and per-shard allocations may carve the work
+  // and memory differently, but every row sees the same update sequence.
+  const int32_t kPairs = 48;
+  TripleStore train(3 * kPairs, kPairs);
+  for (int32_t i = 0; i < kPairs; ++i) {
+    train.Add({3 * i, i, 3 * i + 1});
+  }
+  TrainConfig config;
+  config.dim = 12;
+  config.learning_rate = 0.05;
+  config.optimizer = "adagrad";
+  config.batch_size = 16;
+  config.num_threads = 3;
+  config.seed = 9;
+  auto run = [&](int target_shards) {
+    ShardOptions opts;
+    opts.target_shards = target_shards;
+    KgeModel model(train.num_entities(), train.num_relations(), config.dim,
+                   MakeScoringFunction("transe"), TableLayout::kPadded, opts);
+    Rng rng(1);
+    model.InitXavier(&rng);
+    PrivateRowsSampler sampler;
+    Trainer trainer(&model, &train, &sampler, config);
+    TrainOutcome out;
+    for (int e = 0; e < 2; ++e) {
+      out.losses.push_back(trainer.RunEpoch().mean_loss);
+    }
+    out.entities = model.entity_table().LogicalCopy();
+    out.relations = model.relation_table().LogicalCopy();
+    return out;
+  };
+  const TrainOutcome reference = run(1);
+  // Determinism sanity check first: same sharding, same result.
+  const TrainOutcome repeat = run(1);
+  ASSERT_EQ(repeat.entities, reference.entities);
+  for (const int target : {2, 7, 16}) {
+    const TrainOutcome got = run(target);
+    EXPECT_EQ(got.losses, reference.losses) << "target=" << target;
+    EXPECT_EQ(got.entities, reference.entities) << "target=" << target;
+    EXPECT_EQ(got.relations, reference.relations) << "target=" << target;
+  }
+}
+
+TEST(ShardInvarianceTest, LinkPredictionMetricsBitIdentical) {
+  // EvaluateLinkPrediction consumes the table only through the sweeps,
+  // so metrics must be exactly equal across shard counts — full-MRR and
+  // Hits@K-only modes, serial and threaded.
+  const Dataset data = InvarianceDataset();
+  const KgIndex index(data.train);
+  ForEachDispatchPath([&](const char* path) {
+    const KgeModel reference = ShardedModel(
+        "transe", data.num_entities(), data.num_relations(), 12, 1,
+        TableLayout::kPadded, 13);
+    for (const int target : kShardTargets) {
+      const KgeModel model = ShardedModel(
+          "transe", data.num_entities(), data.num_relations(), 12, target,
+          TableLayout::kPadded, 13);
+      for (const int threads : {1, 3}) {
+        LinkPredictionOptions options;
+        options.num_threads = threads;
+        const RankingMetrics want =
+            EvaluateLinkPrediction(reference, data.test, index, options);
+        const RankingMetrics got =
+            EvaluateLinkPrediction(model, data.test, index, options);
+        EXPECT_EQ(got.count(), want.count());
+        EXPECT_EQ(got.mrr(), want.mrr())
+            << "target=" << target << " threads=" << threads << " " << path;
+        EXPECT_EQ(got.mr(), want.mr());
+        EXPECT_EQ(got.hits_at(1), want.hits_at(1));
+        EXPECT_EQ(got.hits_at(10), want.hits_at(10));
+
+        LinkPredictionOptions hits_only = options;
+        hits_only.hits_only = true;
+        hits_only.hits_k = 10;
+        const RankingMetrics want_hits =
+            EvaluateLinkPrediction(reference, data.test, index, hits_only);
+        const RankingMetrics got_hits =
+            EvaluateLinkPrediction(model, data.test, index, hits_only);
+        EXPECT_EQ(got_hits.hits_at(10), want_hits.hits_at(10))
+            << "target=" << target << " threads=" << threads;
+        EXPECT_EQ(got_hits.hits_at(3), want_hits.hits_at(3));
+      }
+    }
+  });
+}
+
+TEST(ShardInvarianceTest, CheckpointReloadsIntoAnyShardCount) {
+  // The on-disk format is layout-independent; a model saved from any
+  // shard count must produce the identical byte stream and reload into
+  // any other shard count with identical logical contents.
+  const std::string path = testing::TempDir() + "/sharded_roundtrip.nsckpt";
+  const KgeModel one = ShardedModel("transd", 60, 4, 6, 1, TableLayout::kPadded, 43);
+  const KgeModel seven =
+      ShardedModel("transd", 60, 4, 6, 7, TableLayout::kPadded, 43);
+  ASSERT_TRUE(SaveModel(one, path).ok());
+  std::string bytes_one;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes_one.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+  }
+  ASSERT_TRUE(SaveModel(seven, path).ok());
+  std::string bytes_seven;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes_seven.assign(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+  EXPECT_EQ(bytes_one, bytes_seven);
+  for (const int target : kShardTargets) {
+    ShardOptions opts;
+    opts.target_shards = target;
+    auto loaded = LoadModel(path, opts);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded.value().entity_table().LogicalCopy(),
+              one.entity_table().LogicalCopy())
+        << "target=" << target;
+    EXPECT_EQ(loaded.value().entity_table().num_shards() <= target, true);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardInvarianceTest, ClonePreservesShardLayoutAndContents) {
+  const KgeModel model =
+      ShardedModel("transe", 100, 5, 8, 7, TableLayout::kPadded, 47);
+  const KgeModel clone = model.Clone();
+  EXPECT_EQ(clone.entity_table().num_shards(),
+            model.entity_table().num_shards());
+  EXPECT_EQ(clone.entity_table().LogicalCopy(),
+            model.entity_table().LogicalCopy());
+  EXPECT_EQ(clone.relation_table().LogicalCopy(),
+            model.relation_table().LogicalCopy());
+}
+
+}  // namespace
+}  // namespace nsc

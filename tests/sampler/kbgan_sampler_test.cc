@@ -71,14 +71,16 @@ TEST(KbganSamplerTest, FeedbackUpdatesGeneratorParameters) {
   Rng rng(3);
   const Triple pos{0, 0, 1};
 
-  const AlignedFloatVector before = sampler.generator().entity_table().data();
+  const std::vector<float> before =
+      sampler.generator().entity_table().LogicalCopy();
   // Two feedbacks with different rewards guarantee a non-zero advantage on
   // the second one.
   NegativeSample neg = sampler.Sample(pos, &rng);
   sampler.Feedback(pos, neg, 0.0);
   neg = sampler.Sample(pos, &rng);
   sampler.Feedback(pos, neg, 10.0);
-  const AlignedFloatVector& after = sampler.generator().entity_table().data();
+  const std::vector<float> after =
+      sampler.generator().entity_table().LogicalCopy();
   EXPECT_NE(before, after);
 }
 
@@ -128,8 +130,8 @@ TEST(KbganSamplerTest, WarmStartCopiesGenerator) {
   Rng rng(6);
   pretrained.InitXavier(&rng);
   sampler.WarmStartGenerator(pretrained);
-  EXPECT_EQ(sampler.generator().entity_table().data(),
-            pretrained.entity_table().data());
+  EXPECT_EQ(sampler.generator().entity_table().LogicalCopy(),
+            pretrained.entity_table().LogicalCopy());
 }
 
 }  // namespace

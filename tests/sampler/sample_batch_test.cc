@@ -68,11 +68,12 @@ TEST(SampleBatchTest, KbganDeferredFeedbackUpdatesGeneratorForEveryDraw) {
 
   int updates = 0;
   for (size_t i = 0; i < n; ++i) {
-    const AlignedFloatVector before = sampler.generator().entity_table().data();
+    const std::vector<float> before =
+        sampler.generator().entity_table().LogicalCopy();
     // Varying rewards so the advantage is nonzero after the first call
     // (which only initialises the moving-average baseline).
     sampler.Feedback(pos[i], negs[i], static_cast<double>(i) - 3.5);
-    if (sampler.generator().entity_table().data() != before) ++updates;
+    if (sampler.generator().entity_table().LogicalCopy() != before) ++updates;
   }
   // Every draw after the baseline-initialising first one must train the
   // generator.

@@ -73,8 +73,8 @@ int64_t UlpDistance(float a, float b) {
 
 struct RunResult {
   std::vector<double> losses;
-  AlignedFloatVector entities;
-  AlignedFloatVector relations;
+  std::vector<float> entities;
+  std::vector<float> relations;
 };
 
 // Runs `epochs` epochs with a fresh model/sampler; `serial` picks the
@@ -111,8 +111,8 @@ RunResult RunTraining(const Dataset& data, const KgIndex& index,
         serial ? trainer.RunEpochSerial() : trainer.RunEpoch();
     result.losses.push_back(stats.mean_loss);
   }
-  result.entities = model.entity_table().data();
-  result.relations = model.relation_table().data();
+  result.entities = model.entity_table().LogicalCopy();
+  result.relations = model.relation_table().LogicalCopy();
   return result;
 }
 

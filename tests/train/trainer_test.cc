@@ -136,7 +136,7 @@ TEST(TrainerTest, DeterministicForFixedSeed) {
     Trainer trainer(&model, &data.train, &sampler, SmallTrainConfig());
     trainer.RunEpoch();
     trainer.RunEpoch();
-    return model.entity_table().data();
+    return model.entity_table().LogicalCopy();
   };
   EXPECT_EQ(run(), run());
 }

@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
-"""Validates a bench_throughput --topk --json=<path> artifact.
+"""Validates a bench_throughput JSON artifact (--topk or --shards).
 
-CI runs this against the committed BENCH_topk.json (and against a
-freshly generated file on the bench job) so the schema stays a
-contract: downstream tooling may parse these fields by name, and a
-silent rename or type change would break it long after the commit
-that caused it. Stdlib only.
+CI runs this against the committed BENCH_topk.json / BENCH_shards.json
+(and against freshly generated files on the bench job) so each schema
+stays a contract: downstream tooling may parse these fields by name,
+and a silent rename or type change would break it long after the
+commit that caused it. The per-run field set is keyed by the top-level
+"suite" field; every suite shares the same envelope. Stdlib only.
 
 Usage: check_bench_json.py <path> [<path>...]
 Exit 0 when every file validates; 1 with per-field diagnostics.
@@ -16,37 +17,54 @@ import sys
 
 SCHEMA_VERSION = 1
 
-# (field, type, validator or None) for every run entry. Validators get
-# the parsed value and return an error string or None.
-RUN_FIELDS = [
-    ("scorer", str, lambda v: None if v else "must be non-empty"),
-    ("num_entities", int, lambda v: None if v > 0 else "must be > 0"),
-    ("k", int, lambda v: None if v > 0 else "must be > 0"),
-    ("sweep_scan_mscores_per_sec", (int, float),
-     lambda v: None if v > 0 else "must be > 0"),
-    ("topk_mscores_per_sec", (int, float),
-     lambda v: None if v > 0 else "must be > 0"),
-    ("topk_batch_mscores_per_sec", (int, float),
-     lambda v: None if v > 0 else "must be > 0"),
-    ("speedup", (int, float), lambda v: None if v > 0 else "must be > 0"),
-    ("batch_speedup", (int, float),
-     lambda v: None if v > 0 else "must be > 0"),
-    ("topk_queries_per_sec", (int, float),
-     lambda v: None if v > 0 else "must be > 0"),
-    ("topk_batch_queries_per_sec", (int, float),
-     lambda v: None if v > 0 else "must be > 0"),
-]
+
+def positive(v):
+    return None if v > 0 else "must be > 0"
+
+
+# (field, type, validator or None) per run entry, keyed by suite.
+# Validators get the parsed value and return an error string or None.
+SUITE_RUN_FIELDS = {
+    "topk": [
+        ("scorer", str, lambda v: None if v else "must be non-empty"),
+        ("num_entities", int, positive),
+        ("k", int, positive),
+        ("sweep_scan_mscores_per_sec", (int, float), positive),
+        ("topk_mscores_per_sec", (int, float), positive),
+        ("topk_batch_mscores_per_sec", (int, float), positive),
+        ("speedup", (int, float), positive),
+        ("batch_speedup", (int, float), positive),
+        ("topk_queries_per_sec", (int, float), positive),
+        ("topk_batch_queries_per_sec", (int, float), positive),
+    ],
+    "shards": [
+        ("scorer", str, lambda v: None if v else "must be non-empty"),
+        ("num_entities", int, positive),
+        ("target_shards", int, positive),
+        # Realized count: power-of-two row blocks mean it can undershoot
+        # the target, never exceed it (pinned here and by the C++ tests).
+        ("num_shards", int, positive),
+        ("train_triples_per_sec", (int, float), positive),
+        ("eval_queries_per_sec", (int, float), positive),
+        ("topk_queries_per_sec", (int, float), positive),
+        ("train_ratio_vs_1shard", (int, float), positive),
+        ("eval_ratio_vs_1shard", (int, float), positive),
+        ("topk_ratio_vs_1shard", (int, float), positive),
+    ],
+}
 
 TOP_FIELDS = [
     ("schema_version", int,
      lambda v: None if v == SCHEMA_VERSION else
      "expected schema_version %d, got %r" % (SCHEMA_VERSION, v)),
-    ("suite", str, lambda v: None if v == "topk" else "expected 'topk'"),
+    ("suite", str,
+     lambda v: None if v in SUITE_RUN_FIELDS else
+     "unknown suite %r (known: %s)" % (v, ", ".join(sorted(SUITE_RUN_FIELDS)))),
     ("simd_path", str,
      lambda v: None if v in ("scalar", "avx2", "neon") else
      "unknown simd_path %r" % v),
     ("threads", int, lambda v: None if v >= 1 else "must be >= 1"),
-    ("dim", int, lambda v: None if v > 0 else "must be > 0"),
+    ("dim", int, positive),
     ("runs", list, lambda v: None if v else "must be non-empty"),
 ]
 
@@ -72,6 +90,21 @@ def check_fields(obj, fields, where, errors):
                           "closed field set)" % (where, name, SCHEMA_VERSION))
 
 
+def check_shards_invariants(doc, path, errors):
+    """Cross-run checks only the shards suite has: the shard-count rows
+    must be internally consistent with the power-of-two block layout."""
+    for i, run in enumerate(doc.get("runs") or []):
+        if not isinstance(run, dict):
+            continue
+        where = "%s: runs[%d]" % (path, i)
+        target = run.get("target_shards")
+        realized = run.get("num_shards")
+        if isinstance(target, int) and isinstance(realized, int) \
+                and realized > target:
+            errors.append("%s: num_shards %d exceeds target_shards %d" %
+                          (where, realized, target))
+
+
 def check_file(path):
     errors = []
     try:
@@ -82,12 +115,16 @@ def check_file(path):
     if not isinstance(doc, dict):
         return ["%s: top-level value is not an object" % path]
     check_fields(doc, TOP_FIELDS, path, errors)
+    run_fields = SUITE_RUN_FIELDS.get(doc.get("suite"))
     for i, run in enumerate(doc.get("runs") or []):
         where = "%s: runs[%d]" % (path, i)
         if not isinstance(run, dict):
             errors.append("%s: not an object" % where)
             continue
-        check_fields(run, RUN_FIELDS, where, errors)
+        if run_fields is not None:
+            check_fields(run, run_fields, where, errors)
+    if doc.get("suite") == "shards":
+        check_shards_invariants(doc, path, errors)
     return errors
 
 
