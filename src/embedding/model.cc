@@ -390,4 +390,13 @@ KgeModel KgeModel::Clone() const {
                   relations_);
 }
 
+void KgeModel::CopyParametersFrom(const KgeModel& other) {
+  CHECK(scorer_->name() == other.scorer().name())
+      << "CopyParametersFrom across scorers: " << scorer_->name() << " vs "
+      << other.scorer().name();
+  CHECK_EQ(dim_, other.dim());
+  entities_.CopyLogicalFrom(other.entities_);
+  relations_.CopyLogicalFrom(other.relations_);
+}
+
 }  // namespace nsc

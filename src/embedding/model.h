@@ -194,6 +194,15 @@ class KgeModel {
   /// the table layout.
   KgeModel Clone() const;
 
+  /// Overwrites this model's parameters with `other`'s logical contents —
+  /// the serving layer's snapshot copy hook (EmbeddingSnapshot reuses its
+  /// buffers across publications instead of reallocating). Layout-safe:
+  /// strides and shard layouts may differ, but the scorer name, dim and
+  /// both table shapes must match (CHECKed). Padding is left untouched,
+  /// so the copy is bit-identical at the logical level regardless of
+  /// either side's layout.
+  void CopyParametersFrom(const KgeModel& other);
+
  private:
   int dim_;
   std::unique_ptr<ScoringFunction> scorer_;

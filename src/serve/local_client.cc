@@ -1,0 +1,19 @@
+#include "serve/local_client.h"
+
+#include <future>
+#include <utility>
+
+namespace nsc {
+
+QueryResult LocalClient::Call(const Query& query) {
+  // One promise per call keeps the client stateless and thread-safe; the
+  // engine guarantees exactly one callback invocation per Submit.
+  std::promise<QueryResult> promise;
+  std::future<QueryResult> future = promise.get_future();
+  engine_->Submit(query, [&promise](QueryResult result) {
+    promise.set_value(std::move(result));
+  });
+  return future.get();
+}
+
+}  // namespace nsc

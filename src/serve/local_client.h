@@ -1,0 +1,48 @@
+// In-process blocking client over a QueryEngine — the serving façade used
+// by tests, bench_serving's load generators and nsc_serve's smoke mode.
+// Each call submits one request and blocks until its callback fires, so
+// results carry the full QueryResult (including the pinned snapshot, the
+// in-process verification hook the TCP protocol cannot ship).
+#ifndef NSCACHING_SERVE_LOCAL_CLIENT_H_
+#define NSCACHING_SERVE_LOCAL_CLIENT_H_
+
+#include <cstddef>
+
+#include "serve/query_engine.h"
+
+namespace nsc {
+
+/// Thread-safe: any number of threads may share one LocalClient (each
+/// call carries its own completion state) — bench_serving's closed-loop
+/// connections do exactly that.
+class LocalClient {
+ public:
+  /// `engine` is borrowed and must outlive the client.
+  explicit LocalClient(QueryEngine* engine) : engine_(engine) {}
+
+  QueryResult Score(EntityId h, RelationId r, EntityId t) {
+    return Call({QueryKind::kScore, h, r, t, 0});
+  }
+  QueryResult RankHead(EntityId h, RelationId r, EntityId t) {
+    return Call({QueryKind::kRankHead, h, r, t, 0});
+  }
+  QueryResult RankTail(EntityId h, RelationId r, EntityId t) {
+    return Call({QueryKind::kRankTail, h, r, t, 0});
+  }
+  QueryResult TopKHeads(RelationId r, EntityId t, std::size_t k) {
+    return Call({QueryKind::kTopKHeads, 0, r, t, k});
+  }
+  QueryResult TopKTails(EntityId h, RelationId r, std::size_t k) {
+    return Call({QueryKind::kTopKTails, h, r, 0, k});
+  }
+
+  /// Generic entry point (the bench load generators drive this).
+  QueryResult Call(const Query& query);
+
+ private:
+  QueryEngine* engine_;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_SERVE_LOCAL_CLIENT_H_

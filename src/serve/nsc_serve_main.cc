@@ -1,0 +1,310 @@
+// nsc_serve: the online link-prediction server. Trains a KGE model on a
+// synthetic KG (or keeps serving a finished one) while answering
+// line-protocol queries over TCP from snapshot-published model states —
+// the end-to-end binary of the serving subsystem.
+//
+//   nsc_serve --port=7471 --scorer=transe --epochs=50
+//   echo "TOPK TAILS 3 1 10" | nc 127.0.0.1 7471
+//
+// Flags (all optional):
+//   --host=<addr>         bind address            (default 127.0.0.1)
+//   --port=<n>            TCP port, 0 = ephemeral (default 7471)
+//   --entities=<n>        synthetic KG entities   (default 2000)
+//   --relations=<n>       synthetic KG relations  (default 12)
+//   --triples=<n>         synthetic KG triples    (default 12000)
+//   --dim=<n>             embedding dimension     (default 32)
+//   --scorer=<name>       transe|distmult|complex (default transe)
+//   --epochs=<n>          training epochs         (default 50)
+//   --threads=<n>         training worker threads (default 1)
+//   --seed=<n>            RNG seed                (default 7)
+//   --publish-every=<n>   publish cadence in mini-batches (default 4)
+//   --checkpoint=<path>   async checkpoint target (default off)
+//   --workers=<n>         query engine workers    (default 2)
+//   --max-batch=<n>       top-K coalescing bound  (default 64)
+//   --max-wait-us=<n>     batching linger         (default 200)
+//   --smoke               run the self-test (LocalClient bit-identity +
+//                         a TCP round trip) against the live server and
+//                         exit 0/1 instead of serving forever
+//
+// After training completes the server keeps serving the final snapshot
+// until interrupted.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "embedding/model.h"
+#include "embedding/scoring_function.h"
+#include "kg/synthetic.h"
+#include "sampler/uniform_sampler.h"
+#include "serve/local_client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "train/train_config.h"
+#include "train/trainer.h"
+#include "util/rng.h"
+
+namespace nsc {
+namespace {
+
+struct Flags {
+  std::string host = "127.0.0.1";
+  int port = 7471;
+  int entities = 2000;
+  int relations = 12;
+  int triples = 12000;
+  int dim = 32;
+  std::string scorer = "transe";
+  int epochs = 50;
+  int threads = 1;
+  uint64_t seed = 7;
+  int publish_every = 4;
+  std::string checkpoint;
+  int workers = 2;
+  int max_batch = 64;
+  int max_wait_us = 200;
+  bool smoke = false;
+};
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* out) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.compare(0, prefix.size(), prefix) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name, int* out) {
+  std::string text;
+  if (!ParseFlag(arg, name, &text)) return false;
+  *out = std::atoi(text.c_str());
+  return true;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string text;
+    if (arg == "--smoke") {
+      f.smoke = true;
+    } else if (ParseFlag(arg, "host", &f.host) ||
+               ParseFlag(arg, "port", &f.port) ||
+               ParseFlag(arg, "entities", &f.entities) ||
+               ParseFlag(arg, "relations", &f.relations) ||
+               ParseFlag(arg, "triples", &f.triples) ||
+               ParseFlag(arg, "dim", &f.dim) ||
+               ParseFlag(arg, "scorer", &f.scorer) ||
+               ParseFlag(arg, "epochs", &f.epochs) ||
+               ParseFlag(arg, "threads", &f.threads) ||
+               ParseFlag(arg, "publish-every", &f.publish_every) ||
+               ParseFlag(arg, "checkpoint", &f.checkpoint) ||
+               ParseFlag(arg, "workers", &f.workers) ||
+               ParseFlag(arg, "max-batch", &f.max_batch) ||
+               ParseFlag(arg, "max-wait-us", &f.max_wait_us)) {
+      // Parsed.
+    } else if (ParseFlag(arg, "seed", &text)) {
+      f.seed = std::strtoull(text.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "nsc_serve: unknown flag %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return f;
+}
+
+/// Blocking loopback TCP client for the smoke test: sends `request` and
+/// returns the first response line (without the newline), or "" on error.
+class SmokeTcpClient {
+ public:
+  bool Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+
+  ~SmokeTcpClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  std::string RoundTrip(const std::string& request) {
+    const std::string line = request + "\n";
+    if (::write(fd_, line.data(), line.size()) !=
+        static_cast<ssize_t>(line.size())) {
+      return "";
+    }
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+    const std::size_t newline = buffer_.find('\n');
+    std::string response = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    return response;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+bool StartsWith(const std::string& text, const std::string& prefix) {
+  return text.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// The smoke self-test the CI main job runs: LocalClient answers must be
+/// bit-identical to direct recomputation against the pinned snapshot, and
+/// a real TCP round trip must speak the protocol.
+int RunSmoke(ServeServer* server, const Flags& flags) {
+  LocalClient client(server->engine());
+
+  const QueryResult score = client.Score(1, 0, 2);
+  if (!score.status.ok() || score.snapshot == nullptr) {
+    std::fprintf(stderr, "smoke: SCORE failed: %s\n",
+                 score.status.message().c_str());
+    return 1;
+  }
+  const double expect = score.snapshot->model().Score(1, 0, 2);
+  if (std::memcmp(&score.score, &expect, sizeof(double)) != 0) {
+    std::fprintf(stderr, "smoke: SCORE not bit-identical to snapshot\n");
+    return 1;
+  }
+
+  const QueryResult topk = client.TopKTails(1, 0, 5);
+  if (!topk.status.ok() || topk.topk.size() != 5) {
+    std::fprintf(stderr, "smoke: TOPK failed\n");
+    return 1;
+  }
+  std::vector<TopKEntry> direct;
+  topk.snapshot->model().TopKTails(1, 0, 5, &direct, nullptr);
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    if (topk.topk[i].index != direct[i].index ||
+        std::memcmp(&topk.topk[i].score, &direct[i].score, sizeof(double)) !=
+            0) {
+      std::fprintf(stderr, "smoke: TOPK not bit-identical to snapshot\n");
+      return 1;
+    }
+  }
+
+  SmokeTcpClient tcp;
+  if (!tcp.Connect(server->port())) {
+    std::fprintf(stderr, "smoke: cannot connect to 127.0.0.1:%d\n",
+                 server->port());
+    return 1;
+  }
+  const std::string info = tcp.RoundTrip("INFO");
+  const std::string tcp_score = tcp.RoundTrip("SCORE 1 0 2");
+  const std::string bad = tcp.RoundTrip("FROBNICATE");
+  const std::string bye = tcp.RoundTrip("QUIT");
+  if (!StartsWith(info, "INFO ") || !StartsWith(tcp_score, "SCORE ") ||
+      !StartsWith(bad, "ERR ") || bye != "BYE") {
+    std::fprintf(stderr,
+                 "smoke: TCP protocol mismatch: '%s' / '%s' / '%s' / '%s'\n",
+                 info.c_str(), tcp_score.c_str(), bad.c_str(), bye.c_str());
+    return 1;
+  }
+
+  std::printf("nsc_serve smoke OK (port %d, scorer %s, step %lld)\n",
+              server->port(), flags.scorer.c_str(),
+              static_cast<long long>(score.snapshot->step()));
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+
+  SyntheticKgConfig kg_config;
+  kg_config.num_entities = flags.entities;
+  kg_config.num_relations = flags.relations;
+  kg_config.num_triples = flags.triples;
+  kg_config.seed = flags.seed;
+  const Dataset data = GenerateSyntheticKg(kg_config);
+
+  KgeModel model(data.num_entities(), data.num_relations(), flags.dim,
+                 MakeScoringFunction(flags.scorer));
+  Rng rng(flags.seed);
+  model.InitXavier(&rng);
+
+  SnapshotPublisherOptions pub_options;
+  pub_options.checkpoint_path = flags.checkpoint;
+  SnapshotPublisher publisher(pub_options);
+  // Publish the initialized model as step 0 so the server is answerable
+  // from the first accepted connection.
+  publisher.Publish(model, 0);
+
+  ServeServerOptions server_options;
+  server_options.host = flags.host;
+  server_options.port = flags.port;
+  server_options.engine.num_workers = flags.workers;
+  server_options.engine.max_batch = static_cast<std::size_t>(flags.max_batch);
+  server_options.engine.max_wait_us = flags.max_wait_us;
+  ServeServer server(&publisher, server_options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "nsc_serve: %s\n", started.message().c_str());
+    return 1;
+  }
+  std::printf("nsc_serve listening on %s:%d (%s, dim %d, |E| %d)\n",
+              flags.host.c_str(), server.port(), flags.scorer.c_str(),
+              flags.dim, data.num_entities());
+  std::fflush(stdout);
+
+  UniformSampler sampler(data.num_entities());
+  TrainConfig train_config;
+  train_config.dim = flags.dim;
+  train_config.epochs = flags.epochs;
+  train_config.num_threads = flags.threads;
+  train_config.seed = flags.seed;
+  Trainer trainer(&model, &data.train, &sampler, train_config);
+  trainer.EnableSnapshots(&publisher, flags.publish_every);
+
+  // Queries are answered from published snapshots while this thread
+  // mutates the live tables.
+  std::thread train_thread([&] {
+    for (int epoch = 0; epoch < flags.epochs; ++epoch) {
+      const EpochStats stats = trainer.RunEpoch();
+      std::printf("epoch %d: loss %.4f (%.2fs, step %lld)\n", stats.epoch,
+                  stats.mean_loss, stats.seconds,
+                  static_cast<long long>(trainer.global_step()));
+      std::fflush(stdout);
+    }
+  });
+
+  int exit_code = 0;
+  if (flags.smoke) {
+    exit_code = RunSmoke(&server, flags);
+    train_thread.join();
+  } else {
+    train_thread.join();
+    std::printf("training done at step %lld; serving final snapshot\n",
+                static_cast<long long>(trainer.global_step()));
+    std::fflush(stdout);
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(60));
+  }
+  server.Shutdown();
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace nsc
+
+int main(int argc, char** argv) { return nsc::Main(argc, argv); }

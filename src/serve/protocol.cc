@@ -1,0 +1,145 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace nsc {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+/// Strict decimal parse into [0, INT32_MAX]; the engine does the
+/// model-shape range check, this only rejects non-numeric garbage.
+bool ParseId(const std::string& token, int32_t* out) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size()) return false;
+  if (value < 0 || value > INT32_MAX) return false;
+  *out = static_cast<int32_t>(value);
+  return true;
+}
+
+bool ParseK(const std::string& token, std::size_t* out) {
+  int32_t value = 0;
+  if (!ParseId(token, &value)) return false;
+  *out = static_cast<std::size_t>(value);
+  return true;
+}
+
+std::string FormatScore(double score) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", score);
+  return buffer;
+}
+
+}  // namespace
+
+bool IsInfoRequest(const std::string& line) {
+  return Tokenize(line) == std::vector<std::string>{"INFO"};
+}
+
+bool IsQuitRequest(const std::string& line) {
+  return Tokenize(line) == std::vector<std::string>{"QUIT"};
+}
+
+StatusOr<Query> ParseRequestLine(const std::string& line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) return Status::InvalidArgument("empty request");
+  Query query;
+  if (tokens[0] == "SCORE") {
+    if (tokens.size() != 4 || !ParseId(tokens[1], &query.h) ||
+        !ParseId(tokens[2], &query.r) || !ParseId(tokens[3], &query.t)) {
+      return Status::InvalidArgument("usage: SCORE <h> <r> <t>");
+    }
+    query.kind = QueryKind::kScore;
+    return query;
+  }
+  if (tokens[0] == "RANK") {
+    if (tokens.size() != 5 || (tokens[1] != "HEAD" && tokens[1] != "TAIL") ||
+        !ParseId(tokens[2], &query.h) || !ParseId(tokens[3], &query.r) ||
+        !ParseId(tokens[4], &query.t)) {
+      return Status::InvalidArgument("usage: RANK HEAD|TAIL <h> <r> <t>");
+    }
+    query.kind = tokens[1] == "HEAD" ? QueryKind::kRankHead
+                                     : QueryKind::kRankTail;
+    return query;
+  }
+  if (tokens[0] == "TOPK") {
+    if (tokens.size() != 5 || (tokens[1] != "HEADS" && tokens[1] != "TAILS")) {
+      return Status::InvalidArgument(
+          "usage: TOPK HEADS <r> <t> <k> | TOPK TAILS <h> <r> <k>");
+    }
+    if (tokens[1] == "HEADS") {
+      if (!ParseId(tokens[2], &query.r) || !ParseId(tokens[3], &query.t) ||
+          !ParseK(tokens[4], &query.k)) {
+        return Status::InvalidArgument("usage: TOPK HEADS <r> <t> <k>");
+      }
+      query.kind = QueryKind::kTopKHeads;
+    } else {
+      if (!ParseId(tokens[2], &query.h) || !ParseId(tokens[3], &query.r) ||
+          !ParseK(tokens[4], &query.k)) {
+        return Status::InvalidArgument("usage: TOPK TAILS <h> <r> <k>");
+      }
+      query.kind = QueryKind::kTopKTails;
+    }
+    return query;
+  }
+  return Status::InvalidArgument("unknown command " + tokens[0]);
+}
+
+std::string FormatResponse(const QueryResult& result) {
+  if (!result.status.ok()) return FormatError(result.status.message());
+  std::ostringstream out;
+  switch (result.kind) {
+    case QueryKind::kScore:
+      out << "SCORE " << result.step << ' ' << FormatScore(result.score);
+      break;
+    case QueryKind::kRankHead:
+    case QueryKind::kRankTail:
+      out << "RANK " << result.step << ' ' << result.rank;
+      break;
+    case QueryKind::kTopKHeads:
+    case QueryKind::kTopKTails:
+      out << "TOPK " << result.step << ' ' << result.topk.size();
+      for (const TopKEntry& entry : result.topk) {
+        out << ' ' << entry.index << ':' << FormatScore(entry.score);
+      }
+      break;
+  }
+  out << '\n';
+  return out.str();
+}
+
+std::string FormatInfoResponse(const EmbeddingSnapshot* snapshot) {
+  if (snapshot == nullptr) return FormatError("no snapshot published yet");
+  std::ostringstream out;
+  out << "INFO " << snapshot->step() << ' '
+      << snapshot->model().num_entities() << ' '
+      << snapshot->model().num_relations() << ' ' << snapshot->model().dim()
+      << ' ' << snapshot->model().scorer().name() << '\n';
+  return out.str();
+}
+
+std::string FormatError(const std::string& message) {
+  std::string out = "ERR ";
+  // Responses are line-delimited; a multi-line message would desynchronize
+  // the stream, so newlines are flattened.
+  for (const char c : message) out += (c == '\n' || c == '\r') ? ' ' : c;
+  out += '\n';
+  return out;
+}
+
+}  // namespace nsc

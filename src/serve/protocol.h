@@ -1,0 +1,55 @@
+// The nsc_serve wire protocol: line-delimited ASCII over TCP, version 1.
+//
+// One request per '\n'-terminated line (a trailing '\r' is stripped, so
+// `nc`/telnet work), one response line per request, answered in request
+// order per connection. Ids are decimal; scores are printed with %.17g,
+// which round-trips an IEEE double exactly — a client parsing the text
+// recovers the bit-identical score the kernel computed.
+//
+//   request                          response
+//   SCORE <h> <r> <t>                SCORE <step> <score>
+//   RANK HEAD <h> <r> <t>            RANK <step> <rank>
+//   RANK TAIL <h> <r> <t>            RANK <step> <rank>
+//   TOPK HEADS <r> <t> <k>           TOPK <step> <n> <id>:<score> ...
+//   TOPK TAILS <h> <r> <k>           TOPK <step> <n> <id>:<score> ...
+//   INFO                             INFO <step> <entities> <relations>
+//                                         <dim> <scorer>
+//   QUIT                             BYE   (then the server closes)
+//   (anything else / bad ids)        ERR <message>
+//
+// <step> is the training step of the snapshot that answered the request —
+// the staleness handle: a client comparing steps across responses observes
+// exactly when a new snapshot was published. INFO and QUIT are handled by
+// the server itself; everything else round-trips through the QueryEngine
+// (so TOPK requests from different connections coalesce into batched
+// kernel calls).
+#ifndef NSCACHING_SERVE_PROTOCOL_H_
+#define NSCACHING_SERVE_PROTOCOL_H_
+
+#include <string>
+
+#include "serve/query_engine.h"
+#include "util/status.h"
+
+namespace nsc {
+
+/// Parses one request line (no trailing newline) into a Query. INFO/QUIT
+/// are NOT queries — test with IsInfoRequest/IsQuitRequest first.
+StatusOr<Query> ParseRequestLine(const std::string& line);
+
+bool IsInfoRequest(const std::string& line);
+bool IsQuitRequest(const std::string& line);
+
+/// Formats the response line (with trailing '\n') for a completed query.
+std::string FormatResponse(const QueryResult& result);
+
+/// Formats the INFO response for the given snapshot (or the ERR line when
+/// `snapshot` is null — nothing published yet).
+std::string FormatInfoResponse(const EmbeddingSnapshot* snapshot);
+
+/// Formats an ERR response line (with trailing '\n').
+std::string FormatError(const std::string& message);
+
+}  // namespace nsc
+
+#endif  // NSCACHING_SERVE_PROTOCOL_H_

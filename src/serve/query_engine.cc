@@ -1,0 +1,248 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace nsc {
+
+namespace {
+
+bool IsTopK(QueryKind kind) {
+  return kind == QueryKind::kTopKHeads || kind == QueryKind::kTopKTails;
+}
+
+int HistBucket(std::size_t batch_size) {
+  // 1, 2, 3-4, 5-8, 9-16, 17-32, 33-64, 65+.
+  if (batch_size <= 1) return 0;
+  int bucket = 1;
+  std::size_t upper = 2;
+  while (bucket < BatchStatsSnapshot::kBuckets - 1 && batch_size > upper) {
+    ++bucket;
+    upper *= 2;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const SnapshotPublisher* publisher,
+                         QueryEngineOptions options)
+    : publisher_(publisher), options_(options) {
+  CHECK(publisher != nullptr);
+  CHECK_GE(options_.num_workers, 1);
+  CHECK_GE(options_.max_batch, std::size_t{1});
+  CHECK_GE(options_.max_wait_us, 0);
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryEngine::~QueryEngine() {
+  {
+    MutexLock lock(&mu_);
+    shutdown_ = true;
+  }
+  work_ready_.NotifyAll();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void QueryEngine::Submit(const Query& query, QueryCallback done) {
+  CHECK(done != nullptr);
+  {
+    MutexLock lock(&mu_);
+    // Accepting after shutdown would leak the callback (workers are
+    // draining); the single in-process producer patterns (server loop,
+    // LocalClient) all stop submitting before destroying the engine.
+    CHECK(!shutdown_) << "Submit after QueryEngine shutdown";
+    queue_.push_back(Pending{query, std::move(done)});
+  }
+  // NotifyAll, not NotifyOne: a lingering batcher may be the one woken,
+  // and it only takes same-group requests — an idle worker must also wake
+  // to pick up a non-matching request.
+  work_ready_.NotifyAll();
+}
+
+BatchStatsSnapshot QueryEngine::batch_stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+void QueryEngine::CollectTopKGroupLocked(const Query& head,
+                                         std::vector<Pending>* batch) {
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch->size() < options_.max_batch;) {
+    if (it->query.kind == head.kind && it->query.k == head.k) {
+      batch->push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void QueryEngine::WorkerLoop() {
+  std::vector<Pending> batch;
+  for (;;) {
+    batch.clear();
+    {
+      MutexLock lock(&mu_);
+      while (queue_.empty() && !shutdown_) work_ready_.Wait(&mu_);
+      if (queue_.empty()) return;  // Shutdown with nothing left to drain.
+      Pending first = std::move(queue_.front());
+      queue_.pop_front();
+      const Query head = first.query;
+      batch.push_back(std::move(first));
+      if (IsTopK(head.kind) && options_.max_batch > 1) {
+        // Linger for coalescible requests: collect whatever is already
+        // queued, then wait out the remaining linger budget as long as
+        // the batch has room. Non-matching requests are left queued for
+        // the other workers (Submit wakes them all).
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(options_.max_wait_us);
+        for (;;) {
+          CollectTopKGroupLocked(head, &batch);
+          if (batch.size() >= options_.max_batch || shutdown_) break;
+          const auto now = std::chrono::steady_clock::now();
+          if (now >= deadline) break;
+          const int64_t remaining_us =
+              std::chrono::duration_cast<std::chrono::microseconds>(deadline -
+                                                                    now)
+                  .count();
+          work_ready_.WaitFor(&mu_, remaining_us);
+        }
+      }
+    }
+    if (IsTopK(batch[0].query.kind)) {
+      ExecuteTopKBatch(&batch);
+    } else {
+      ExecuteSingle(&batch[0]);
+    }
+  }
+}
+
+Status QueryEngine::Validate(const Query& query,
+                             const EmbeddingSnapshot& snap) {
+  const int32_t num_entities = snap.model().num_entities();
+  const int32_t num_relations = snap.model().num_relations();
+  if (query.r < 0 || query.r >= num_relations) {
+    return Status::InvalidArgument("relation id out of range");
+  }
+  const bool needs_h = query.kind != QueryKind::kTopKHeads;
+  const bool needs_t = query.kind != QueryKind::kTopKTails;
+  if (needs_h && (query.h < 0 || query.h >= num_entities)) {
+    return Status::InvalidArgument("head entity id out of range");
+  }
+  if (needs_t && (query.t < 0 || query.t >= num_entities)) {
+    return Status::InvalidArgument("tail entity id out of range");
+  }
+  return Status::OK();
+}
+
+void QueryEngine::ExecuteSingle(Pending* pending) {
+  QueryResult result;
+  result.kind = pending->query.kind;
+  std::shared_ptr<const EmbeddingSnapshot> snap = publisher_->Acquire();
+  if (snap == nullptr) {
+    result.status = Status::FailedPrecondition("no snapshot published yet");
+    pending->done(std::move(result));
+    return;
+  }
+  result.step = snap->step();
+  result.snapshot = snap;
+  result.status = Validate(pending->query, *snap);
+  if (result.status.ok()) {
+    const Query& q = pending->query;
+    const KgeModel& model = snap->model();
+    if (q.kind == QueryKind::kScore) {
+      result.score = model.Score(q.h, q.r, q.t);
+    } else {
+      // Rank = 1 + #(candidates scoring strictly higher), over the full
+      // entity sweep. The scratch slab is thread_local in the repo's
+      // hot-path idiom: allocation-free per worker once warm.
+      static thread_local std::vector<double> scratch;
+      scratch.resize(static_cast<std::size_t>(model.num_entities()));
+      const EntityId target = q.kind == QueryKind::kRankHead ? q.h : q.t;
+      if (q.kind == QueryKind::kRankHead) {
+        model.ScoreAllHeads(q.r, q.t, scratch.data());
+      } else {
+        model.ScoreAllTails(q.h, q.r, scratch.data());
+      }
+      const double reference = scratch[static_cast<std::size_t>(target)];
+      int64_t higher = 0;
+      for (const double s : scratch) {
+        if (s > reference) ++higher;
+      }
+      result.rank = 1 + higher;
+      result.score = reference;
+    }
+  }
+  {
+    MutexLock lock(&mu_);
+    ++stats_.single_requests;
+  }
+  pending->done(std::move(result));
+}
+
+void QueryEngine::ExecuteTopKBatch(std::vector<Pending>* batch) {
+  const QueryKind kind = (*batch)[0].query.kind;
+  const std::size_t k = (*batch)[0].query.k;
+  std::vector<QueryResult> results(batch->size());
+  std::shared_ptr<const EmbeddingSnapshot> snap = publisher_->Acquire();
+
+  // Validate each request; only the valid ones reach the kernel.
+  std::vector<std::size_t> valid;
+  valid.reserve(batch->size());
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    QueryResult& result = results[i];
+    result.kind = kind;
+    if (snap == nullptr) {
+      result.status = Status::FailedPrecondition("no snapshot published yet");
+      continue;
+    }
+    result.step = snap->step();
+    result.snapshot = snap;
+    result.status = Validate((*batch)[i].query, *snap);
+    if (result.status.ok()) valid.push_back(i);
+  }
+
+  if (!valid.empty()) {
+    const KgeModel& model = snap->model();
+    std::vector<std::vector<TopKEntry>> answers;
+    if (kind == QueryKind::kTopKTails) {
+      std::vector<std::pair<EntityId, RelationId>> queries;
+      queries.reserve(valid.size());
+      for (const std::size_t i : valid) {
+        queries.emplace_back((*batch)[i].query.h, (*batch)[i].query.r);
+      }
+      model.TopKTailsBatch(queries, k, &answers);
+    } else {
+      std::vector<std::pair<RelationId, EntityId>> queries;
+      queries.reserve(valid.size());
+      for (const std::size_t i : valid) {
+        queries.emplace_back((*batch)[i].query.r, (*batch)[i].query.t);
+      }
+      model.TopKHeadsBatch(queries, k, &answers);
+    }
+    for (std::size_t j = 0; j < valid.size(); ++j) {
+      results[valid[j]].topk = std::move(answers[j]);
+    }
+  }
+
+  {
+    MutexLock lock(&mu_);
+    stats_.topk_requests += batch->size();
+    ++stats_.topk_batches;
+    if (batch->size() >= 2) stats_.coalesced_requests += batch->size();
+    ++stats_.hist[HistBucket(batch->size())];
+  }
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    (*batch)[i].done(std::move(results[i]));
+  }
+}
+
+}  // namespace nsc

@@ -1,0 +1,190 @@
+// The online query engine of the serving subsystem: concurrent
+// score / rank / top-K requests answered from pinned snapshots, with
+// cross-request batching of top-K retrievals.
+//
+// Why batching: the PR 6 kernels answer a BATCH of top-K queries in one
+// tile-outer/query-inner pass over the entity table — the table streams
+// from memory once instead of once per query. Under concurrent serving
+// traffic, the queries that could share a pass arrive on DIFFERENT
+// connections; coalescing them is a server-side job. The engine keeps one
+// pending-request queue; a worker that dequeues a top-K request lingers up
+// to max_wait_us for more requests of the same (side, k) group (bounded by
+// max_batch) before answering the whole group through
+// KgeModel::TopK{Heads,Tails}Batch. Batching is invisible in the results:
+// the batched kernels are bit-identical to per-query retrieval (the PR 6
+// parity contract), and every response reports the snapshot step it was
+// answered from.
+//
+// Snapshot pinning: each executed request (or batch) acquires the current
+// snapshot once and answers entirely from it. Publication never blocks a
+// reader; a request in flight keeps its snapshot alive via refcount. The
+// pinned snapshot is returned in QueryResult::snapshot so in-process
+// callers (tests, LocalClient users) can verify answers against the exact
+// model state that produced them — the concurrent-correctness contract of
+// tests/serve/stress_test.cc.
+//
+// Lock protocol (machine-checked by -Wthread-safety): the pending queue,
+// batching counters and shutdown flag are NSC_GUARDED_BY(mu_); request
+// execution (the expensive part) runs OUTSIDE the lock; public entry
+// points are NSC_EXCLUDES(mu_). Callbacks are invoked with no engine lock
+// held, so a callback may re-enter Submit().
+#ifndef NSCACHING_SERVE_QUERY_ENGINE_H_
+#define NSCACHING_SERVE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "kg/types.h"
+#include "serve/snapshot.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+#include "util/topk.h"
+
+namespace nsc {
+
+/// Knobs of the query engine.
+struct QueryEngineOptions {
+  /// Worker threads executing requests. 1 is valid (batching still
+  /// coalesces whatever queues up behind the single worker).
+  int num_workers = 2;
+
+  /// Most top-K requests coalesced into one batched kernel call. 1
+  /// disables cross-request batching (the unbatched baseline of
+  /// bench_serving).
+  std::size_t max_batch = 64;
+
+  /// Longest a worker lingers for additional same-group top-K requests
+  /// after dequeuing the first, in microseconds. 0 = no linger: only
+  /// requests already queued when the worker looks are coalesced.
+  int64_t max_wait_us = 200;
+};
+
+/// What a request asks of the engine.
+enum class QueryKind {
+  kScore,      ///< Plausibility of one (h, r, t).
+  kRankHead,   ///< Rank of h among all candidate heads for (r, t).
+  kRankTail,   ///< Rank of t among all candidate tails for (h, r).
+  kTopKHeads,  ///< Best-k candidate heads for (r, t).
+  kTopKTails,  ///< Best-k candidate tails for (h, r).
+};
+
+/// One request. Field use by kind: kScore/kRank* use (h, r, t);
+/// kTopKHeads uses (r, t, k); kTopKTails uses (h, r, k).
+struct Query {
+  QueryKind kind = QueryKind::kScore;
+  EntityId h = 0;
+  RelationId r = 0;
+  EntityId t = 0;
+  std::size_t k = 0;
+};
+
+/// One answer. `status` is non-OK for malformed requests (out-of-range
+/// ids) or when no snapshot has been published yet; the payload fields
+/// are only meaningful when ok. `rank` is optimistic/raw: 1 + the number
+/// of candidates scoring strictly higher than the queried entity, over
+/// ALL entities (no filtering) — recomputable bit-identically as a
+/// ScoreAll sweep + count against `snapshot`.
+struct QueryResult {
+  Status status;
+  QueryKind kind = QueryKind::kScore;
+  int64_t step = -1;  ///< Snapshot step that answered the request.
+  double score = 0.0;
+  int64_t rank = 0;
+  std::vector<TopKEntry> topk;  ///< index fields are EntityIds.
+  /// The pinned snapshot the answer was computed from (null on error
+  /// before a snapshot was acquired). In-process verification hook.
+  std::shared_ptr<const EmbeddingSnapshot> snapshot;
+};
+
+/// Completion callback; invoked exactly once per Submit, on a worker
+/// thread, with no engine lock held.
+using QueryCallback = std::function<void(QueryResult)>;
+
+/// Counters of the cross-request batcher, for bench reporting and tests.
+/// Histogram buckets by realized batch size: 1, 2, 3-4, 5-8, 9-16,
+/// 17-32, 33-64, 65+.
+struct BatchStatsSnapshot {
+  static constexpr int kBuckets = 8;
+  uint64_t topk_requests = 0;   ///< Top-K requests executed.
+  uint64_t topk_batches = 0;    ///< Batched kernel calls issued for them.
+  uint64_t coalesced_requests = 0;  ///< Requests served in batches >= 2.
+  uint64_t single_requests = 0;     ///< Score/rank requests executed.
+  uint64_t hist[kBuckets] = {0, 0, 0, 0, 0, 0, 0, 0};
+
+  /// Mean realized top-K batch size (1.0 when batching never coalesced).
+  double mean_batch() const {
+    return topk_batches > 0
+               ? static_cast<double>(topk_requests) /
+                     static_cast<double>(topk_batches)
+               : 0.0;
+  }
+};
+
+/// Concurrent query front-end over a SnapshotPublisher. Thread-safe:
+/// Submit may be called from any number of threads (the TCP server's
+/// event loop, LocalClient callers, tests).
+class QueryEngine {
+ public:
+  /// `publisher` is borrowed and must outlive the engine.
+  explicit QueryEngine(const SnapshotPublisher* publisher,
+                       QueryEngineOptions options = QueryEngineOptions());
+
+  /// Drains the queue (every accepted request is answered), then joins
+  /// the workers.
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Enqueues a request; `done` fires exactly once with the result.
+  void Submit(const Query& query, QueryCallback done) NSC_EXCLUDES(mu_);
+
+  /// Point-in-time copy of the batching counters.
+  BatchStatsSnapshot batch_stats() const NSC_EXCLUDES(mu_);
+
+  const QueryEngineOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    Query query;
+    QueryCallback done;
+  };
+
+  void WorkerLoop() NSC_EXCLUDES(mu_);
+
+  /// Moves every queued request matching `head`'s (kind, k) group into
+  /// `batch`, preserving arrival order of both the batch and the
+  /// remaining queue, until `batch` reaches max_batch.
+  void CollectTopKGroupLocked(const Query& head, std::vector<Pending>* batch)
+      NSC_REQUIRES(mu_);
+
+  /// Executes a score/rank request on the calling worker thread.
+  void ExecuteSingle(Pending* pending);
+
+  /// Executes a same-(kind, k) group of top-K requests through the
+  /// batched retrieval kernels.
+  void ExecuteTopKBatch(std::vector<Pending>* batch);
+
+  /// Validates `query` against `snapshot`'s id spaces.
+  static Status Validate(const Query& query, const EmbeddingSnapshot& snap);
+
+  const SnapshotPublisher* publisher_;
+  const QueryEngineOptions options_;
+
+  mutable Mutex mu_;
+  std::deque<Pending> queue_ NSC_GUARDED_BY(mu_);
+  BatchStatsSnapshot stats_ NSC_GUARDED_BY(mu_);
+  bool shutdown_ NSC_GUARDED_BY(mu_) = false;
+  CondVar work_ready_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,165 @@
+// nsc_serve's TCP front-end: a poll(2)-based event loop speaking the
+// line-delimited protocol of serve/protocol.h, with request execution
+// delegated to the QueryEngine worker pool.
+//
+// Threading model — exactly two kinds of thread touch a connection:
+//
+//   - The EVENT LOOP thread (one per server) owns every fd: it accepts,
+//     reads, assembles request lines, and is the ONLY thread that ever
+//     write(2)s to a socket or closes it. Per-connection input state
+//     (Connection::in) is loop-private and needs no lock.
+//   - ENGINE WORKER threads complete requests: the completion callback
+//     hands the response line to the connection's reorder buffer (under
+//     Connection::mu — the one lock of the protocol, machine-checked by
+//     -Wthread-safety) and wakes the loop through a self-pipe. The loop
+//     drains output buffers into the sockets, handling partial writes via
+//     POLLOUT. The loop assigns every request a per-connection sequence
+//     number at dispatch; completions landing ahead of an earlier
+//     still-in-flight request park in the reorder buffer until the gap
+//     closes, so responses hit the socket strictly in request order —
+//     the protocol's ordering promise — even though the worker pool (and
+//     the cross-connection batcher) completes them in any order. QUIT's
+//     BYE takes a sequence number like everything else, so it drains
+//     after every earlier response and only then closes the connection.
+//
+// Connections are shared_ptr-owned: a worker completing a request after
+// the peer hung up appends to a buffer that will simply never be flushed
+// (the loop has already dropped the fd) — no use-after-free, no write to
+// a recycled descriptor, because only the loop writes to fds.
+//
+// No external dependencies: plain POSIX sockets + poll, loopback-friendly,
+// ephemeral-port capable (port 0 + port() for tests).
+#ifndef NSCACHING_SERVE_SERVER_H_
+#define NSCACHING_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace nsc {
+
+/// Configuration of a ServeServer.
+struct ServeServerOptions {
+  /// Bind address. Default loopback: nsc_serve is a backend, not an
+  /// internet-facing listener.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral (resolved port via port() after Start()).
+  int port = 0;
+  /// Engine knobs (worker pool, cross-request batching).
+  QueryEngineOptions engine;
+};
+
+/// The server. Lifecycle: construct → Start() → [serve] → Shutdown()
+/// (idempotent; also run by the destructor).
+class ServeServer {
+ public:
+  /// One accepted connection. Public for the thread-safety negative
+  /// compile test (tests/static/thread_safety_negative.cc violates the
+  /// `out` protocol on purpose); not part of the stable API.
+  struct Connection {
+    explicit Connection(int fd_in) : fd(fd_in) {}
+
+    const int fd;
+
+    /// Input byte buffer. Loop-thread-private: bytes land here from
+    /// read(2) and leave as parsed request lines, all on the event loop.
+    std::string in;
+
+    /// Next request sequence number. Loop-thread-private: assigned at
+    /// dispatch, one per request line (including INFO/ERR/BYE).
+    uint64_t next_seq = 0;
+
+    /// The output protocol: completed responses enter `reorder` under mu
+    /// keyed by their request sequence, migrate into `out` the moment
+    /// they are next in request order, and are drained into the socket by
+    /// the event loop only.
+    Mutex mu;
+    std::string out NSC_GUARDED_BY(mu);
+    /// Out-of-order completions parked until the sequence gap closes;
+    /// the bool is QUIT's close-after-this marker.
+    std::map<uint64_t, std::pair<std::string, bool>> reorder
+        NSC_GUARDED_BY(mu);
+    /// Sequence number the next `out`-bound response must carry.
+    uint64_t next_out_seq NSC_GUARDED_BY(mu) = 0;
+    /// Close the socket once `out` has fully drained (QUIT's BYE moved
+    /// into `out`).
+    bool close_after_flush NSC_GUARDED_BY(mu) = false;
+  };
+
+  /// `publisher` is borrowed and must outlive the server.
+  ServeServer(const SnapshotPublisher* publisher, ServeServerOptions options);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Binds, listens and starts the event loop thread. Fails with IOError
+  /// when the address cannot be bound.
+  Status Start();
+
+  /// The bound port (resolved when options.port == 0). Valid after a
+  /// successful Start().
+  int port() const { return port_; }
+
+  /// Stops accepting, closes every connection, drains the engine and
+  /// joins the loop. Idempotent.
+  void Shutdown();
+
+  /// The engine, for in-process clients (LocalClient) sharing the
+  /// server's batcher with TCP traffic. Valid between Start() and
+  /// Shutdown().
+  QueryEngine* engine() { return engine_.get(); }
+
+ private:
+  void LoopThread();
+  void AcceptNew();
+  /// Reads from `conn`, splits complete lines, dispatches them. Returns
+  /// false when the connection reached EOF/error and must be dropped.
+  bool ReadAndDispatch(const std::shared_ptr<Connection>& conn);
+  void HandleLine(const std::shared_ptr<Connection>& conn,
+                  const std::string& line);
+  /// Delivers the completed response for request `seq`, migrates every
+  /// now-in-order response into the output buffer, and wakes the loop.
+  /// Callable from any thread.
+  void QueueResponse(const std::shared_ptr<Connection>& conn, uint64_t seq,
+                     std::string response, bool close_after = false);
+  /// Flushes pending output. Returns false when the socket died or the
+  /// connection completed a close_after_flush drain.
+  bool FlushConnection(const std::shared_ptr<Connection>& conn);
+  void WakeLoop();
+
+  const SnapshotPublisher* publisher_;
+  const ServeServerOptions options_;
+  int port_ = 0;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> started_{false};
+
+  // Loop-thread-private (created before the loop starts, cleared after it
+  // joins).
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+
+  std::thread loop_;
+
+  // Declared last so it is destroyed FIRST: engine teardown drains worker
+  // callbacks, which touch shared_ptr Connections and the wake pipe —
+  // both still alive at that point.
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_SERVE_SERVER_H_

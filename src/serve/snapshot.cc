@@ -1,0 +1,132 @@
+#include "serve/snapshot.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "embedding/checkpoint.h"
+
+namespace nsc {
+
+Status EmbeddingSnapshot::SaveCheckpoint(const std::string& path) const {
+  // Write-to-temp + rename: either the old checkpoint or the complete new
+  // one exists at `path`, never a torn prefix.
+  const std::string tmp = path + ".tmp";
+  NSC_RETURN_IF_ERROR(SaveModel(model_, tmp));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+SnapshotPublisher::SnapshotPublisher(SnapshotPublisherOptions options)
+    : options_(std::move(options)) {
+  CHECK_GE(options_.checkpoint_every, 1);
+  if (!options_.checkpoint_path.empty()) {
+    checkpoint_thread_ = std::thread([this] { CheckpointLoop(); });
+  }
+}
+
+SnapshotPublisher::~SnapshotPublisher() {
+  {
+    MutexLock lock(&mu_);
+    shutdown_ = true;
+  }
+  checkpoint_ready_.NotifyAll();
+  if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
+}
+
+void SnapshotPublisher::Publish(const KgeModel& model, int64_t step) {
+  // Reclaim the retired buffer if every reader has drained; the copy
+  // itself happens OUTSIDE the lock (it is the expensive part, and only
+  // the single writer ever touches an unshared buffer).
+  std::shared_ptr<EmbeddingSnapshot> next;
+  bool enqueue_checkpoint = false;
+  {
+    MutexLock lock(&mu_);
+    if (spare_ != nullptr && spare_.use_count() == 1) {
+      // Sole owner: no reader can observe the in-place overwrite below.
+      next = std::const_pointer_cast<EmbeddingSnapshot>(spare_);
+    }
+    spare_.reset();
+    ++publish_count_;
+    enqueue_checkpoint = !options_.checkpoint_path.empty() &&
+                         (publish_count_ % options_.checkpoint_every) == 0;
+  }
+  if (next != nullptr) {
+    next->CopyFrom(model, step);
+  } else {
+    next = std::make_shared<EmbeddingSnapshot>(model, step);
+  }
+
+  std::shared_ptr<const EmbeddingSnapshot> published = std::move(next);
+  std::shared_ptr<const EmbeddingSnapshot> retired =
+      std::atomic_exchange(&current_, published);
+  published_step_.store(step, std::memory_order_release);
+
+  {
+    MutexLock lock(&mu_);
+    spare_ = std::move(retired);
+    if (enqueue_checkpoint) {
+      // Latest-wins: a still-pending older snapshot is superseded, so the
+      // writer never falls behind by more than one write.
+      pending_checkpoint_ = published;
+    }
+  }
+  if (enqueue_checkpoint) checkpoint_ready_.NotifyOne();
+}
+
+std::shared_ptr<const EmbeddingSnapshot> SnapshotPublisher::Acquire() const {
+  return std::atomic_load(&current_);
+}
+
+Status SnapshotPublisher::last_checkpoint_status() const {
+  MutexLock lock(&mu_);
+  return checkpoint_status_;
+}
+
+int64_t SnapshotPublisher::last_checkpoint_step() const {
+  MutexLock lock(&mu_);
+  return checkpoint_step_;
+}
+
+bool SnapshotPublisher::WaitForCheckpoint(int64_t step, int64_t timeout_us) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_us);
+  MutexLock lock(&mu_);
+  while (checkpoint_step_ < step) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const int64_t remaining_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now)
+            .count();
+    checkpoint_done_.WaitFor(&mu_, remaining_us);
+  }
+  return true;
+}
+
+void SnapshotPublisher::CheckpointLoop() {
+  for (;;) {
+    std::shared_ptr<const EmbeddingSnapshot> snap;
+    {
+      MutexLock lock(&mu_);
+      while (pending_checkpoint_ == nullptr && !shutdown_) {
+        checkpoint_ready_.Wait(&mu_);
+      }
+      if (pending_checkpoint_ == nullptr) return;  // Shutdown, queue drained.
+      snap = std::move(pending_checkpoint_);
+      pending_checkpoint_.reset();
+    }
+    const Status status = snap->SaveCheckpoint(options_.checkpoint_path);
+    {
+      MutexLock lock(&mu_);
+      checkpoint_status_ = status;
+      checkpoint_step_ = snap->step();
+    }
+    checkpoint_done_.NotifyAll();
+    // Loop: on shutdown with a snapshot enqueued after this write began,
+    // the next iteration flushes it before returning.
+  }
+}
+
+}  // namespace nsc

@@ -1,0 +1,184 @@
+// Snapshot publication: the bridge between the training thread and the
+// serving layer.
+//
+// A production KGE system answers queries while the model keeps training.
+// The two sides must never share mutable rows: a reader that observes a
+// half-updated embedding produces a score that corresponds to no model
+// state at all. The contract here is the classic double-buffered
+// atomic-pointer publication scheme:
+//
+//   - EmbeddingSnapshot is an IMMUTABLE deep copy of the model at one
+//     training step. Readers only ever touch snapshots.
+//   - SnapshotPublisher keeps the latest snapshot behind an atomically
+//     published shared_ptr. The train thread calls Publish() at a
+//     configurable cadence (Trainer::EnableSnapshots ticks it at
+//     mini-batch boundaries — the workers are parked at the ThreadPool
+//     barrier, so the copy races with nothing); readers call Acquire(),
+//     which pins the snapshot via refcount — publication never blocks a
+//     reader, and a reader mid-query never blocks publication.
+//   - Double buffering: the snapshot displaced by a publish is retired to
+//     a spare slot and its buffers are reused for the NEXT publish once
+//     every reader has drained (use_count() == 1 — the refcount gate), so
+//     steady-state publication does two table copies and zero large
+//     allocations.
+//
+// The same snapshot doubles as the crash-safe async checkpoint source:
+// when SnapshotPublisherOptions::checkpoint_path is set, a background
+// writer thread serializes the freshest published snapshot through
+// SaveModel (write-to-temp + atomic rename), absorbing checkpoint I/O
+// that previously stalled the training loop. Snapshot checkpoints are
+// byte-identical to a serial SaveModel at the same step (pinned by
+// tests/serve/snapshot_test.cc): the checkpoint format serializes logical
+// rows only, and a snapshot is a logical copy.
+#ifndef NSCACHING_SERVE_SNAPSHOT_H_
+#define NSCACHING_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "embedding/model.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace nsc {
+
+/// An immutable copy of one model state, tagged with the training step
+/// (completed mini-batches) it was taken at. Readers hold snapshots via
+/// shared_ptr (see SnapshotPublisher::Acquire) and may score against
+/// model() freely from any number of threads — nothing mutates a
+/// published snapshot.
+class EmbeddingSnapshot {
+ public:
+  /// Deep-copies `model` (tables and scorer). Publisher-only entry point;
+  /// readers receive snapshots, they never build them.
+  EmbeddingSnapshot(const KgeModel& model, int64_t step)
+      : model_(model.Clone()), step_(step) {}
+
+  /// Overwrites this snapshot in place from `model` — the double-buffer
+  /// reuse path. MUST only be called by the publisher while it is the
+  /// sole owner (use_count() == 1): with no readers pinning the buffer,
+  /// the mutation is invisible to everyone but the publisher.
+  void CopyFrom(const KgeModel& model, int64_t step) {
+    model_.CopyParametersFrom(model);
+    step_ = step;
+  }
+
+  const KgeModel& model() const { return model_; }
+
+  /// Completed training steps (mini-batches) at capture time; 0 for a
+  /// pre-training snapshot of the initialized model.
+  int64_t step() const { return step_; }
+
+  /// Serializes the snapshot through SaveModel, crash-safely: the bytes
+  /// go to `path`.tmp first and are atomically renamed over `path`, so a
+  /// crash mid-write never leaves a torn checkpoint at `path`. Safe to
+  /// call from any thread — the snapshot is immutable. Byte-identical to
+  /// SaveModel(model_at_step, path) because the checkpoint format is
+  /// layout-independent (logical rows only).
+  Status SaveCheckpoint(const std::string& path) const;
+
+ private:
+  KgeModel model_;
+  int64_t step_;
+};
+
+/// Configuration of a SnapshotPublisher.
+struct SnapshotPublisherOptions {
+  /// When non-empty, every `checkpoint_every`-th publish also enqueues
+  /// the snapshot for the background checkpoint writer thread, which
+  /// writes it to this path (write-to-temp + rename).
+  std::string checkpoint_path;
+
+  /// Write every Nth published snapshot (>= 1). Only the freshest pending
+  /// snapshot is ever written: if publishes outpace the writer, stale
+  /// pending checkpoints are superseded, never queued up.
+  int checkpoint_every = 1;
+};
+
+/// Double-buffered, atomically published snapshot slot. One writer (the
+/// train thread, via Publish), any number of readers (via Acquire).
+class SnapshotPublisher {
+ public:
+  explicit SnapshotPublisher(SnapshotPublisherOptions options =
+                                 SnapshotPublisherOptions());
+
+  /// Joins the checkpoint writer after flushing any pending snapshot, so
+  /// the freshest enqueued checkpoint is on disk when the dtor returns.
+  ~SnapshotPublisher();
+
+  SnapshotPublisher(const SnapshotPublisher&) = delete;
+  SnapshotPublisher& operator=(const SnapshotPublisher&) = delete;
+
+  /// Captures `model` at `step` and publishes it as the current snapshot.
+  /// Single-writer: only one thread (the train thread) may call Publish.
+  /// Reuses the retired buffer when its readers have drained; otherwise
+  /// allocates a fresh copy. Readers pinning older snapshots are
+  /// unaffected — their snapshots stay alive until released.
+  void Publish(const KgeModel& model, int64_t step) NSC_EXCLUDES(mu_);
+
+  /// The current snapshot, pinned (refcounted) — or nullptr before the
+  /// first Publish. Lock-free with respect to Publish: a reader holding
+  /// the returned pointer never blocks (and is never blocked by) a
+  /// concurrent publication.
+  std::shared_ptr<const EmbeddingSnapshot> Acquire() const;
+
+  /// Step of the currently published snapshot; -1 before the first
+  /// Publish.
+  int64_t published_step() const {
+    return published_step_.load(std::memory_order_acquire);
+  }
+
+  /// Status of the most recently completed background checkpoint write
+  /// (OK before any write has been attempted).
+  Status last_checkpoint_status() const NSC_EXCLUDES(mu_);
+
+  /// Step of the most recently completed background checkpoint write;
+  /// -1 before the first write completes.
+  int64_t last_checkpoint_step() const NSC_EXCLUDES(mu_);
+
+  /// Blocks until a checkpoint at step >= `step` has been written (or
+  /// `timeout_us` elapses). Returns true when the condition was reached.
+  /// Test/shutdown hook — production code never waits on the writer.
+  bool WaitForCheckpoint(int64_t step, int64_t timeout_us)
+      NSC_EXCLUDES(mu_);
+
+ private:
+  void CheckpointLoop() NSC_EXCLUDES(mu_);
+
+  const SnapshotPublisherOptions options_;
+
+  // The published slot. Accessed ONLY through std::atomic_load /
+  // atomic_exchange (the C++17 shared_ptr atomic-access free functions),
+  // never under mu_ — that is what keeps Acquire() wait-free with
+  // respect to the mutex-using checkpoint machinery below.
+  std::shared_ptr<const EmbeddingSnapshot> current_;
+
+  std::atomic<int64_t> published_step_{-1};
+
+  mutable Mutex mu_;
+  /// The snapshot displaced by the last publish. Reused as the next
+  /// publish target iff use_count() == 1 (publisher is the sole owner —
+  /// the refcount gate that makes in-place CopyFrom safe).
+  std::shared_ptr<const EmbeddingSnapshot> spare_ NSC_GUARDED_BY(mu_);
+  /// Freshest snapshot awaiting the background writer (latest-wins).
+  std::shared_ptr<const EmbeddingSnapshot> pending_checkpoint_
+      NSC_GUARDED_BY(mu_);
+  Status checkpoint_status_ NSC_GUARDED_BY(mu_);
+  int64_t checkpoint_step_ NSC_GUARDED_BY(mu_) = -1;
+  int64_t publish_count_ NSC_GUARDED_BY(mu_) = 0;
+  bool shutdown_ NSC_GUARDED_BY(mu_) = false;
+  CondVar checkpoint_ready_;  ///< pending_checkpoint_ set, or shutdown.
+  CondVar checkpoint_done_;   ///< A checkpoint write completed.
+
+  // Started only when options_.checkpoint_path is non-empty; joined by
+  // the destructor.
+  std::thread checkpoint_thread_;
+};
+
+}  // namespace nsc
+
+#endif  // NSCACHING_SERVE_SNAPSHOT_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "serve/snapshot.h"
 #include "util/logging.h"
 #include "util/math.h"
 
@@ -387,6 +388,25 @@ EpochStats Trainer::FinishEpoch(const Stopwatch& watch) {
   return stats;
 }
 
+void Trainer::EnableSnapshots(SnapshotPublisher* publisher,
+                              int publish_every_batches) {
+  CHECK(publisher == nullptr || publish_every_batches > 0);
+  publisher_ = publisher;
+  publish_every_batches_ = publish_every_batches;
+  batches_since_publish_ = 0;
+}
+
+void Trainer::StepCompleted() {
+  ++global_step_;
+  if (publisher_ == nullptr) return;
+  if (++batches_since_publish_ < publish_every_batches_) return;
+  batches_since_publish_ = 0;
+  // At this point every engine (serial or Hogwild) has passed its batch
+  // barrier: no worker is touching the tables, so the publisher's copy
+  // reads a quiescent model.
+  publisher_->Publish(*model_, global_step_);
+}
+
 EpochStats Trainer::RunEpoch() {
   Stopwatch watch;
   sampler_->BeginEpoch(epoch_);
@@ -411,6 +431,7 @@ EpochStats Trainer::RunEpoch() {
     } else {
       RunBatchSerial(lo, hi);
     }
+    StepCompleted();
   }
   return FinishEpoch(watch);
 }
@@ -428,6 +449,9 @@ EpochStats Trainer::RunEpochSerial() {
     const NegativeSample neg = sampler_->Sample(pos, &rng_);
     TrainSerialPair(pos, neg);
   }
+  // The serial reference loop has no mini-batch boundaries; the whole
+  // epoch counts as one step.
+  StepCompleted();
   return FinishEpoch(watch);
 }
 

@@ -35,6 +35,7 @@
 #ifndef NSCACHING_TRAIN_TRAINER_H_
 #define NSCACHING_TRAIN_TRAINER_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -51,6 +52,8 @@
 #include "util/thread_pool.h"
 
 namespace nsc {
+
+class SnapshotPublisher;
 
 /// Per-epoch training telemetry.
 struct EpochStats {
@@ -101,6 +104,22 @@ class Trainer {
 
   /// Epochs completed so far.
   int epoch() const { return epoch_; }
+
+  /// Mini-batches completed so far across all epochs — the step stamped
+  /// onto published snapshots (RunEpochSerial counts its whole epoch as
+  /// one step: it has no mini-batch boundaries).
+  int64_t global_step() const { return global_step_; }
+
+  /// Routes serving snapshots (and, through them, async checkpoints)
+  /// out of the training loop: after every `publish_every_batches`-th
+  /// completed mini-batch the trainer publishes the model to `publisher`
+  /// stamped with global_step(). Publication happens at the batch
+  /// boundary, where Hogwild workers are parked at the ThreadPool
+  /// barrier, so the snapshot copy races with nothing. `publisher` is
+  /// borrowed and must outlive the trainer (or be detached by passing
+  /// nullptr).
+  void EnableSnapshots(SnapshotPublisher* publisher,
+                       int publish_every_batches = 1);
 
   /// Total training seconds across all epochs (evaluation excluded).
   double cumulative_seconds() const { return cumulative_seconds_; }
@@ -235,6 +254,10 @@ class Trainer {
   /// totals, advances the epoch counter and the cumulative clock.
   EpochStats FinishEpoch(const Stopwatch& watch);
 
+  /// Advances global_step_ past one completed mini-batch and publishes to
+  /// the attached SnapshotPublisher when the cadence says so.
+  void StepCompleted();
+
   /// Folds one pair's outcome into the running epoch totals. The NZL
   /// threshold is shared with analysis/DynamicsTracker so the two
   /// measurements of Figures 7/8 cannot drift.
@@ -254,6 +277,10 @@ class Trainer {
   Rng rng_;
   int epoch_ = 0;
   double cumulative_seconds_ = 0.0;
+  int64_t global_step_ = 0;
+  SnapshotPublisher* publisher_ = nullptr;  // Borrowed; null = detached.
+  int publish_every_batches_ = 1;
+  int batches_since_publish_ = 0;
   NegativeObserver observer_;
   std::vector<size_t> order_;  // Shuffled triple indices, reused.
 

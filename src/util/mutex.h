@@ -22,6 +22,7 @@
 #ifndef NSCACHING_UTIL_MUTEX_H_
 #define NSCACHING_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -86,6 +87,20 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu->native(), std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+  }
+
+  /// Wait() with a relative timeout. Returns true if the wait timed out,
+  /// false if it was notified (or woke spuriously) earlier. Same capability
+  /// contract as Wait(): *mu is held at entry and at exit. This is the
+  /// linger primitive of the serving layer's cross-request batcher
+  /// (QueryEngine waits at most max_wait_us for more coalescible
+  /// requests).
+  bool WaitFor(Mutex* mu, int64_t timeout_us) NSC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->native(), std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lock, std::chrono::microseconds(timeout_us));
+    lock.release();
+    return status == std::cv_status::timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -1,0 +1,241 @@
+// QueryEngine: every answer bit-identical to direct recomputation against
+// the pinned snapshot, validation errors, the no-snapshot precondition,
+// and the cross-request batcher's coalescing counters.
+#include "serve/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "embedding/scoring_function.h"
+#include "serve/local_client.h"
+#include "serve/snapshot.h"
+#include "util/rng.h"
+
+namespace nsc {
+namespace {
+
+constexpr int32_t kEntities = 64;
+constexpr int32_t kRelations = 5;
+constexpr int kDim = 8;
+
+KgeModel MakeModel(uint64_t seed = 17) {
+  KgeModel model(kEntities, kRelations, kDim, MakeScoringFunction("transe"));
+  Rng rng(seed);
+  model.InitXavier(&rng);
+  return model;
+}
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  QueryEngineTest() : model_(MakeModel()) { publisher_.Publish(model_, 3); }
+
+  KgeModel model_;
+  SnapshotPublisher publisher_;
+};
+
+TEST_F(QueryEngineTest, ScoreMatchesSnapshotBitForBit) {
+  QueryEngine engine(&publisher_);
+  LocalClient client(&engine);
+  const QueryResult result = client.Score(4, 2, 9);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.step, 3);
+  ASSERT_NE(result.snapshot, nullptr);
+  EXPECT_TRUE(BitEqual(result.score, result.snapshot->model().Score(4, 2, 9)));
+}
+
+TEST_F(QueryEngineTest, RankMatchesSerialSweepRecomputation) {
+  QueryEngine engine(&publisher_);
+  LocalClient client(&engine);
+
+  const QueryResult head = client.RankHead(7, 1, 20);
+  ASSERT_TRUE(head.status.ok());
+  std::vector<double> sweep(kEntities);
+  head.snapshot->model().ScoreAllHeads(1, 20, sweep.data());
+  int64_t higher = 0;
+  for (const double s : sweep) {
+    if (s > sweep[7]) ++higher;
+  }
+  EXPECT_EQ(head.rank, 1 + higher);
+  EXPECT_TRUE(BitEqual(head.score, sweep[7]));
+
+  const QueryResult tail = client.RankTail(7, 1, 20);
+  ASSERT_TRUE(tail.status.ok());
+  tail.snapshot->model().ScoreAllTails(7, 1, sweep.data());
+  higher = 0;
+  for (const double s : sweep) {
+    if (s > sweep[20]) ++higher;
+  }
+  EXPECT_EQ(tail.rank, 1 + higher);
+}
+
+TEST_F(QueryEngineTest, TopKMatchesDirectRetrievalBitForBit) {
+  QueryEngine engine(&publisher_);
+  LocalClient client(&engine);
+  const QueryResult result = client.TopKTails(5, 2, 10);
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_EQ(result.topk.size(), 10u);
+
+  std::vector<TopKEntry> direct;
+  result.snapshot->model().TopKTails(5, 2, 10, &direct, nullptr);
+  ASSERT_EQ(direct.size(), result.topk.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(result.topk[i].index, direct[i].index);
+    EXPECT_TRUE(BitEqual(result.topk[i].score, direct[i].score));
+  }
+}
+
+TEST_F(QueryEngineTest, OutOfRangeIdsAreRejectedPerRequest) {
+  QueryEngine engine(&publisher_);
+  LocalClient client(&engine);
+  EXPECT_FALSE(client.Score(kEntities, 0, 1).status.ok());
+  EXPECT_FALSE(client.Score(0, kRelations, 1).status.ok());
+  EXPECT_FALSE(client.RankTail(1, 0, kEntities).status.ok());
+  EXPECT_FALSE(client.TopKTails(-1, 0, 4).status.ok());
+  // A valid request right after: the engine is unharmed.
+  EXPECT_TRUE(client.Score(0, 0, 1).status.ok());
+}
+
+TEST(QueryEngineNoSnapshotTest, FailsPreconditionBeforeFirstPublish) {
+  SnapshotPublisher publisher;
+  QueryEngine engine(&publisher);
+  LocalClient client(&engine);
+  const QueryResult result = client.Score(0, 0, 1);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(result.snapshot, nullptr);
+  const QueryResult topk = client.TopKTails(0, 0, 4);
+  EXPECT_FALSE(topk.status.ok());
+}
+
+TEST_F(QueryEngineTest, ResultsTrackNewlyPublishedSnapshots) {
+  QueryEngine engine(&publisher_);
+  LocalClient client(&engine);
+  EXPECT_EQ(client.Score(1, 1, 2).step, 3);
+  KgeModel updated = MakeModel(99);
+  publisher_.Publish(updated, 8);
+  const QueryResult result = client.Score(1, 1, 2);
+  EXPECT_EQ(result.step, 8);
+  EXPECT_TRUE(BitEqual(result.score, updated.Score(1, 1, 2)));
+}
+
+// One worker + a linger window: requests submitted together coalesce into
+// one batched kernel call, and the counters say so.
+TEST_F(QueryEngineTest, ConcurrentTopKRequestsCoalesce) {
+  QueryEngineOptions options;
+  options.num_workers = 1;
+  options.max_batch = 16;
+  options.max_wait_us = 50'000;  // Generous: the test must not flake.
+  QueryEngine engine(&publisher_, options);
+
+  constexpr int kRequests = 8;
+  Mutex mu;
+  int completed = 0;
+  CondVar all_done;
+  std::vector<QueryResult> results(kRequests);
+  // Submit back-to-back; the single worker picks up the first and lingers,
+  // so the rest join its batch.
+  for (int i = 0; i < kRequests; ++i) {
+    Query query;
+    query.kind = QueryKind::kTopKTails;
+    query.h = i;
+    query.r = 1;
+    query.k = 5;
+    engine.Submit(query, [&, i](QueryResult r) {
+      MutexLock lock(&mu);
+      results[static_cast<std::size_t>(i)] = std::move(r);
+      if (++completed == kRequests) all_done.NotifyAll();
+    });
+  }
+  {
+    MutexLock lock(&mu);
+    while (completed < kRequests) all_done.Wait(&mu);
+  }
+
+  const BatchStatsSnapshot stats = engine.batch_stats();
+  EXPECT_EQ(stats.topk_requests, static_cast<uint64_t>(kRequests));
+  EXPECT_LT(stats.topk_batches, static_cast<uint64_t>(kRequests));
+  EXPECT_GT(stats.coalesced_requests, 0u);
+  EXPECT_GT(stats.mean_batch(), 1.0);
+
+  // Coalescing is invisible in the answers: each equals its own direct
+  // single-query retrieval.
+  for (int i = 0; i < kRequests; ++i) {
+    const QueryResult& r = results[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(r.status.ok());
+    std::vector<TopKEntry> direct;
+    r.snapshot->model().TopKTails(i, 1, 5, &direct, nullptr);
+    ASSERT_EQ(r.topk.size(), direct.size());
+    for (std::size_t j = 0; j < direct.size(); ++j) {
+      EXPECT_EQ(r.topk[j].index, direct[j].index);
+      EXPECT_TRUE(BitEqual(r.topk[j].score, direct[j].score));
+    }
+  }
+}
+
+TEST_F(QueryEngineTest, MaxBatchOneDisablesCoalescing) {
+  QueryEngineOptions options;
+  options.num_workers = 1;
+  options.max_batch = 1;
+  QueryEngine engine(&publisher_, options);
+  LocalClient client(&engine);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client.TopKTails(i, 0, 3).status.ok());
+  }
+  const BatchStatsSnapshot stats = engine.batch_stats();
+  EXPECT_EQ(stats.topk_requests, 4u);
+  EXPECT_EQ(stats.topk_batches, 4u);
+  EXPECT_EQ(stats.coalesced_requests, 0u);
+  EXPECT_EQ(stats.hist[0], 4u);
+}
+
+TEST_F(QueryEngineTest, MixedKindsDoNotCrossCoalesce) {
+  QueryEngineOptions options;
+  options.num_workers = 2;
+  options.max_batch = 8;
+  options.max_wait_us = 1000;
+  QueryEngine engine(&publisher_, options);
+  LocalClient client(&engine);
+  // TopKHeads and TopKTails with differing k must never share a batch;
+  // correctness is what matters here, the counters just have to add up.
+  const QueryResult heads = client.TopKHeads(2, 7, 4);
+  const QueryResult tails = client.TopKTails(7, 2, 6);
+  ASSERT_TRUE(heads.status.ok());
+  ASSERT_TRUE(tails.status.ok());
+  EXPECT_EQ(heads.topk.size(), 4u);
+  EXPECT_EQ(tails.topk.size(), 6u);
+  const BatchStatsSnapshot stats = engine.batch_stats();
+  EXPECT_EQ(stats.topk_requests, 2u);
+}
+
+TEST_F(QueryEngineTest, DestructorDrainsQueuedRequests) {
+  Mutex mu;
+  int completed = 0;
+  {
+    QueryEngineOptions options;
+    options.num_workers = 1;
+    QueryEngine engine(&publisher_, options);
+    for (int i = 0; i < 32; ++i) {
+      Query query;
+      query.kind = QueryKind::kScore;
+      query.h = i % kEntities;
+      query.r = 0;
+      query.t = (i + 1) % kEntities;
+      engine.Submit(query, [&](QueryResult r) {
+        ASSERT_TRUE(r.status.ok());
+        MutexLock lock(&mu);
+        ++completed;
+      });
+    }
+  }  // Engine dtor: every accepted request must still be answered.
+  MutexLock lock(&mu);
+  EXPECT_EQ(completed, 32);
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,297 @@
+// ServeServer: the TCP front-end end to end on loopback — protocol round
+// trips, partial-line delivery, pipelined requests, error handling, QUIT
+// semantics, concurrent connections, and parity between a TCP-parsed
+// score and the engine's bit-exact answer (%.17g round-trips doubles).
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "embedding/scoring_function.h"
+#include "serve/local_client.h"
+#include "serve/snapshot.h"
+#include "util/rng.h"
+
+namespace nsc {
+namespace {
+
+constexpr int32_t kEntities = 48;
+constexpr int32_t kRelations = 4;
+
+/// Minimal blocking loopback client; Lines() blocks until `n` complete
+/// lines arrived.
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+
+  ~TestClient() { Close(); }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool connected() const { return connected_; }
+
+  bool Send(const std::string& bytes) {
+    return ::write(fd_, bytes.data(), bytes.size()) ==
+           static_cast<ssize_t>(bytes.size());
+  }
+
+  /// Reads until `n` newline-terminated lines are buffered; returns them
+  /// without their newlines. Empty vector on socket error/EOF.
+  std::vector<std::string> Lines(std::size_t n) {
+    while (CountLines() < n) {
+      char chunk[4096];
+      const ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+      if (got <= 0) return {};
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+    std::vector<std::string> lines;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t newline = buffer_.find('\n');
+      lines.push_back(buffer_.substr(0, newline));
+      buffer_.erase(0, newline + 1);
+    }
+    return lines;
+  }
+
+  /// True when the peer closed the connection (EOF after draining).
+  bool ReadEof() {
+    char chunk[256];
+    for (;;) {
+      const ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+      if (got == 0) return true;
+      if (got < 0) return false;
+    }
+  }
+
+ private:
+  std::size_t CountLines() const {
+    std::size_t count = 0;
+    for (const char c : buffer_) {
+      if (c == '\n') ++count;
+    }
+    return count;
+  }
+
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+class ServeServerTest : public ::testing::Test {
+ protected:
+  ServeServerTest()
+      : model_(kEntities, kRelations, 8, MakeScoringFunction("transe")) {
+    Rng rng(77);
+    model_.InitXavier(&rng);
+    publisher_.Publish(model_, 12);
+    ServeServerOptions options;
+    options.port = 0;  // Ephemeral: tests never collide on a port.
+    server_ = std::make_unique<ServeServer>(&publisher_, options);
+    const Status started = server_->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+
+  KgeModel model_;
+  SnapshotPublisher publisher_;
+  std::unique_ptr<ServeServer> server_;
+};
+
+TEST_F(ServeServerTest, InfoReportsSnapshotShape) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("INFO\n"));
+  const std::vector<std::string> lines = client.Lines(1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "INFO 12 48 4 8 transe");
+}
+
+TEST_F(ServeServerTest, ScoreRoundTripsBitExactThroughText) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("SCORE 3 1 7\n"));
+  const std::vector<std::string> lines = client.Lines(1);
+  ASSERT_EQ(lines.size(), 1u);
+  // "SCORE <step> <score>" where <score> printed with %.17g recovers the
+  // engine's double exactly.
+  long long step = 0;
+  double score = 0.0;
+  ASSERT_EQ(std::sscanf(lines[0].c_str(), "SCORE %lld %lf", &step, &score),
+            2)
+      << lines[0];
+  EXPECT_EQ(step, 12);
+  const double direct = model_.Score(3, 1, 7);
+  EXPECT_TRUE(std::memcmp(&score, &direct, sizeof(double)) == 0);
+}
+
+TEST_F(ServeServerTest, PartialLineDeliveryReassembles) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  // One request split across three TCP sends, with pauses so the event
+  // loop definitely observes partial reads.
+  ASSERT_TRUE(client.Send("SCO"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(client.Send("RE 1 0"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(client.Send(" 2\nINFO\n"));
+  const std::vector<std::string> lines = client.Lines(2);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("SCORE 12 ", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1].rfind("INFO ", 0), 0u) << lines[1];
+}
+
+TEST_F(ServeServerTest, PipelinedRequestsAnswerInOrder) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  std::string burst;
+  for (int i = 0; i < 10; ++i) {
+    burst += "RANK TAIL 1 0 " + std::to_string(i) + "\n";
+  }
+  ASSERT_TRUE(client.Send(burst));
+  const std::vector<std::string> lines = client.Lines(10);
+  ASSERT_EQ(lines.size(), 10u);
+  std::vector<double> sweep(kEntities);
+  model_.ScoreAllTails(1, 0, sweep.data());
+  for (int i = 0; i < 10; ++i) {
+    int64_t higher = 0;
+    for (const double s : sweep) {
+      if (s > sweep[static_cast<std::size_t>(i)]) ++higher;
+    }
+    EXPECT_EQ(lines[static_cast<std::size_t>(i)],
+              "RANK 12 " + std::to_string(1 + higher));
+  }
+}
+
+TEST_F(ServeServerTest, MalformedInputGetsErrAndConnectionSurvives) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("FROBNICATE 1 2\nSCORE nope 0 1\nSCORE 999 0 1\n"));
+  std::vector<std::string> lines = client.Lines(3);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].rfind("ERR ", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1].rfind("ERR ", 0), 0u) << lines[1];
+  EXPECT_EQ(lines[2].rfind("ERR ", 0), 0u) << lines[2];  // Out of range.
+  // The connection still works after three errors.
+  ASSERT_TRUE(client.Send("INFO\n"));
+  lines = client.Lines(1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind("INFO ", 0), 0u);
+}
+
+TEST_F(ServeServerTest, CrlfLinesAreAccepted) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("INFO\r\n"));
+  const std::vector<std::string> lines = client.Lines(1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind("INFO ", 0), 0u);
+}
+
+TEST_F(ServeServerTest, QuitDrainsThenCloses) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("SCORE 1 0 2\nQUIT\n"));
+  const std::vector<std::string> lines = client.Lines(2);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("SCORE ", 0), 0u);
+  EXPECT_EQ(lines[1], "BYE");
+  EXPECT_TRUE(client.ReadEof());
+}
+
+TEST_F(ServeServerTest, TopKOverTcpMatchesLocalClient) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("TOPK TAILS 5 1 6\n"));
+  const std::vector<std::string> lines = client.Lines(1);
+  ASSERT_EQ(lines.size(), 1u);
+
+  LocalClient local(server_->engine());
+  const QueryResult direct = local.TopKTails(5, 1, 6);
+  ASSERT_TRUE(direct.status.ok());
+  std::string expected = "TOPK 12 6";
+  for (const TopKEntry& entry : direct.topk) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), " %lld:%.17g",
+                  static_cast<long long>(entry.index), entry.score);
+    expected += buffer;
+  }
+  EXPECT_EQ(lines[0], expected);
+}
+
+TEST_F(ServeServerTest, ConcurrentConnectionsAllServed) {
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      TestClient client(server_->port());
+      if (!client.connected()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < 20; ++i) {
+        const int h = (c * 20 + i) % kEntities;
+        if (!client.Send("TOPK TAILS " + std::to_string(h) + " 0 5\n")) {
+          ++failures;
+          return;
+        }
+        const std::vector<std::string> lines = client.Lines(1);
+        if (lines.size() != 1 || lines[0].rfind("TOPK 12 5 ", 0) != 0) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ServeServerTest, ShutdownIsIdempotentAndDropsClients) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  // Round-trip first so the connection is accepted (a connection still in
+  // the listen backlog would be RST, not FIN, when the listener closes).
+  ASSERT_TRUE(client.Send("INFO\n"));
+  ASSERT_EQ(client.Lines(1).size(), 1u);
+  server_->Shutdown();
+  server_->Shutdown();  // Second call must be a no-op.
+  EXPECT_TRUE(client.ReadEof());
+}
+
+TEST(ServeServerStartTest, BadBindAddressFails) {
+  SnapshotPublisher publisher;
+  ServeServerOptions options;
+  options.host = "not-an-address";
+  ServeServer server(&publisher, options);
+  EXPECT_FALSE(server.Start().ok());
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,257 @@
+// EmbeddingSnapshot / SnapshotPublisher: publication semantics, reader
+// pinning, double-buffer reuse, and the async-checkpoint contract — a
+// snapshot checkpoint taken mid-training is byte-identical to a serial
+// SaveModel at the same step.
+#include "serve/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "embedding/checkpoint.h"
+#include "embedding/scoring_function.h"
+#include "kg/synthetic.h"
+#include "sampler/uniform_sampler.h"
+#include "train/trainer.h"
+#include "util/rng.h"
+
+namespace nsc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+KgeModel MakeModel(uint64_t seed = 11) {
+  KgeModel model(40, 5, 8, MakeScoringFunction("transe"));
+  Rng rng(seed);
+  model.InitXavier(&rng);
+  return model;
+}
+
+TEST(SnapshotTest, CapturesModelStateAtConstruction) {
+  KgeModel model = MakeModel();
+  const double before = model.Score(1, 2, 3);
+  EmbeddingSnapshot snap(model, 7);
+  EXPECT_EQ(snap.step(), 7);
+
+  // Mutating the live model must not leak into the snapshot.
+  Rng rng(99);
+  model.InitXavier(&rng);
+  ASSERT_NE(model.Score(1, 2, 3), before);
+  EXPECT_EQ(snap.model().Score(1, 2, 3), before);
+}
+
+TEST(SnapshotTest, CopyFromOverwritesInPlace) {
+  KgeModel a = MakeModel(1);
+  KgeModel b = MakeModel(2);
+  EmbeddingSnapshot snap(a, 1);
+  snap.CopyFrom(b, 2);
+  EXPECT_EQ(snap.step(), 2);
+  EXPECT_EQ(snap.model().Score(3, 1, 4), b.Score(3, 1, 4));
+}
+
+TEST(SnapshotPublisherTest, AcquireBeforeFirstPublishIsNull) {
+  SnapshotPublisher publisher;
+  EXPECT_EQ(publisher.Acquire(), nullptr);
+  EXPECT_EQ(publisher.published_step(), -1);
+}
+
+TEST(SnapshotPublisherTest, PublishReplacesAndPinnedReadersKeepTheirs) {
+  KgeModel model = MakeModel();
+  SnapshotPublisher publisher;
+  publisher.Publish(model, 1);
+
+  std::shared_ptr<const EmbeddingSnapshot> pinned = publisher.Acquire();
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->step(), 1);
+  const double pinned_score = pinned->model().Score(0, 0, 1);
+
+  Rng rng(123);
+  model.InitXavier(&rng);
+  publisher.Publish(model, 2);
+  EXPECT_EQ(publisher.published_step(), 2);
+
+  // The reader still holds the old state, bit-for-bit.
+  EXPECT_EQ(pinned->step(), 1);
+  EXPECT_EQ(pinned->model().Score(0, 0, 1), pinned_score);
+
+  // A fresh Acquire sees the new one.
+  std::shared_ptr<const EmbeddingSnapshot> fresh = publisher.Acquire();
+  EXPECT_EQ(fresh->step(), 2);
+  EXPECT_EQ(fresh->model().Score(0, 0, 1), model.Score(0, 0, 1));
+}
+
+TEST(SnapshotPublisherTest, RetiredBufferIsReusedOnceReadersDrain) {
+  KgeModel model = MakeModel();
+  SnapshotPublisher publisher;
+  publisher.Publish(model, 1);
+  const EmbeddingSnapshot* first = publisher.Acquire().get();
+
+  // No reader pins snapshot 1 now; publishing twice cycles the double
+  // buffer, so snapshot 3 must land in snapshot 1's storage.
+  publisher.Publish(model, 2);
+  publisher.Publish(model, 3);
+  EXPECT_EQ(publisher.Acquire().get(), first);
+  EXPECT_EQ(publisher.Acquire()->step(), 3);
+}
+
+TEST(SnapshotPublisherTest, PinnedRetiredBufferIsNotReused) {
+  KgeModel model = MakeModel();
+  SnapshotPublisher publisher;
+  publisher.Publish(model, 1);
+  std::shared_ptr<const EmbeddingSnapshot> pinned = publisher.Acquire();
+
+  publisher.Publish(model, 2);
+  publisher.Publish(model, 3);  // Spare (step 1) is pinned: fresh copy.
+  EXPECT_NE(publisher.Acquire().get(), pinned.get());
+  EXPECT_EQ(pinned->step(), 1);
+}
+
+TEST(SnapshotPublisherTest, BackgroundCheckpointWritesFreshestSnapshot) {
+  const std::string path = TempPath("publisher_ckpt.nsckpt");
+  std::remove(path.c_str());
+  KgeModel model = MakeModel();
+  SnapshotPublisherOptions options;
+  options.checkpoint_path = path;
+  {
+    SnapshotPublisher publisher(options);
+    publisher.Publish(model, 5);
+    ASSERT_TRUE(publisher.WaitForCheckpoint(5, /*timeout_us=*/10'000'000));
+    EXPECT_TRUE(publisher.last_checkpoint_status().ok());
+    EXPECT_GE(publisher.last_checkpoint_step(), 5);
+  }
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().Score(1, 1, 2), model.Score(1, 1, 2));
+}
+
+TEST(SnapshotPublisherTest, DestructorFlushesPendingCheckpoint) {
+  const std::string path = TempPath("publisher_flush.nsckpt");
+  std::remove(path.c_str());
+  KgeModel model = MakeModel();
+  SnapshotPublisherOptions options;
+  options.checkpoint_path = path;
+  {
+    SnapshotPublisher publisher(options);
+    publisher.Publish(model, 1);
+    publisher.Publish(model, 2);
+    publisher.Publish(model, 3);
+    // No wait: the dtor must drain the freshest pending write.
+  }
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+}
+
+// The satellite contract: a checkpoint taken through the snapshot path
+// MID-TRAINING (the model keeps mutating after the publish) is
+// byte-identical to stopping a fresh identical run at the same step and
+// calling SaveModel directly. Holds because the snapshot is a logical
+// copy and the checkpoint format serializes logical rows only.
+TEST(SnapshotPublisherTest, MidTrainingCheckpointBytesMatchSerialSave) {
+  SyntheticKgConfig kg_config;
+  kg_config.num_entities = 60;
+  kg_config.num_relations = 4;
+  kg_config.num_triples = 400;
+  const Dataset data = GenerateSyntheticKg(kg_config);
+
+  TrainConfig config;
+  config.dim = 8;
+  config.num_threads = 1;  // Deterministic engine: runs are bit-for-bit.
+  config.seed = 21;
+
+  const std::string snap_path = TempPath("mid_training.nsckpt");
+  const std::string serial_path = TempPath("serial_save.nsckpt");
+  std::remove(snap_path.c_str());
+
+  constexpr int kCheckpointEpochs = 2;
+  {
+    KgeModel model(data.num_entities(), data.num_relations(), config.dim,
+                   MakeScoringFunction("transe"));
+    Rng rng(3);
+    model.InitXavier(&rng);
+    UniformSampler sampler(data.num_entities());
+    Trainer trainer(&model, &data.train, &sampler, config);
+
+    SnapshotPublisherOptions options;
+    options.checkpoint_path = snap_path;
+    SnapshotPublisher publisher(options);
+    for (int e = 0; e < kCheckpointEpochs; ++e) trainer.RunEpoch();
+    const int64_t step = trainer.global_step();
+    publisher.Publish(model, step);
+
+    // Keep training while the background writer works: the checkpoint
+    // must capture the published step, not the mutating live model.
+    trainer.RunEpoch();
+    ASSERT_TRUE(publisher.WaitForCheckpoint(step, /*timeout_us=*/10'000'000));
+    ASSERT_TRUE(publisher.last_checkpoint_status().ok())
+        << publisher.last_checkpoint_status().ToString();
+  }
+
+  {
+    // The reference run: identical seeds and config, stopped at the
+    // checkpointed step, saved serially on the training thread.
+    KgeModel model(data.num_entities(), data.num_relations(), config.dim,
+                   MakeScoringFunction("transe"));
+    Rng rng(3);
+    model.InitXavier(&rng);
+    UniformSampler sampler(data.num_entities());
+    Trainer trainer(&model, &data.train, &sampler, config);
+    for (int e = 0; e < kCheckpointEpochs; ++e) trainer.RunEpoch();
+    ASSERT_TRUE(SaveModel(model, serial_path).ok());
+  }
+
+  const std::string snap_bytes = ReadBytes(snap_path);
+  const std::string serial_bytes = ReadBytes(serial_path);
+  ASSERT_FALSE(snap_bytes.empty());
+  EXPECT_EQ(snap_bytes, serial_bytes);
+}
+
+// Trainer integration: EnableSnapshots publishes at the configured
+// mini-batch cadence with the right steps.
+TEST(SnapshotPublisherTest, TrainerPublishesAtBatchCadence) {
+  SyntheticKgConfig kg_config;
+  kg_config.num_entities = 50;
+  kg_config.num_relations = 3;
+  kg_config.num_triples = 300;
+  const Dataset data = GenerateSyntheticKg(kg_config);
+
+  KgeModel model(data.num_entities(), data.num_relations(), 8,
+                 MakeScoringFunction("transe"));
+  Rng rng(5);
+  model.InitXavier(&rng);
+  UniformSampler sampler(data.num_entities());
+  TrainConfig config;
+  config.dim = 8;
+  config.num_threads = 1;
+  config.batch_size = 64;
+  Trainer trainer(&model, &data.train, &sampler, config);
+
+  SnapshotPublisher publisher;
+  trainer.EnableSnapshots(&publisher, /*publish_every_batches=*/2);
+  trainer.RunEpoch();
+
+  EXPECT_GT(trainer.global_step(), 0);
+  // The last publish happened at the last even step boundary.
+  const int64_t expected =
+      trainer.global_step() - (trainer.global_step() % 2);
+  EXPECT_EQ(publisher.published_step(), expected);
+  std::shared_ptr<const EmbeddingSnapshot> snap = publisher.Acquire();
+  ASSERT_NE(snap, nullptr);
+  if (trainer.global_step() % 2 == 0) {
+    // Published at the final batch: snapshot equals the live model.
+    EXPECT_EQ(snap->model().Score(1, 1, 2), model.Score(1, 1, 2));
+  }
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,168 @@
+// The serving subsystem's concurrent-correctness contract, under fire:
+// a training thread publishes snapshots at mini-batch cadence while
+// client threads hammer the query engine with mixed score / rank / top-K
+// requests — and EVERY answer must be bit-identical to a serial
+// recomputation against the snapshot that answered it (the pinned
+// QueryResult::snapshot). Runs under ThreadSanitizer in CI with zero
+// serve-layer suppressions: the snapshot publication protocol, the
+// engine's queue, and the batcher must all be data-race-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "embedding/scoring_function.h"
+#include "kg/synthetic.h"
+#include "sampler/uniform_sampler.h"
+#include "serve/local_client.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "train/trainer.h"
+#include "util/rng.h"
+
+namespace nsc {
+namespace {
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// Every verification recomputes from result.snapshot — the exact
+// immutable model state the engine answered from — so bit-equality is
+// well-defined even though training keeps publishing fresher snapshots.
+void VerifyResult(const Query& query, const QueryResult& result) {
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  ASSERT_NE(result.snapshot, nullptr);
+  const KgeModel& model = result.snapshot->model();
+  switch (query.kind) {
+    case QueryKind::kScore: {
+      ASSERT_TRUE(
+          BitEqual(result.score, model.Score(query.h, query.r, query.t)));
+      break;
+    }
+    case QueryKind::kRankHead:
+    case QueryKind::kRankTail: {
+      std::vector<double> sweep(
+          static_cast<std::size_t>(model.num_entities()));
+      const EntityId target =
+          query.kind == QueryKind::kRankHead ? query.h : query.t;
+      if (query.kind == QueryKind::kRankHead) {
+        model.ScoreAllHeads(query.r, query.t, sweep.data());
+      } else {
+        model.ScoreAllTails(query.h, query.r, sweep.data());
+      }
+      const double reference = sweep[static_cast<std::size_t>(target)];
+      int64_t higher = 0;
+      for (const double s : sweep) {
+        if (s > reference) ++higher;
+      }
+      ASSERT_EQ(result.rank, 1 + higher);
+      ASSERT_TRUE(BitEqual(result.score, reference));
+      break;
+    }
+    case QueryKind::kTopKHeads:
+    case QueryKind::kTopKTails: {
+      std::vector<TopKEntry> direct;
+      if (query.kind == QueryKind::kTopKHeads) {
+        model.TopKHeads(query.r, query.t, query.k, &direct, nullptr);
+      } else {
+        model.TopKTails(query.h, query.r, query.k, &direct, nullptr);
+      }
+      ASSERT_EQ(result.topk.size(), direct.size());
+      for (std::size_t i = 0; i < direct.size(); ++i) {
+        ASSERT_EQ(result.topk[i].index, direct[i].index);
+        ASSERT_TRUE(BitEqual(result.topk[i].score, direct[i].score));
+      }
+      break;
+    }
+  }
+}
+
+TEST(ServeStressTest, ConcurrentMixedQueriesBitIdenticalWhileTraining) {
+  SyntheticKgConfig kg_config;
+  kg_config.num_entities = 120;
+  kg_config.num_relations = 6;
+  kg_config.num_triples = 1200;
+  const Dataset data = GenerateSyntheticKg(kg_config);
+
+  KgeModel model(data.num_entities(), data.num_relations(), 8,
+                 MakeScoringFunction("transe"));
+  Rng init_rng(31);
+  model.InitXavier(&init_rng);
+
+  SnapshotPublisher publisher;
+  publisher.Publish(model, 0);
+
+  QueryEngineOptions engine_options;
+  engine_options.num_workers = 2;
+  engine_options.max_batch = 16;
+  engine_options.max_wait_us = 100;
+  QueryEngine engine(&publisher, engine_options);
+
+  UniformSampler sampler(data.num_entities());
+  TrainConfig train_config;
+  train_config.dim = 8;
+  train_config.num_threads = 1;
+  train_config.batch_size = 128;
+  Trainer trainer(&model, &data.train, &sampler, train_config);
+  trainer.EnableSnapshots(&publisher, /*publish_every_batches=*/1);
+
+  std::atomic<bool> stop_training{false};
+  std::thread train_thread([&] {
+    while (!stop_training.load(std::memory_order_acquire)) {
+      trainer.RunEpoch();
+    }
+  });
+
+  constexpr int kClientThreads = 4;
+  constexpr int kQueriesPerClient = 120;
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+  for (int c = 0; c < kClientThreads; ++c) {
+    clients.emplace_back([&, c] {
+      LocalClient client(&engine);
+      Rng rng(static_cast<uint64_t>(1000 + c));
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        Query query;
+        const uint64_t pick = rng.Next() % 5;
+        query.kind = static_cast<QueryKind>(pick);
+        query.h = static_cast<EntityId>(rng.Next() %
+                                        static_cast<uint64_t>(
+                                            data.num_entities()));
+        query.r = static_cast<RelationId>(
+            rng.Next() % static_cast<uint64_t>(data.num_relations()));
+        query.t = static_cast<EntityId>(rng.Next() %
+                                        static_cast<uint64_t>(
+                                            data.num_entities()));
+        query.k = 1 + rng.Next() % 10;
+        const QueryResult result = client.Call(query);
+        VerifyResult(query, result);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop_training.store(true, std::memory_order_release);
+  train_thread.join();
+
+  // The engine really served the mix (and, with 4 clients racing into a
+  // 2-worker engine, the batcher had coalescing opportunities — counters
+  // must at least be consistent).
+  const BatchStatsSnapshot stats = engine.batch_stats();
+  EXPECT_GT(stats.single_requests, 0u);
+  EXPECT_GT(stats.topk_requests, 0u);
+  EXPECT_LE(stats.topk_batches, stats.topk_requests);
+  uint64_t hist_total = 0;
+  for (int b = 0; b < BatchStatsSnapshot::kBuckets; ++b) {
+    hist_total += stats.hist[b];
+  }
+  EXPECT_EQ(hist_total, stats.topk_batches);
+
+  // Training made progress while we were querying.
+  EXPECT_GT(publisher.published_step(), 0);
+}
+
+}  // namespace
+}  // namespace nsc

@@ -15,6 +15,7 @@
 // that is fine — the target is EXCLUDE_FROM_ALL and only the clang CI
 // job builds it. Nothing here is ever executed.
 #include "core/triplet_cache.h"
+#include "serve/server.h"
 #include "util/mutex.h"
 #include "util/rng.h"
 #include "util/thread_annotations.h"
@@ -62,6 +63,24 @@ void LockWithoutUnlock(Counter* c) {
   c->value = 3;
 }  // error: mutex 'mu' is still held at the end of function
 
+// Violation 6: waiting on a condition variable without holding the mutex
+// it is declared to require — CondVar::WaitFor carries NSC_REQUIRES(mu),
+// so a lock-less wait (which is UB on the underlying condition_variable)
+// must not check.
+void WaitWithoutLock(Counter* c) {
+  CondVar cv;
+  cv.WaitFor(&c->mu, 100);  // error: requires holding 'mu'
+}
+
+// Violation 7: the serving layer's one lock protocol — writing a
+// connection's output buffer without Connection::mu. This is exactly the
+// bug the reorder/flush design prevents (a worker racing the event
+// loop's flush); it must never compile.
+void WriteConnectionOutUnlocked(ServeServer::Connection* conn) {
+  conn->out += "SCORE 0 0\n";  // error: writing 'out' requires holding 'mu'
+  conn->close_after_flush = true;  // error: requires holding 'mu'
+}
+
 // Anchors every violation as odr-used so -Wunused-function noise cannot
 // mask (or mimic) the thread-safety diagnostics. Never called.
 const void* const kAnchors[] = {
@@ -70,6 +89,8 @@ const void* const kAnchors[] = {
     reinterpret_cast<const void*>(&WriteGuardedFieldUnlocked),
     reinterpret_cast<const void*>(&DoubleLock),
     reinterpret_cast<const void*>(&LockWithoutUnlock),
+    reinterpret_cast<const void*>(&WaitWithoutLock),
+    reinterpret_cast<const void*>(&WriteConnectionOutUnlocked),
 };
 
 }  // namespace

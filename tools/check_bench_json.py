@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
-"""Validates a bench_throughput JSON artifact (--topk or --shards).
+"""Validates a bench JSON artifact (bench_throughput --topk/--shards,
+bench_serving).
 
-CI runs this against the committed BENCH_topk.json / BENCH_shards.json
+CI runs this against the committed BENCH_topk.json / BENCH_shards.json /
+BENCH_serving.json
 (and against freshly generated files on the bench job) so each schema
 stays a contract: downstream tooling may parse these fields by name,
 and a silent rename or type change would break it long after the
@@ -50,6 +52,35 @@ SUITE_RUN_FIELDS = {
         ("train_ratio_vs_1shard", (int, float), positive),
         ("eval_ratio_vs_1shard", (int, float), positive),
         ("topk_ratio_vs_1shard", (int, float), positive),
+    ],
+    "serving": [
+        # Load-generation mode: "closed" (each connection waits for its
+        # answer) or "open" (Poisson arrivals at offered_qps).
+        ("mode", str,
+         lambda v: None if v in ("closed", "open") else
+         "must be 'closed' or 'open'"),
+        ("connections", int, positive),
+        # Batching knob as a string, not a bool: the schema has no
+        # boolean fields (bool is rejected for every type).
+        ("batching", str,
+         lambda v: None if v in ("on", "off") else "must be 'on' or 'off'"),
+        ("max_batch", int, positive),
+        ("workers", int, positive),
+        ("requests", int, positive),
+        ("qps", (int, float), positive),
+        # Offered load; equals the measured qps target for closed loops
+        # (no pacing), the Poisson rate for open loops.
+        ("offered_qps", (int, float), positive),
+        ("p50_us", (int, float), positive),
+        ("p99_us", (int, float), positive),
+        ("p999_us", (int, float), positive),
+        # Realized top-K batch sizes: mean plus the engine's 8-bucket
+        # histogram (1, 2, 3-4, 5-8, 9-16, 17-32, 33-64, 65+).
+        ("mean_batch", (int, float), positive),
+        ("batch_size_hist", list,
+         lambda v: None if len(v) == 8 and all(
+             isinstance(x, int) and not isinstance(x, bool) and x >= 0
+             for x in v) else "must be 8 non-negative ints"),
     ],
 }
 
@@ -105,6 +136,24 @@ def check_shards_invariants(doc, path, errors):
                           (where, realized, target))
 
 
+def check_serving_invariants(doc, path, errors):
+    """Percentiles must be monotone within each serving run."""
+    for i, run in enumerate(doc.get("runs") or []):
+        if not isinstance(run, dict):
+            continue
+        where = "%s: runs[%d]" % (path, i)
+        p50 = run.get("p50_us")
+        p99 = run.get("p99_us")
+        p999 = run.get("p999_us")
+        nums = (int, float)
+        if isinstance(p50, nums) and isinstance(p99, nums) and p50 > p99:
+            errors.append("%s: p50_us %r exceeds p99_us %r" %
+                          (where, p50, p99))
+        if isinstance(p99, nums) and isinstance(p999, nums) and p99 > p999:
+            errors.append("%s: p99_us %r exceeds p999_us %r" %
+                          (where, p99, p999))
+
+
 def check_file(path):
     errors = []
     try:
@@ -125,6 +174,8 @@ def check_file(path):
             check_fields(run, run_fields, where, errors)
     if doc.get("suite") == "shards":
         check_shards_invariants(doc, path, errors)
+    if doc.get("suite") == "serving":
+        check_serving_invariants(doc, path, errors)
     return errors
 
 
