@@ -31,11 +31,23 @@
 // connection, default 100), NSC_SERVE_RATE (open-loop offered qps,
 // default 150), NSC_SERVE_K (default 10), plus the common NSC_DIM /
 // NSC_SEED of bench_common.h.
+//
+// --inject: the robustness measurement. Arms the "serve.execute" fault
+// point with an every-Kth injected stall (NSC_SERVE_FAULT_EVERY, default
+// 16; NSC_SERVE_FAULT_LAT_US, default 10000) and attaches a per-request
+// deadline (NSC_SERVE_DEADLINE_US, default 5000) to every query. The
+// engine sheds expired queued work with kDeadlineExceeded — an expected
+// outcome here, not a bench failure — and the runs report shed_rate
+// (fraction shed) and deadline_miss_rate (fraction answered OK but past
+// budget). Every run carries injected/deadline_us/*_rate fields so the
+// two regimes stay comparable in one JSON schema. Under -DNSC_FAULTS=OFF
+// the arm is a no-op: --inject then measures pure deadline accounting.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,6 +58,7 @@
 #include "serve/query_engine.h"
 #include "serve/snapshot.h"
 #include "util/env.h"
+#include "util/fault.h"
 #include "util/mutex.h"
 #include "util/simd.h"
 #include "util/statistics.h"
@@ -68,6 +81,12 @@ struct ServingRun {
   double p999_us = 0.0;
   double mean_batch = 1.0;
   uint64_t hist[BatchStatsSnapshot::kBuckets] = {0};
+  bool injected = false;
+  int64_t deadline_us = 0;  // 0 = no per-request deadline.
+  int shed = 0;    // Requests answered kDeadlineExceeded (never run).
+  int missed = 0;  // Requests answered OK but past their budget.
+  double shed_rate = 0.0;
+  double deadline_miss_rate = 0.0;
 };
 
 struct BenchConfig {
@@ -77,7 +96,44 @@ struct BenchConfig {
   int requests_per_conn = 100;
   double open_rate = 150.0;
   uint64_t seed = 1;
+  bool inject = false;
+  int64_t deadline_us = 5000;
+  uint64_t fault_every = 16;
+  int64_t fault_latency_us = 10000;
 };
+
+/// Classifies one completed request for the robustness accounting.
+/// Aborts on any status the bench does not expect — with --inject,
+/// kDeadlineExceeded is an EXPECTED outcome (counted, not fatal).
+void CountOutcome(const QueryResult& result, const BenchConfig& config,
+                  double latency_us, std::vector<double>* latencies,
+                  int* shed, int* missed) {
+  if (result.status.code() == StatusCode::kDeadlineExceeded &&
+      config.inject) {
+    ++*shed;
+    return;
+  }
+  if (!result.status.ok()) std::abort();  // Bench invariant.
+  latencies->push_back(latency_us);
+  if (config.deadline_us > 0 && config.inject &&
+      latency_us > static_cast<double>(config.deadline_us)) {
+    ++*missed;
+  }
+}
+
+void FillInjectStats(const BenchConfig& config, int shed, int missed,
+                     ServingRun* run) {
+  run->injected = config.inject;
+  run->deadline_us = config.inject ? config.deadline_us : 0;
+  run->shed = shed;
+  run->missed = missed;
+  if (run->requests > 0) {
+    run->shed_rate =
+        static_cast<double>(shed) / static_cast<double>(run->requests);
+    run->deadline_miss_rate =
+        static_cast<double>(missed) / static_cast<double>(run->requests);
+  }
+}
 
 QueryEngineOptions EngineOptions(bool batching) {
   QueryEngineOptions options;
@@ -125,6 +181,9 @@ ServingRun RunClosedLoop(const SnapshotPublisher& publisher,
   std::vector<std::vector<double>> latencies(
       static_cast<std::size_t>(connections));
 
+  std::vector<int> shed_per_conn(static_cast<std::size_t>(connections), 0);
+  std::vector<int> missed_per_conn(static_cast<std::size_t>(connections), 0);
+
   Stopwatch watch;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(connections));
@@ -135,17 +194,29 @@ ServingRun RunClosedLoop(const SnapshotPublisher& publisher,
       std::vector<double>& lat = latencies[static_cast<std::size_t>(c)];
       lat.reserve(static_cast<std::size_t>(config.requests_per_conn));
       for (int i = 0; i < config.requests_per_conn; ++i) {
-        const EntityId h = static_cast<EntityId>(
+        Query query;
+        query.kind = QueryKind::kTopKTails;
+        query.h = static_cast<EntityId>(
             rng.Next() % static_cast<uint64_t>(config.entities));
+        query.r = 0;
+        query.k = config.k;
+        if (config.inject) query.deadline_us = config.deadline_us;
         const double start = NowUs();
-        const QueryResult result = client.TopKTails(h, 0, config.k);
-        lat.push_back(NowUs() - start);
-        if (!result.status.ok()) std::abort();  // Bench invariant.
+        const QueryResult result = client.Call(query);
+        CountOutcome(result, config, NowUs() - start, &lat,
+                     &shed_per_conn[static_cast<std::size_t>(c)],
+                     &missed_per_conn[static_cast<std::size_t>(c)]);
       }
     });
   }
   for (std::thread& t : threads) t.join();
   const double seconds = watch.Seconds();
+  int shed = 0;
+  int missed = 0;
+  for (int c = 0; c < connections; ++c) {
+    shed += shed_per_conn[static_cast<std::size_t>(c)];
+    missed += missed_per_conn[static_cast<std::size_t>(c)];
+  }
 
   ServingRun run;
   run.mode = "closed";
@@ -163,6 +234,7 @@ ServingRun RunClosedLoop(const SnapshotPublisher& publisher,
   }
   FillPercentiles(std::move(all), &run);
   FillBatchStats(engine.batch_stats(), &run);
+  FillInjectStats(config, shed, missed, &run);
   return run;
 }
 
@@ -177,6 +249,8 @@ ServingRun RunOpenLoop(const SnapshotPublisher& publisher,
   Mutex mu;
   CondVar all_done;
   int completed = 0;
+  int shed = 0;
+  int missed = 0;
   std::vector<double> latencies;
   latencies.reserve(static_cast<std::size_t>(total));
 
@@ -197,12 +271,12 @@ ServingRun RunOpenLoop(const SnapshotPublisher& publisher,
                                     static_cast<uint64_t>(config.entities));
     query.r = 0;
     query.k = config.k;
+    if (config.inject) query.deadline_us = config.deadline_us;
     const double start = NowUs();
     engine.Submit(query, [&, start](QueryResult result) {
-      if (!result.status.ok()) std::abort();
       const double us = NowUs() - start;
       MutexLock lock(&mu);
-      latencies.push_back(us);
+      CountOutcome(result, config, us, &latencies, &shed, &missed);
       if (++completed == total) all_done.NotifyAll();
     });
   }
@@ -223,6 +297,7 @@ ServingRun RunOpenLoop(const SnapshotPublisher& publisher,
   run.offered_qps = config.open_rate;
   FillPercentiles(std::move(latencies), &run);
   FillBatchStats(engine.batch_stats(), &run);
+  FillInjectStats(config, shed, missed, &run);
   return run;
 }
 
@@ -264,11 +339,18 @@ bool WriteServingJson(const std::string& path,
                  "      \"p99_us\": %.1f,\n"
                  "      \"p999_us\": %.1f,\n"
                  "      \"mean_batch\": %.3f,\n"
-                 "      \"batch_size_hist\": %s\n"
+                 "      \"batch_size_hist\": %s,\n"
+                 "      \"injected\": \"%s\",\n"
+                 "      \"deadline_us\": %lld,\n"
+                 "      \"deadline_miss_rate\": %.4f,\n"
+                 "      \"shed_rate\": %.4f\n"
                  "    }%s\n",
                  r.mode.c_str(), r.connections, r.batching ? "on" : "off",
                  r.max_batch, r.workers, r.requests, r.qps, r.offered_qps,
                  r.p50_us, r.p99_us, r.p999_us, r.mean_batch, hist.c_str(),
+                 r.injected ? "on" : "off",
+                 static_cast<long long>(r.deadline_us),
+                 r.deadline_miss_rate, r.shed_rate,
                  i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -278,10 +360,13 @@ bool WriteServingJson(const std::string& path,
 
 int Main(int argc, char** argv) {
   std::string json_path;
+  bool inject = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(std::strlen("--json="));
+    } else if (arg == "--inject") {
+      inject = true;
     } else {
       std::fprintf(stderr, "bench_serving: unknown arg %s\n", arg.c_str());
       return 2;
@@ -298,10 +383,34 @@ int Main(int argc, char** argv) {
       static_cast<int>(GetEnvInt("NSC_SERVE_REQUESTS", 100));
   config.open_rate = GetEnvDouble("NSC_SERVE_RATE", 150.0);
   config.seed = s.seed;
+  config.inject = inject;
+  config.deadline_us = GetEnvInt("NSC_SERVE_DEADLINE_US", 5000);
+  config.fault_every = static_cast<uint64_t>(
+      GetEnvInt("NSC_SERVE_FAULT_EVERY", 16));
+  config.fault_latency_us = GetEnvInt("NSC_SERVE_FAULT_LAT_US", 10000);
 
-  std::printf("bench_serving: |E|=%d dim=%d k=%zu simd=%s\n",
+  std::printf("bench_serving: |E|=%d dim=%d k=%zu simd=%s inject=%s\n",
               config.entities, config.dim, config.k,
-              simd::ActivePathName());
+              simd::ActivePathName(), inject ? "on" : "off");
+
+  // --inject: every fault_every-th engine execution stalls, per-request
+  // deadlines shed queued work. Armed for the whole grid; ScopedFault
+  // disarms on every exit path.
+  std::unique_ptr<ScopedFault> injected_stall;
+  if (inject) {
+    FaultSpec spec;
+    spec.action = FaultAction::kLatency;
+    spec.trigger = FaultTrigger::kEveryKth;
+    spec.n = config.fault_every;
+    spec.latency_us = config.fault_latency_us;
+    injected_stall = std::make_unique<ScopedFault>("serve.execute", spec);
+    std::printf(
+        "inject: serve.execute stalls %lldus every %llu executions, "
+        "deadline %lldus\n",
+        static_cast<long long>(config.fault_latency_us),
+        static_cast<unsigned long long>(config.fault_every),
+        static_cast<long long>(config.deadline_us));
+  }
 
   // A static published model: serving capacity, not training interference,
   // is the measured quantity (the stress test owns the concurrent case).
@@ -323,6 +432,11 @@ int Main(int argc, char** argv) {
           "  p999 %8.1fus  mean_batch %.2f\n",
           r.connections, r.batching ? "on" : "off", r.qps, r.p50_us,
           r.p99_us, r.p999_us, r.mean_batch);
+      if (config.inject) {
+        std::printf("  shed %d (%.1f%%)  missed %d (%.1f%%)\n", r.shed,
+                    100.0 * r.shed_rate, r.missed,
+                    100.0 * r.deadline_miss_rate);
+      }
     }
   }
   for (const bool batching : {false, true}) {
@@ -333,6 +447,11 @@ int Main(int argc, char** argv) {
         "%8.1fus  p999 %8.1fus  mean_batch %.2f\n",
         r.offered_qps, r.batching ? "on" : "off", r.qps, r.p50_us, r.p99_us,
         r.p999_us, r.mean_batch);
+    if (config.inject) {
+      std::printf("  shed %d (%.1f%%)  missed %d (%.1f%%)\n", r.shed,
+                  100.0 * r.shed_rate, r.missed,
+                  100.0 * r.deadline_miss_rate);
+    }
   }
 
   // The tentpole claim, checked where the numbers are made: with 8

@@ -18,10 +18,20 @@
 //   --threads=<n>         training worker threads (default 1)
 //   --seed=<n>            RNG seed                (default 7)
 //   --publish-every=<n>   publish cadence in mini-batches (default 4)
-//   --checkpoint=<path>   async checkpoint target (default off)
+//   --checkpoint=<path>   async single-file checkpoint target (default off)
+//   --checkpoint-dir=<d>  crash-recoverable checkpoint DIRECTORY (keeps
+//                         the newest --checkpoint-keep checkpoints; on
+//                         startup the newest valid one is restored and
+//                         training resumes from its step) (default off)
+//   --checkpoint-keep=<n> checkpoints retained in the directory (default 3)
 //   --workers=<n>         query engine workers    (default 2)
 //   --max-batch=<n>       top-K coalescing bound  (default 64)
 //   --max-wait-us=<n>     batching linger         (default 200)
+//   --max-queue=<n>       admission bound; beyond it requests get
+//                         "ERR overloaded" (default 0 = unbounded)
+//   --idle-timeout-ms=<n> close idle connections  (default 0 = never)
+//   --stale-after-us=<n>  flag answers stale=1 when the newest publish
+//                         is older than this     (default 0 = never)
 //   --smoke               run the self-test (LocalClient bit-identity +
 //                         a TCP round trip) against the live server and
 //                         exit 0/1 instead of serving forever
@@ -43,6 +53,7 @@
 #include <thread>
 #include <vector>
 
+#include "embedding/checkpoint_set.h"
 #include "embedding/model.h"
 #include "embedding/scoring_function.h"
 #include "kg/synthetic.h"
@@ -71,9 +82,14 @@ struct Flags {
   uint64_t seed = 7;
   int publish_every = 4;
   std::string checkpoint;
+  std::string checkpoint_dir;
+  int checkpoint_keep = 3;
   int workers = 2;
   int max_batch = 64;
   int max_wait_us = 200;
+  int max_queue = 0;
+  int idle_timeout_ms = 0;
+  int stale_after_us = 0;
   bool smoke = false;
 };
 
@@ -110,9 +126,14 @@ Flags ParseFlags(int argc, char** argv) {
                ParseFlag(arg, "threads", &f.threads) ||
                ParseFlag(arg, "publish-every", &f.publish_every) ||
                ParseFlag(arg, "checkpoint", &f.checkpoint) ||
+               ParseFlag(arg, "checkpoint-dir", &f.checkpoint_dir) ||
+               ParseFlag(arg, "checkpoint-keep", &f.checkpoint_keep) ||
                ParseFlag(arg, "workers", &f.workers) ||
                ParseFlag(arg, "max-batch", &f.max_batch) ||
-               ParseFlag(arg, "max-wait-us", &f.max_wait_us)) {
+               ParseFlag(arg, "max-wait-us", &f.max_wait_us) ||
+               ParseFlag(arg, "max-queue", &f.max_queue) ||
+               ParseFlag(arg, "idle-timeout-ms", &f.idle_timeout_ms) ||
+               ParseFlag(arg, "stale-after-us", &f.stale_after_us)) {
       // Parsed.
     } else if (ParseFlag(arg, "seed", &text)) {
       f.seed = std::strtoull(text.c_str(), nullptr, 10);
@@ -213,13 +234,19 @@ int RunSmoke(ServeServer* server, const Flags& flags) {
   }
   const std::string info = tcp.RoundTrip("INFO");
   const std::string tcp_score = tcp.RoundTrip("SCORE 1 0 2");
+  // A generous deadline must not change the answer path; it only arms
+  // shedding, which cannot fire in 10 s.
+  const std::string deadlined = tcp.RoundTrip("DEADLINE 10000000 SCORE 1 0 2");
   const std::string bad = tcp.RoundTrip("FROBNICATE");
   const std::string bye = tcp.RoundTrip("QUIT");
   if (!StartsWith(info, "INFO ") || !StartsWith(tcp_score, "SCORE ") ||
-      !StartsWith(bad, "ERR ") || bye != "BYE") {
+      !StartsWith(deadlined, "SCORE ") || !StartsWith(bad, "ERR ") ||
+      bye != "BYE") {
     std::fprintf(stderr,
-                 "smoke: TCP protocol mismatch: '%s' / '%s' / '%s' / '%s'\n",
-                 info.c_str(), tcp_score.c_str(), bad.c_str(), bye.c_str());
+                 "smoke: TCP protocol mismatch: '%s' / '%s' / '%s' / '%s' / "
+                 "'%s'\n",
+                 info.c_str(), tcp_score.c_str(), deadlined.c_str(),
+                 bad.c_str(), bye.c_str());
     return 1;
   }
 
@@ -244,12 +271,51 @@ int Main(int argc, char** argv) {
   Rng rng(flags.seed);
   model.InitXavier(&rng);
 
+  // Crash restart: resume from the newest VALID checkpoint in the
+  // directory (torn or corrupt files from a killed writer are skipped by
+  // validation). A shape/scorer mismatch means the flags changed — start
+  // fresh rather than serve the wrong model.
+  int64_t resume_step = 0;
+  if (!flags.checkpoint_dir.empty()) {
+    CheckpointSetOptions set_options;
+    set_options.keep = flags.checkpoint_keep;
+    const CheckpointSet ckpt_set(flags.checkpoint_dir, set_options);
+    StatusOr<LoadedCheckpoint> restored = ckpt_set.LoadLatestValid();
+    if (restored.ok()) {
+      const KgeModel& loaded = restored.value().model;
+      if (loaded.num_entities() == model.num_entities() &&
+          loaded.num_relations() == model.num_relations() &&
+          loaded.dim() == model.dim() &&
+          loaded.scorer().name() == model.scorer().name()) {
+        model.CopyParametersFrom(loaded);
+        resume_step = restored.value().step;
+        std::printf("resumed from %s at step %lld (%zu invalid file(s) "
+                    "skipped)\n",
+                    flags.checkpoint_dir.c_str(),
+                    static_cast<long long>(resume_step),
+                    restored.value().skipped.size());
+      } else {
+        std::fprintf(stderr,
+                     "nsc_serve: checkpoint in %s does not match the "
+                     "configured model shape/scorer; starting fresh\n",
+                     flags.checkpoint_dir.c_str());
+      }
+    } else {
+      std::printf("no valid checkpoint in %s (%s); starting fresh\n",
+                  flags.checkpoint_dir.c_str(),
+                  restored.status().message().c_str());
+    }
+  }
+
   SnapshotPublisherOptions pub_options;
   pub_options.checkpoint_path = flags.checkpoint;
+  pub_options.checkpoint_dir = flags.checkpoint_dir;
+  pub_options.checkpoint_keep = flags.checkpoint_keep;
+  pub_options.stale_after_us = flags.stale_after_us;
   SnapshotPublisher publisher(pub_options);
-  // Publish the initialized model as step 0 so the server is answerable
-  // from the first accepted connection.
-  publisher.Publish(model, 0);
+  // Publish the starting model (initialized, or the recovered state) so
+  // the server is answerable from the first accepted connection.
+  publisher.Publish(model, resume_step);
 
   ServeServerOptions server_options;
   server_options.host = flags.host;
@@ -257,6 +323,8 @@ int Main(int argc, char** argv) {
   server_options.engine.num_workers = flags.workers;
   server_options.engine.max_batch = static_cast<std::size_t>(flags.max_batch);
   server_options.engine.max_wait_us = flags.max_wait_us;
+  server_options.engine.max_queue = static_cast<std::size_t>(flags.max_queue);
+  server_options.idle_timeout_ms = flags.idle_timeout_ms;
   ServeServer server(&publisher, server_options);
   const Status started = server.Start();
   if (!started.ok()) {

@@ -56,9 +56,19 @@ bool IsQuitRequest(const std::string& line) {
 }
 
 StatusOr<Query> ParseRequestLine(const std::string& line) {
-  const std::vector<std::string> tokens = Tokenize(line);
+  std::vector<std::string> tokens = Tokenize(line);
   if (tokens.empty()) return Status::InvalidArgument("empty request");
   Query query;
+  // Optional `DEADLINE <us>` prefix ahead of any query command.
+  if (tokens[0] == "DEADLINE") {
+    int32_t deadline_us = 0;
+    if (tokens.size() < 3 || !ParseId(tokens[1], &deadline_us) ||
+        deadline_us <= 0) {
+      return Status::InvalidArgument("usage: DEADLINE <us> <request...>");
+    }
+    query.deadline_us = deadline_us;
+    tokens.erase(tokens.begin(), tokens.begin() + 2);
+  }
   if (tokens[0] == "SCORE") {
     if (tokens.size() != 4 || !ParseId(tokens[1], &query.h) ||
         !ParseId(tokens[2], &query.r) || !ParseId(tokens[3], &query.t)) {
@@ -119,17 +129,28 @@ std::string FormatResponse(const QueryResult& result) {
       }
       break;
   }
+  if (result.stale) out << " stale=1";
   out << '\n';
   return out.str();
 }
 
-std::string FormatInfoResponse(const EmbeddingSnapshot* snapshot) {
+std::string FormatInfoResponse(const EmbeddingSnapshot* snapshot,
+                               const InfoExtras& extras) {
   if (snapshot == nullptr) return FormatError("no snapshot published yet");
   std::ostringstream out;
   out << "INFO " << snapshot->step() << ' '
       << snapshot->model().num_entities() << ' '
       << snapshot->model().num_relations() << ' ' << snapshot->model().dim()
-      << ' ' << snapshot->model().scorer().name() << '\n';
+      << ' ' << snapshot->model().scorer().name();
+  // Extras only when configured: the bare 6-field line is pinned by
+  // protocol-v1 clients (and server_test).
+  if (extras.show_checkpoint) {
+    out << " ckpt_ok=" << extras.ckpt_ok << " ckpt_fail=" << extras.ckpt_fail
+        << " ckpt_retries=" << extras.ckpt_retries
+        << " ckpt_step=" << extras.ckpt_step;
+  }
+  if (extras.stale) out << " stale=1";
+  out << '\n';
   return out.str();
 }
 

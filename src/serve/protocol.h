@@ -13,9 +13,24 @@
 //   TOPK HEADS <r> <t> <k>           TOPK <step> <n> <id>:<score> ...
 //   TOPK TAILS <h> <r> <k>           TOPK <step> <n> <id>:<score> ...
 //   INFO                             INFO <step> <entities> <relations>
-//                                         <dim> <scorer>
+//                                         <dim> <scorer> [extras]
 //   QUIT                             BYE   (then the server closes)
 //   (anything else / bad ids)        ERR <message>
+//
+// Robustness extensions (README "Fault tolerance"):
+//
+//   - Any SCORE/RANK/TOPK request may be prefixed `DEADLINE <us> `
+//     (e.g. `DEADLINE 5000 SCORE 1 0 2`): the engine sheds the request
+//     with `ERR deadline ...` if it is still queued when the budget
+//     expires — an explicit failure instead of a uselessly late answer.
+//   - An engine over its admission bound answers `ERR overloaded ...`.
+//   - A response answered from a snapshot the publisher reports STALE
+//     carries a trailing ` stale=1` (the answer is still exact against
+//     its <step>; only freshness is degraded).
+//   - INFO [extras]: ` ckpt_ok=<n> ckpt_fail=<n> ckpt_retries=<n>
+//     ckpt_step=<n>` when background checkpointing is configured, and
+//     ` stale=1` when the snapshot is stale. A plain server emits the
+//     bare 6-field line, unchanged from protocol version 1.
 //
 // <step> is the training step of the snapshot that answered the request —
 // the staleness handle: a client comparing steps across responses observes
@@ -41,11 +56,25 @@ bool IsInfoRequest(const std::string& line);
 bool IsQuitRequest(const std::string& line);
 
 /// Formats the response line (with trailing '\n') for a completed query.
+/// A result answered from a stale snapshot gets a trailing " stale=1".
 std::string FormatResponse(const QueryResult& result);
+
+/// Optional INFO fields (see the header comment). Defaults produce the
+/// bare protocol-v1 INFO line.
+struct InfoExtras {
+  /// Append the ckpt_* fields (set when checkpointing is configured).
+  bool show_checkpoint = false;
+  int64_t ckpt_ok = 0;       ///< Checkpoints durably written.
+  int64_t ckpt_fail = 0;     ///< Snapshots given up on.
+  int64_t ckpt_retries = 0;  ///< Write attempts beyond the first.
+  int64_t ckpt_step = -1;    ///< Step of the newest durable checkpoint.
+  bool stale = false;        ///< Append " stale=1".
+};
 
 /// Formats the INFO response for the given snapshot (or the ERR line when
 /// `snapshot` is null — nothing published yet).
-std::string FormatInfoResponse(const EmbeddingSnapshot* snapshot);
+std::string FormatInfoResponse(const EmbeddingSnapshot* snapshot,
+                               const InfoExtras& extras = InfoExtras());
 
 /// Formats an ERR response line (with trailing '\n').
 std::string FormatError(const std::string& message);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <utility>
 
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace nsc {
@@ -12,6 +14,22 @@ namespace {
 
 bool IsTopK(QueryKind kind) {
   return kind == QueryKind::kTopKHeads || kind == QueryKind::kTopKTails;
+}
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool Expired(int64_t deadline_at_us) {
+  return deadline_at_us > 0 && SteadyNowUs() > deadline_at_us;
+}
+
+Status DeadlineShedStatus(int64_t deadline_us) {
+  return Status::DeadlineExceeded("deadline of " +
+                                  std::to_string(deadline_us) +
+                                  " us expired before execution");
 }
 
 int HistBucket(std::size_t batch_size) {
@@ -52,13 +70,39 @@ QueryEngine::~QueryEngine() {
 
 void QueryEngine::Submit(const Query& query, QueryCallback done) {
   CHECK(done != nullptr);
+  // The deadline budget starts NOW: time spent queued counts against it,
+  // which is the whole point — a backlogged engine sheds instead of
+  // answering late.
+  const int64_t deadline_at_us =
+      query.deadline_us > 0 ? SteadyNowUs() + query.deadline_us : 0;
+  bool rejected = false;
+  std::size_t depth = 0;
   {
     MutexLock lock(&mu_);
     // Accepting after shutdown would leak the callback (workers are
     // draining); the single in-process producer patterns (server loop,
     // LocalClient) all stop submitting before destroying the engine.
     CHECK(!shutdown_) << "Submit after QueryEngine shutdown";
-    queue_.push_back(Pending{query, std::move(done)});
+    depth = queue_.size();
+    rejected = (options_.max_queue > 0 && depth >= options_.max_queue) ||
+               NSC_FAULT_POINT("serve.overload").error();
+    if (rejected) {
+      ++stats_.overload_rejected;
+    } else {
+      queue_.push_back(Pending{query, std::move(done), deadline_at_us});
+    }
+  }
+  if (rejected) {
+    // Admission control: refuse at the door with an explicit error — the
+    // cheap failure point — rather than queue unboundedly. Callback runs
+    // with no engine lock held, like every completion.
+    QueryResult result;
+    result.kind = query.kind;
+    result.status = Status::Unavailable(
+        "overloaded: " + std::to_string(depth) + " requests queued, limit " +
+        std::to_string(options_.max_queue));
+    done(std::move(result));
+    return;
   }
   // NotifyAll, not NotifyOne: a lingering batcher may be the one woken,
   // and it only takes same-group requests — an idle worker must also wake
@@ -146,6 +190,19 @@ Status QueryEngine::Validate(const Query& query,
 void QueryEngine::ExecuteSingle(Pending* pending) {
   QueryResult result;
   result.kind = pending->query.kind;
+  // kLatency on "serve.execute" sleeps HERE, before the deadline check —
+  // armed latency pushes queued requests past their deadlines exactly the
+  // way a slow kernel would, so shedding is deterministically testable.
+  NSC_FAULT_POINT("serve.execute");
+  if (Expired(pending->deadline_at_us)) {
+    result.status = DeadlineShedStatus(pending->query.deadline_us);
+    {
+      MutexLock lock(&mu_);
+      ++stats_.deadline_shed;
+    }
+    pending->done(std::move(result));
+    return;
+  }
   std::shared_ptr<const EmbeddingSnapshot> snap = publisher_->Acquire();
   if (snap == nullptr) {
     result.status = Status::FailedPrecondition("no snapshot published yet");
@@ -154,6 +211,7 @@ void QueryEngine::ExecuteSingle(Pending* pending) {
   }
   result.step = snap->step();
   result.snapshot = snap;
+  result.stale = publisher_->IsStale();
   result.status = Validate(pending->query, *snap);
   if (result.status.ok()) {
     const Query& q = pending->query;
@@ -192,20 +250,32 @@ void QueryEngine::ExecuteTopKBatch(std::vector<Pending>* batch) {
   const QueryKind kind = (*batch)[0].query.kind;
   const std::size_t k = (*batch)[0].query.k;
   std::vector<QueryResult> results(batch->size());
+  // One latency fault per batched kernel call, matching where real
+  // execution cost lands (see ExecuteSingle).
+  NSC_FAULT_POINT("serve.execute");
   std::shared_ptr<const EmbeddingSnapshot> snap = publisher_->Acquire();
+  const bool stale = publisher_->IsStale();
 
-  // Validate each request; only the valid ones reach the kernel.
+  // Shed expired members, validate the rest; only live, valid requests
+  // reach the kernel.
   std::vector<std::size_t> valid;
+  std::size_t shed = 0;
   valid.reserve(batch->size());
   for (std::size_t i = 0; i < batch->size(); ++i) {
     QueryResult& result = results[i];
     result.kind = kind;
+    if (Expired((*batch)[i].deadline_at_us)) {
+      result.status = DeadlineShedStatus((*batch)[i].query.deadline_us);
+      ++shed;
+      continue;
+    }
     if (snap == nullptr) {
       result.status = Status::FailedPrecondition("no snapshot published yet");
       continue;
     }
     result.step = snap->step();
     result.snapshot = snap;
+    result.stale = stale;
     result.status = Validate((*batch)[i].query, *snap);
     if (result.status.ok()) valid.push_back(i);
   }
@@ -239,6 +309,7 @@ void QueryEngine::ExecuteTopKBatch(std::vector<Pending>* batch) {
     ++stats_.topk_batches;
     if (batch->size() >= 2) stats_.coalesced_requests += batch->size();
     ++stats_.hist[HistBucket(batch->size())];
+    stats_.deadline_shed += shed;
   }
   for (std::size_t i = 0; i < batch->size(); ++i) {
     (*batch)[i].done(std::move(results[i]));

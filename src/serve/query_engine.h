@@ -28,6 +28,19 @@
 // execution (the expensive part) runs OUTSIDE the lock; public entry
 // points are NSC_EXCLUDES(mu_). Callbacks are invoked with no engine lock
 // held, so a callback may re-enter Submit().
+//
+// Hardening (README "Fault tolerance"): requests may carry a deadline
+// (Query::deadline_us) — work still queued when it expires is SHED with
+// kDeadlineExceeded instead of executed, so a backlogged engine fails
+// requests explicitly rather than answering them uselessly late. A
+// bounded queue (QueryEngineOptions::max_queue) rejects submissions
+// beyond the bound with kUnavailable ("overloaded") at Submit time —
+// admission control, the cheap place to fail. Every answer reports
+// whether its snapshot was stale (QueryResult::stale, from
+// SnapshotPublisher::IsStale) so degraded freshness is visible, never
+// silent. Fault points: "serve.execute" (kLatency delays execution —
+// deterministic deadline pressure), "serve.overload" (forces the
+// admission check to reject).
 #ifndef NSCACHING_SERVE_QUERY_ENGINE_H_
 #define NSCACHING_SERVE_QUERY_ENGINE_H_
 
@@ -62,6 +75,13 @@ struct QueryEngineOptions {
   /// after dequeuing the first, in microseconds. 0 = no linger: only
   /// requests already queued when the worker looks are coalesced.
   int64_t max_wait_us = 200;
+
+  /// Admission control: most requests allowed in the pending queue.
+  /// A Submit beyond the bound is rejected immediately with
+  /// kUnavailable ("overloaded ...") instead of queued — bounded latency
+  /// beats unbounded memory. 0 = unbounded (the default; in-process
+  /// callers are trusted).
+  std::size_t max_queue = 0;
 };
 
 /// What a request asks of the engine.
@@ -81,6 +101,11 @@ struct Query {
   RelationId r = 0;
   EntityId t = 0;
   std::size_t k = 0;
+  /// Relative deadline from Submit, microseconds; 0 = none. A request
+  /// still waiting when it expires is answered kDeadlineExceeded
+  /// WITHOUT being executed (shed). Declared last so existing positional
+  /// aggregate initializers stay valid.
+  int64_t deadline_us = 0;
 };
 
 /// One answer. `status` is non-OK for malformed requests (out-of-range
@@ -99,6 +124,11 @@ struct QueryResult {
   /// The pinned snapshot the answer was computed from (null on error
   /// before a snapshot was acquired). In-process verification hook.
   std::shared_ptr<const EmbeddingSnapshot> snapshot;
+  /// True when the publisher reported the snapshot stale at answer time
+  /// (SnapshotPublisher::IsStale): the answer is still exact against
+  /// `snapshot`, only its freshness is degraded. Wire responses carry
+  /// this as " stale=1".
+  bool stale = false;
 };
 
 /// Completion callback; invoked exactly once per Submit, on a worker
@@ -115,6 +145,10 @@ struct BatchStatsSnapshot {
   uint64_t coalesced_requests = 0;  ///< Requests served in batches >= 2.
   uint64_t single_requests = 0;     ///< Score/rank requests executed.
   uint64_t hist[kBuckets] = {0, 0, 0, 0, 0, 0, 0, 0};
+  uint64_t overload_rejected = 0;  ///< Submits refused by admission
+                                   ///< control (kUnavailable).
+  uint64_t deadline_shed = 0;  ///< Requests expired before execution
+                               ///< (kDeadlineExceeded, never run).
 
   /// Mean realized top-K batch size (1.0 when batching never coalesced).
   double mean_batch() const {
@@ -153,6 +187,9 @@ class QueryEngine {
   struct Pending {
     Query query;
     QueryCallback done;
+    /// Absolute steady-clock expiry in microseconds; 0 = no deadline.
+    /// Fixed at Submit so queueing time counts against the budget.
+    int64_t deadline_at_us = 0;
   };
 
   void WorkerLoop() NSC_EXCLUDES(mu_);

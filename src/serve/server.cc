@@ -9,7 +9,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -27,6 +29,12 @@ constexpr std::size_t kMaxInputBuffer = 1 << 20;
 bool SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -110,6 +118,19 @@ void ServeServer::WakeLoop() {
   [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
 }
 
+ServerStatsSnapshot ServeServer::stats() const {
+  ServerStatsSnapshot snapshot;
+  snapshot.accepted = counters_.accepted.load(std::memory_order_relaxed);
+  snapshot.closed = counters_.closed.load(std::memory_order_relaxed);
+  snapshot.idle_closed = counters_.idle_closed.load(std::memory_order_relaxed);
+  snapshot.poll_interrupts =
+      counters_.poll_interrupts.load(std::memory_order_relaxed);
+  snapshot.poll_errors = counters_.poll_errors.load(std::memory_order_relaxed);
+  snapshot.requests = counters_.requests.load(std::memory_order_relaxed);
+  snapshot.overflowed = counters_.overflowed.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
 void ServeServer::AcceptNew() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -122,7 +143,10 @@ void ServeServer::AcceptNew() {
     // Response lines are small; Nagle would serialize request/response
     // round trips at full RTT granularity.
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    connections_.emplace(fd, std::make_shared<Connection>(fd));
+    auto conn = std::make_shared<Connection>(fd);
+    conn->last_active_us = SteadyNowUs();
+    connections_.emplace(fd, std::move(conn));
+    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -130,6 +154,7 @@ void ServeServer::HandleLine(const std::shared_ptr<Connection>& conn,
                              const std::string& line) {
   if (line.find_first_not_of(" \t") == std::string::npos) return;
   const uint64_t seq = conn->next_seq++;
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
   if (IsQuitRequest(line)) {
     QueueResponse(conn, seq, "BYE\n", /*close_after=*/true);
     return;
@@ -137,7 +162,17 @@ void ServeServer::HandleLine(const std::shared_ptr<Connection>& conn,
   if (IsInfoRequest(line)) {
     const std::shared_ptr<const EmbeddingSnapshot> snap =
         publisher_->Acquire();
-    QueueResponse(conn, seq, FormatInfoResponse(snap.get()));
+    InfoExtras extras;
+    extras.stale = publisher_->IsStale();
+    if (publisher_->checkpointing_enabled()) {
+      const CheckpointWriterStats ckpt = publisher_->checkpoint_stats();
+      extras.show_checkpoint = true;
+      extras.ckpt_ok = ckpt.successes;
+      extras.ckpt_fail = ckpt.give_ups;
+      extras.ckpt_retries = ckpt.retries;
+      extras.ckpt_step = ckpt.last_success_step;
+    }
+    QueueResponse(conn, seq, FormatInfoResponse(snap.get(), extras));
     return;
   }
   StatusOr<Query> parsed = ParseRequestLine(line);
@@ -158,8 +193,12 @@ bool ServeServer::ReadAndDispatch(const std::shared_ptr<Connection>& conn) {
   for (;;) {
     const ssize_t n = ::read(conn->fd, buffer, sizeof(buffer));
     if (n > 0) {
+      conn->last_active_us = SteadyNowUs();
       conn->in.append(buffer, static_cast<std::size_t>(n));
-      if (conn->in.size() > kMaxInputBuffer) return false;
+      if (conn->in.size() > kMaxInputBuffer) {
+        counters_.overflowed.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
       continue;
     }
     if (n == 0) return false;  // Peer closed.
@@ -212,6 +251,7 @@ bool ServeServer::FlushConnection(const std::shared_ptr<Connection>& conn) {
     close_after = conn->close_after_flush;
   }
   if (pending.empty()) return !close_after;
+  conn->last_active_us = SteadyNowUs();
 
   std::size_t written = 0;
   while (written < pending.size()) {
@@ -235,6 +275,45 @@ bool ServeServer::FlushConnection(const std::shared_ptr<Connection>& conn) {
   return !close_after;
 }
 
+int ServeServer::PollTimeoutMs(int64_t now_us) const {
+  if (options_.idle_timeout_ms <= 0 || connections_.empty()) return -1;
+  const int64_t timeout_us = options_.idle_timeout_ms * 1000;
+  int64_t nearest_us = timeout_us;
+  for (const auto& entry : connections_) {
+    const int64_t remaining =
+        entry.second->last_active_us + timeout_us - now_us;
+    if (remaining < nearest_us) nearest_us = remaining;
+  }
+  if (nearest_us <= 0) return 0;
+  // Round UP to whole ms: rounding down would spin sub-ms wakeups while
+  // a deadline is imminent but not reached.
+  return static_cast<int>((nearest_us + 999) / 1000);
+}
+
+void ServeServer::ReapIdleConnections(int64_t now_us) {
+  if (options_.idle_timeout_ms <= 0) return;
+  const int64_t timeout_us = options_.idle_timeout_ms * 1000;
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    const std::shared_ptr<Connection>& conn = it->second;
+    bool idle = now_us - conn->last_active_us >= timeout_us;
+    if (idle) {
+      // Never reap a connection with responses still owed: a request
+      // executing longer than the idle timeout must get its answer.
+      MutexLock lock(&conn->mu);
+      idle = conn->out.empty() && conn->reorder.empty() &&
+             conn->next_out_seq == conn->next_seq;
+    }
+    if (idle) {
+      ::close(conn->fd);
+      it = connections_.erase(it);
+      counters_.idle_closed.fetch_add(1, std::memory_order_relaxed);
+      counters_.closed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void ServeServer::LoopThread() {
   std::vector<pollfd> fds;
   std::vector<std::shared_ptr<Connection>> polled;
@@ -255,10 +334,25 @@ void ServeServer::LoopThread() {
       polled.push_back(entry.second);
     }
 
-    const int ready = ::poll(fds.data(), fds.size(), -1);
+    const int ready =
+        ::poll(fds.data(), fds.size(), PollTimeoutMs(SteadyNowUs()));
     if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;  // poll() broken beyond retry; the dtor still cleans up.
+      if (errno == EINTR) {
+        // Interrupted by a signal: retry, counted (a server pinned at
+        // 100% interrupts is diagnosable from stats()).
+        counters_.poll_interrupts.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      counters_.poll_errors.fetch_add(1, std::memory_order_relaxed);
+      if (errno == ENOMEM || errno == EAGAIN) {
+        // Transient kernel pressure: back off briefly and retry rather
+        // than tearing down every connection.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      LOG_ERROR << "serve loop poll() failed: " << std::strerror(errno)
+                << "; shutting the event loop down";
+      break;  // Programming error (EBADF/EFAULT/EINVAL): unrecoverable.
     }
     if ((fds[1].revents & POLLIN) != 0) {
       char drain[64];
@@ -281,8 +375,10 @@ void ServeServer::LoopThread() {
       if (!alive) {
         ::close(conn->fd);
         connections_.erase(conn->fd);
+        counters_.closed.fetch_add(1, std::memory_order_relaxed);
       }
     }
+    ReapIdleConnections(SteadyNowUs());
   }
   for (const auto& entry : connections_) ::close(entry.first);
   connections_.clear();

@@ -56,8 +56,27 @@ struct ServeServerOptions {
   std::string host = "127.0.0.1";
   /// 0 = ephemeral (resolved port via port() after Start()).
   int port = 0;
-  /// Engine knobs (worker pool, cross-request batching).
+  /// Engine knobs (worker pool, cross-request batching, admission
+  /// control, deadlines).
   QueryEngineOptions engine;
+  /// Close a connection with no traffic and no in-flight requests for
+  /// this long. 0 = never (the default): an idle client holding an fd
+  /// is only a problem for long-lived deployments, which opt in.
+  int64_t idle_timeout_ms = 0;
+};
+
+/// Point-in-time counters of the TCP front-end (ServeServer::stats) —
+/// the observability half of the hardening work: a served failure that
+/// no counter records might as well not have happened.
+struct ServerStatsSnapshot {
+  uint64_t accepted = 0;         ///< Connections accepted.
+  uint64_t closed = 0;           ///< Connections closed, any reason.
+  uint64_t idle_closed = 0;      ///< ... of which reaped by idle timeout.
+  uint64_t poll_interrupts = 0;  ///< poll() EINTR retries.
+  uint64_t poll_errors = 0;      ///< poll() failures other than EINTR.
+  uint64_t requests = 0;         ///< Request lines dispatched.
+  uint64_t overflowed = 0;       ///< Connections dropped for an
+                                 ///< over-limit input buffer.
 };
 
 /// The server. Lifecycle: construct → Start() → [serve] → Shutdown()
@@ -79,6 +98,10 @@ class ServeServer {
     /// Next request sequence number. Loop-thread-private: assigned at
     /// dispatch, one per request line (including INFO/ERR/BYE).
     uint64_t next_seq = 0;
+
+    /// Steady-clock microseconds of the last read or flushed write.
+    /// Loop-thread-private; feeds the idle-timeout reaper.
+    int64_t last_active_us = 0;
 
     /// The output protocol: completed responses enter `reorder` under mu
     /// keyed by their request sequence, migrate into `out` the moment
@@ -121,9 +144,19 @@ class ServeServer {
   /// Shutdown().
   QueryEngine* engine() { return engine_.get(); }
 
+  /// Front-end counters (accepts, closes, poll retries/failures, ...).
+  /// Callable from any thread.
+  ServerStatsSnapshot stats() const;
+
  private:
   void LoopThread();
   void AcceptNew();
+  /// Closes connections idle (no traffic, nothing queued or in flight)
+  /// past options.idle_timeout_ms. No-op when the timeout is 0.
+  void ReapIdleConnections(int64_t now_us);
+  /// poll() timeout honoring the nearest idle deadline; -1 (block
+  /// forever) when idle reaping is off or there are no connections.
+  int PollTimeoutMs(int64_t now_us) const;
   /// Reads from `conn`, splits complete lines, dispatches them. Returns
   /// false when the connection reached EOF/error and must be dropped.
   bool ReadAndDispatch(const std::shared_ptr<Connection>& conn);
@@ -151,6 +184,19 @@ class ServeServer {
   // Loop-thread-private (created before the loop starts, cleared after it
   // joins).
   std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+
+  // Monotonic counters behind stats(); atomics, so the loop and workers
+  // bump them without a lock and stats() reads from any thread.
+  struct Counters {
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> closed{0};
+    std::atomic<uint64_t> idle_closed{0};
+    std::atomic<uint64_t> poll_interrupts{0};
+    std::atomic<uint64_t> poll_errors{0};
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> overflowed{0};
+  };
+  Counters counters_;
 
   std::thread loop_;
 

@@ -2,11 +2,24 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <utility>
 
 #include "embedding/checkpoint.h"
+#include "util/fault.h"
+#include "util/logging.h"
 
 namespace nsc {
+
+namespace {
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Status EmbeddingSnapshot::SaveCheckpoint(const std::string& path) const {
   // Write-to-temp + rename: either the old checkpoint or the complete new
@@ -22,7 +35,13 @@ Status EmbeddingSnapshot::SaveCheckpoint(const std::string& path) const {
 SnapshotPublisher::SnapshotPublisher(SnapshotPublisherOptions options)
     : options_(std::move(options)) {
   CHECK_GE(options_.checkpoint_every, 1);
-  if (!options_.checkpoint_path.empty()) {
+  if (!options_.checkpoint_dir.empty()) {
+    CheckpointSetOptions set_options;
+    set_options.keep = options_.checkpoint_keep;
+    checkpoint_set_ =
+        std::make_unique<CheckpointSet>(options_.checkpoint_dir, set_options);
+  }
+  if (checkpointing_enabled()) {
     checkpoint_thread_ = std::thread([this] { CheckpointLoop(); });
   }
 }
@@ -50,7 +69,7 @@ void SnapshotPublisher::Publish(const KgeModel& model, int64_t step) {
     }
     spare_.reset();
     ++publish_count_;
-    enqueue_checkpoint = !options_.checkpoint_path.empty() &&
+    enqueue_checkpoint = checkpointing_enabled() &&
                          (publish_count_ % options_.checkpoint_every) == 0;
   }
   if (next != nullptr) {
@@ -63,6 +82,7 @@ void SnapshotPublisher::Publish(const KgeModel& model, int64_t step) {
   std::shared_ptr<const EmbeddingSnapshot> retired =
       std::atomic_exchange(&current_, published);
   published_step_.store(step, std::memory_order_release);
+  last_publish_us_.store(SteadyNowUs(), std::memory_order_release);
 
   {
     MutexLock lock(&mu_);
@@ -105,6 +125,59 @@ bool SnapshotPublisher::WaitForCheckpoint(int64_t step, int64_t timeout_us) {
   return true;
 }
 
+bool SnapshotPublisher::WaitForCheckpointOutcomes(int64_t count,
+                                                  int64_t timeout_us) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_us);
+  MutexLock lock(&mu_);
+  while (writer_stats_.successes + writer_stats_.give_ups < count) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const int64_t remaining_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now)
+            .count();
+    checkpoint_done_.WaitFor(&mu_, remaining_us);
+  }
+  return true;
+}
+
+CheckpointWriterStats SnapshotPublisher::checkpoint_stats() const {
+  MutexLock lock(&mu_);
+  return writer_stats_;
+}
+
+bool SnapshotPublisher::IsStale() const {
+  if (NSC_FAULT_POINT("publisher.stall").error()) return true;
+  if (options_.stale_after_us <= 0) return false;
+  const int64_t last = last_publish_us_.load(std::memory_order_acquire);
+  if (last < 0) return false;  // Nothing published, nothing to be stale.
+  return SteadyNowUs() - last > options_.stale_after_us;
+}
+
+Status SnapshotPublisher::WriteSnapshot(const EmbeddingSnapshot& snap) const {
+  if (checkpoint_set_ != nullptr) {
+    return checkpoint_set_->Write(snap.model(), snap.step());
+  }
+  return snap.SaveCheckpoint(options_.checkpoint_path);
+}
+
+bool SnapshotPublisher::BackoffSleep(int64_t sleep_us) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(sleep_us);
+  MutexLock lock(&mu_);
+  while (!shutdown_) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return true;
+    const int64_t remaining_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now)
+            .count();
+    // checkpoint_ready_ doubles as the shutdown signal; a wake-up for a
+    // new pending snapshot just re-checks the deadline and sleeps on.
+    checkpoint_ready_.WaitFor(&mu_, remaining_us);
+  }
+  return false;  // Shutdown: cancel the remaining retries.
+}
+
 void SnapshotPublisher::CheckpointLoop() {
   for (;;) {
     std::shared_ptr<const EmbeddingSnapshot> snap;
@@ -117,11 +190,40 @@ void SnapshotPublisher::CheckpointLoop() {
       snap = std::move(pending_checkpoint_);
       pending_checkpoint_.reset();
     }
-    const Status status = snap->SaveCheckpoint(options_.checkpoint_path);
+    // Retry transient failures with capped jittered backoff. The sleep
+    // waits on checkpoint_ready_ so shutdown interrupts it immediately;
+    // a give-up is counted, never fatal — the next publish brings
+    // fresher state than any retry could.
+    int attempt_index = 0;
+    const Status status = RetryWithBackoff(
+        options_.checkpoint_backoff,
+        [&] {
+          {
+            MutexLock lock(&mu_);
+            ++writer_stats_.attempts;
+            if (attempt_index > 0) ++writer_stats_.retries;
+          }
+          ++attempt_index;
+          return WriteSnapshot(*snap);
+        },
+        [this](int64_t sleep_us) { return BackoffSleep(sleep_us); },
+        [this](const Status& failure, int attempt) {
+          MutexLock lock(&mu_);
+          ++writer_stats_.failures;
+          LOG_WARNING << "checkpoint write attempt " << attempt
+                      << " failed: " << failure.ToString();
+        });
     {
       MutexLock lock(&mu_);
       checkpoint_status_ = status;
-      checkpoint_step_ = snap->step();
+      writer_stats_.last_status = status;
+      if (status.ok()) {
+        checkpoint_step_ = snap->step();
+        ++writer_stats_.successes;
+        writer_stats_.last_success_step = snap->step();
+      } else {
+        ++writer_stats_.give_ups;
+      }
     }
     checkpoint_done_.NotifyAll();
     // Loop: on shutdown with a snapshot enqueued after this write began,

@@ -23,13 +23,22 @@
 //     allocations.
 //
 // The same snapshot doubles as the crash-safe async checkpoint source:
-// when SnapshotPublisherOptions::checkpoint_path is set, a background
-// writer thread serializes the freshest published snapshot through
-// SaveModel (write-to-temp + atomic rename), absorbing checkpoint I/O
+// when SnapshotPublisherOptions::checkpoint_path (single file, temp +
+// rename) or checkpoint_dir (a retained CheckpointSet —
+// embedding/checkpoint_set.h) is set, a background writer thread
+// serializes the freshest published snapshot, absorbing checkpoint I/O
 // that previously stalled the training loop. Snapshot checkpoints are
 // byte-identical to a serial SaveModel at the same step (pinned by
 // tests/serve/snapshot_test.cc): the checkpoint format serializes logical
 // rows only, and a snapshot is a logical copy.
+//
+// Hardening (README "Fault tolerance"): every checkpoint write runs
+// under RetryWithBackoff (util/backoff.h) with shutdown-interruptible
+// sleeps, its outcome counters surface through checkpoint_stats(), and
+// IsStale() reports when the published snapshot has gone stale (the
+// "publisher.stall" fault point, or age beyond stale_after_us) so the
+// serving layer can degrade gracefully — answer from the stale snapshot
+// and say so — instead of lying about freshness.
 #ifndef NSCACHING_SERVE_SNAPSHOT_H_
 #define NSCACHING_SERVE_SNAPSHOT_H_
 
@@ -39,7 +48,9 @@
 #include <string>
 #include <thread>
 
+#include "embedding/checkpoint_set.h"
 #include "embedding/model.h"
+#include "util/backoff.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -93,10 +104,50 @@ struct SnapshotPublisherOptions {
   /// writes it to this path (write-to-temp + rename).
   std::string checkpoint_path;
 
+  /// When non-empty, the writer thread instead maintains this directory
+  /// as a CheckpointSet: one ckpt-<step>.nsc per written snapshot, the
+  /// newest `checkpoint_keep` retained, manifest rewritten after each
+  /// write. Crash-recoverable: a restart loads
+  /// CheckpointSet::LoadLatestValid. Takes precedence over
+  /// checkpoint_path when both are set.
+  std::string checkpoint_dir;
+
+  /// Checkpoints retained in checkpoint_dir mode (>= 1).
+  int checkpoint_keep = 3;
+
   /// Write every Nth published snapshot (>= 1). Only the freshest pending
   /// snapshot is ever written: if publishes outpace the writer, stale
   /// pending checkpoints are superseded, never queued up.
   int checkpoint_every = 1;
+
+  /// Retry policy for failed checkpoint writes. Transient failures
+  /// (kIOError, kUnavailable) are retried with capped jittered
+  /// exponential backoff; shutdown interrupts a backoff sleep
+  /// immediately. After max_attempts the snapshot is given up on (the
+  /// give-up is counted and last_checkpoint_status() carries the error)
+  /// — a later publish enqueues fresher state anyway.
+  BackoffOptions checkpoint_backoff;
+
+  /// When > 0, IsStale() reports true once the newest publish is older
+  /// than this many microseconds — the serving layer's signal to flag
+  /// degraded answers with stale=1. 0 disables age-based staleness.
+  int64_t stale_after_us = 0;
+};
+
+/// Counters of the background checkpoint writer, surfaced so operators
+/// (and the robustness tests) can see retries and give-ups that would
+/// otherwise be invisible: the writer never crashes the process over a
+/// failed write.
+struct CheckpointWriterStats {
+  int64_t attempts = 0;    ///< Write attempts started, retries included.
+  int64_t successes = 0;   ///< Snapshots durably checkpointed.
+  int64_t failures = 0;    ///< Attempts that failed (each retry that
+                           ///< fails counts again).
+  int64_t retries = 0;     ///< Attempts beyond the first for a snapshot.
+  int64_t give_ups = 0;    ///< Snapshots abandoned after exhausting
+                           ///< max_attempts (or shutdown mid-retry).
+  int64_t last_success_step = -1;  ///< Step of the newest durable write.
+  Status last_status;      ///< Outcome of the last resolved snapshot.
 };
 
 /// Double-buffered, atomically published snapshot slot. One writer (the
@@ -136,8 +187,9 @@ class SnapshotPublisher {
   /// (OK before any write has been attempted).
   Status last_checkpoint_status() const NSC_EXCLUDES(mu_);
 
-  /// Step of the most recently completed background checkpoint write;
-  /// -1 before the first write completes.
+  /// Step of the most recent SUCCESSFUL background checkpoint write; -1
+  /// before the first success (a failed write does not advance it — the
+  /// step on disk is the step reported).
   int64_t last_checkpoint_step() const NSC_EXCLUDES(mu_);
 
   /// Blocks until a checkpoint at step >= `step` has been written (or
@@ -146,8 +198,40 @@ class SnapshotPublisher {
   bool WaitForCheckpoint(int64_t step, int64_t timeout_us)
       NSC_EXCLUDES(mu_);
 
+  /// Blocks until the writer has RESOLVED (written or given up on) at
+  /// least `count` snapshots, or `timeout_us` elapses. The failure-path
+  /// counterpart of WaitForCheckpoint, which never returns when every
+  /// attempt fails.
+  bool WaitForCheckpointOutcomes(int64_t count, int64_t timeout_us)
+      NSC_EXCLUDES(mu_);
+
+  /// True when this publisher runs a background checkpoint writer
+  /// (checkpoint_path or checkpoint_dir configured).
+  bool checkpointing_enabled() const {
+    return !options_.checkpoint_path.empty() ||
+           !options_.checkpoint_dir.empty();
+  }
+
+  /// Writer counters since construction (see CheckpointWriterStats).
+  CheckpointWriterStats checkpoint_stats() const NSC_EXCLUDES(mu_);
+
+  /// True when the published snapshot should be served as DEGRADED:
+  /// either the "publisher.stall" fault point is armed (deterministic
+  /// stall simulation) or stale_after_us > 0 and the newest publish is
+  /// older than that. Callers keep answering from the stale snapshot —
+  /// correctness is unaffected, only freshness — but must say so
+  /// (stale=1 in serving responses).
+  bool IsStale() const;
+
  private:
   void CheckpointLoop() NSC_EXCLUDES(mu_);
+
+  /// One checkpoint write (CheckpointSet or single-file mode).
+  Status WriteSnapshot(const EmbeddingSnapshot& snap) const;
+
+  /// Backoff sleep that shutdown interrupts: returns false (canceling
+  /// remaining retries) the moment shutdown_ is observed.
+  bool BackoffSleep(int64_t sleep_us) NSC_EXCLUDES(mu_);
 
   const SnapshotPublisherOptions options_;
 
@@ -158,6 +242,13 @@ class SnapshotPublisher {
   std::shared_ptr<const EmbeddingSnapshot> current_;
 
   std::atomic<int64_t> published_step_{-1};
+
+  /// Steady-clock microseconds of the newest publish; -1 before the
+  /// first. Feeds IsStale()'s age check without taking mu_.
+  std::atomic<int64_t> last_publish_us_{-1};
+
+  /// The writer's target in checkpoint_dir mode; null otherwise.
+  std::unique_ptr<CheckpointSet> checkpoint_set_;
 
   mutable Mutex mu_;
   /// The snapshot displaced by the last publish. Reused as the next
@@ -170,12 +261,13 @@ class SnapshotPublisher {
   Status checkpoint_status_ NSC_GUARDED_BY(mu_);
   int64_t checkpoint_step_ NSC_GUARDED_BY(mu_) = -1;
   int64_t publish_count_ NSC_GUARDED_BY(mu_) = 0;
+  CheckpointWriterStats writer_stats_ NSC_GUARDED_BY(mu_);
   bool shutdown_ NSC_GUARDED_BY(mu_) = false;
-  CondVar checkpoint_ready_;  ///< pending_checkpoint_ set, or shutdown.
-  CondVar checkpoint_done_;   ///< A checkpoint write completed.
+  CondVar checkpoint_ready_;  ///< pending_checkpoint_ set, or shutdown
+                              ///< (also interrupts backoff sleeps).
+  CondVar checkpoint_done_;   ///< A snapshot resolved (written/given up).
 
-  // Started only when options_.checkpoint_path is non-empty; joined by
-  // the destructor.
+  // Started only when checkpointing_enabled(); joined by the destructor.
   std::thread checkpoint_thread_;
 };
 

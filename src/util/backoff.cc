@@ -1,0 +1,50 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace nsc {
+
+int64_t BackoffDelayUs(const BackoffOptions& options, int retry, Rng* rng) {
+  CHECK_GE(retry, 0);
+  double delay = static_cast<double>(options.initial_backoff_us) *
+                 std::pow(std::max(options.multiplier, 1.0), retry);
+  delay = std::min(delay, static_cast<double>(options.max_backoff_us));
+  if (options.jitter > 0.0 && rng != nullptr) {
+    delay *= rng->Uniform(1.0 - options.jitter, 1.0 + options.jitter);
+  }
+  return std::max<int64_t>(0, static_cast<int64_t>(delay));
+}
+
+bool IsRetryableCode(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kIOError ||
+         code == StatusCode::kDeadlineExceeded;
+}
+
+Status RetryWithBackoff(const BackoffOptions& options,
+                        const std::function<Status()>& op,
+                        const SleepFn& sleep, const RetryObserver& on_failure) {
+  CHECK_GE(options.max_attempts, 1);
+  Rng jitter_rng(options.seed);
+  Status status;
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    status = op();
+    if (status.ok()) return status;
+    if (on_failure) on_failure(status, attempt);
+    if (!IsRetryableCode(status.code())) return status;
+    if (attempt + 1 >= options.max_attempts) break;
+    const int64_t delay_us = BackoffDelayUs(options, attempt, &jitter_rng);
+    if (sleep) {
+      if (!sleep(delay_us)) return status;  // Caller canceled (shutdown).
+    } else if (delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+  }
+  return status;
+}
+
+}  // namespace nsc

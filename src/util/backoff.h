@@ -1,0 +1,69 @@
+// Retry with capped, jittered exponential backoff — the policy behind
+// the snapshot publisher's background checkpoint writer (transient disk
+// errors must not silently drop a checkpoint, and a hard-down disk must
+// not spin the writer at 100% CPU).
+//
+// Jitter is deterministic: the delay sequence is a pure function of
+// BackoffOptions (including the seed), so failure-scenario tests replay
+// the exact waits. Sleeping is pluggable (SleepFn) so callers can wait
+// on a condition variable instead — the publisher's writer interrupts a
+// backoff sleep the moment shutdown is requested.
+#ifndef NSCACHING_UTIL_BACKOFF_H_
+#define NSCACHING_UTIL_BACKOFF_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace nsc {
+
+/// Policy of RetryWithBackoff.
+struct BackoffOptions {
+  /// Total tries including the first (>= 1). The op runs at most this
+  /// many times.
+  int max_attempts = 5;
+  /// Delay before the first retry.
+  int64_t initial_backoff_us = 1000;
+  /// Growth factor per retry (>= 1).
+  double multiplier = 2.0;
+  /// Cap on any single delay.
+  int64_t max_backoff_us = 200'000;
+  /// Each delay is scaled by a uniform factor in [1 - jitter, 1 + jitter]
+  /// (decorrelates retry storms across writers). 0 disables.
+  double jitter = 0.2;
+  /// Seed of the jitter RNG — the whole delay sequence is deterministic.
+  uint64_t seed = 0xbacc0ff5ULL;
+};
+
+/// Computes the (jittered, capped) delay before retry `retry` (0-based).
+/// `rng` carries the jitter stream across retries of one operation.
+int64_t BackoffDelayUs(const BackoffOptions& options, int retry, Rng* rng);
+
+/// True for codes RetryWithBackoff considers transient (kUnavailable,
+/// kIOError, kDeadlineExceeded); everything else fails fast.
+bool IsRetryableCode(StatusCode code);
+
+/// Sleeps for the given microseconds; returns false to cancel remaining
+/// retries (e.g. shutdown observed while waiting).
+using SleepFn = std::function<bool(int64_t sleep_us)>;
+
+/// Invoked after each failed attempt with its status and the 0-based
+/// attempt index — the hook counters hang off.
+using RetryObserver = std::function<void(const Status& status, int attempt)>;
+
+/// Runs `op` until it returns OK or a non-retryable code, up to
+/// options.max_attempts tries, sleeping a jittered exponential delay
+/// between tries. Returns the final status. `sleep` defaults to a real
+/// sleep; returning false from it stops retrying immediately (the last
+/// failure is returned). `on_failure` (optional) observes every failed
+/// attempt, including the final one.
+Status RetryWithBackoff(const BackoffOptions& options,
+                        const std::function<Status()>& op,
+                        const SleepFn& sleep = SleepFn(),
+                        const RetryObserver& on_failure = RetryObserver());
+
+}  // namespace nsc
+
+#endif  // NSCACHING_UTIL_BACKOFF_H_

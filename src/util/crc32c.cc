@@ -1,0 +1,36 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace nsc {
+
+namespace {
+
+// Byte-at-a-time table for the reflected Castagnoli polynomial,
+// generated once at first use.
+std::array<uint32_t, 256> BuildTable() {
+  constexpr uint32_t kPoly = 0x82F63B78u;
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, const void* data, std::size_t size) {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace nsc

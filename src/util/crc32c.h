@@ -1,0 +1,22 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+// the checksum guarding checkpoint integrity (format NSCKPT02, see
+// embedding/checkpoint.h). Software table implementation, stdlib only:
+// checkpoint I/O is disk-bound, so a hardware CRC would not move the
+// needle, and the scalar table keeps the value identical on every
+// platform the kernels dispatch to.
+#ifndef NSCACHING_UTIL_CRC32C_H_
+#define NSCACHING_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nsc {
+
+/// Extends a running CRC-32C over `size` more bytes. Seed with 0:
+///   crc = Crc32c(0, a, an); crc = Crc32c(crc, b, bn);
+/// equals Crc32c(0, a+b concatenated).
+uint32_t Crc32c(uint32_t crc, const void* data, std::size_t size);
+
+}  // namespace nsc
+
+#endif  // NSCACHING_UTIL_CRC32C_H_

@@ -1,0 +1,100 @@
+#include "util/fault.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace nsc {
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::Arm(const std::string& point, const FaultSpec& spec) {
+  MutexLock lock(&mu_);
+  auto [it, inserted] = points_.insert_or_assign(point, ArmedPoint{});
+  it->second.spec = spec;
+  it->second.rng = Rng(spec.seed);
+  if (inserted) {
+    armed_points_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  MutexLock lock(&mu_);
+  if (points_.erase(point) > 0) {
+    armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultRegistry::DisarmAll() {
+  MutexLock lock(&mu_);
+  armed_points_.fetch_sub(static_cast<int>(points_.size()),
+                          std::memory_order_relaxed);
+  points_.clear();
+}
+
+FaultPointStats FaultRegistry::stats(const std::string& point) const {
+  MutexLock lock(&mu_);
+  const auto it = points_.find(point);
+  return it != points_.end() ? it->second.counters : FaultPointStats{};
+}
+
+FaultHit FaultRegistry::EvaluateSlow(const char* point) {
+  FaultHit hit;
+  int64_t sleep_us = 0;
+  {
+    MutexLock lock(&mu_);
+    const auto it = points_.find(point);
+    if (it == points_.end()) return FaultHit{};
+    ArmedPoint& armed = it->second;
+    const FaultSpec& spec = armed.spec;
+    const uint64_t hit_index = ++armed.counters.hits;  // 1-based.
+
+    if (spec.max_triggers >= 0 &&
+        armed.counters.triggers >=
+            static_cast<uint64_t>(spec.max_triggers)) {
+      return FaultHit{};
+    }
+    bool fires = false;
+    switch (spec.trigger) {
+      case FaultTrigger::kAlways:
+        fires = true;
+        break;
+      case FaultTrigger::kNthHit:
+        fires = hit_index == spec.n;
+        break;
+      case FaultTrigger::kEveryKth:
+        fires = spec.n > 0 && hit_index % spec.n == 0;
+        break;
+      case FaultTrigger::kProbability:
+        fires = armed.rng.Bernoulli(spec.probability);
+        break;
+    }
+    if (!fires) return FaultHit{};
+    ++armed.counters.triggers;
+    hit.fired = true;
+    hit.action = spec.action;
+    hit.truncate_at = spec.truncate_at;
+    sleep_us = spec.latency_us;
+  }
+  // Latency and abort resolve here, outside the lock: a sleeping fault
+  // must not serialize every other point's evaluation behind it.
+  if (hit.action == FaultAction::kAbort) {
+    std::fprintf(stderr, "fault: injected abort at point '%s'\n", point);
+    std::fflush(stderr);
+    std::abort();
+  }
+  if (hit.action == FaultAction::kLatency) {
+    if (sleep_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    }
+    // The site proceeds normally — latency faults only delay.
+    return FaultHit{};
+  }
+  return hit;
+}
+
+}  // namespace nsc

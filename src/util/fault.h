@@ -1,0 +1,191 @@
+// Deterministic fault injection: named fault points that tests, stress
+// suites and benchmarks arm at runtime to prove the robustness behaviors
+// the serving and checkpoint layers claim (retry-with-backoff, torn-write
+// recovery, overload shedding, deadline expiry).
+//
+// A fault POINT is a named site in library code:
+//
+//   if (NSC_FAULT_POINT("ckpt.write").error()) {
+//     return Status::IOError("injected ckpt.write failure");
+//   }
+//
+// Unarmed, the point costs one relaxed atomic load of a process-wide
+// armed-point counter (no string hash, no lock) — cheap enough for hot
+// paths. Under -DNSC_FAULTS=OFF the macro expands to a constant empty
+// FaultHit and the whole site folds away at compile time.
+//
+// A fault SPEC armed on a point has two independent axes:
+//
+//   - TRIGGER policy — which evaluations fire: always, exactly the Nth
+//     hit (1-based), every Kth hit, or independently with probability p
+//     from a seeded per-point RNG. All policies are deterministic for a
+//     given arm order + seed, so failure scenarios replay bit-for-bit.
+//   - ACTION — what a firing evaluation does: kError and kTruncate are
+//     returned to the site (the site maps them to its own failure mode:
+//     a Status, a torn write of `truncate_at` bytes); kLatency sleeps
+//     inside Evaluate before returning un-fired (the site's code path is
+//     unchanged, only slower); kAbort flushes a diagnostic and calls
+//     std::abort() — the crash-simulation hammer for restart tests.
+//
+// The registry is process-wide (FaultRegistry::Global()) and thread-safe:
+// points are evaluated concurrently from engine workers and the
+// checkpoint writer while a test thread arms/disarms. Tests use
+// ScopedFault so a failing assertion can never leak an armed fault into
+// the next test.
+//
+// Catalog of the points compiled into the library today (grep
+// NSC_FAULT_POINT for ground truth): see README "Fault tolerance".
+#ifndef NSCACHING_UTIL_FAULT_H_
+#define NSCACHING_UTIL_FAULT_H_
+
+// -DNSC_FAULTS=OFF (CMake) defines NSC_FAULTS=0: every fault point
+// compiles out entirely. The registry class itself stays (tests that arm
+// faults then observe nothing must still link), only the sites vanish.
+#ifndef NSC_FAULTS
+#define NSC_FAULTS 1
+#endif
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <atomic>
+
+#include "util/mutex.h"
+#include "util/rng.h"
+#include "util/thread_annotations.h"
+
+namespace nsc {
+
+/// What a firing fault point does (see the header comment for which
+/// actions resolve inside Evaluate and which are returned to the site).
+enum class FaultAction {
+  kError,     ///< Site maps the hit to its own error return.
+  kLatency,   ///< Evaluate sleeps latency_us, then reports "not fired".
+  kTruncate,  ///< Site writes only truncate_at bytes (torn write).
+  kAbort,     ///< Evaluate calls std::abort() — simulated crash.
+};
+
+/// When an armed fault point fires.
+enum class FaultTrigger {
+  kAlways,       ///< Every evaluation.
+  kNthHit,       ///< Exactly the n-th evaluation (1-based), once.
+  kEveryKth,     ///< Evaluations n, 2n, 3n, ...
+  kProbability,  ///< Independently with `probability`, seeded RNG.
+};
+
+/// A fault armed on a point: trigger policy + action + parameters.
+struct FaultSpec {
+  FaultAction action = FaultAction::kError;
+  FaultTrigger trigger = FaultTrigger::kAlways;
+  /// kNthHit: the single 1-based hit that fires. kEveryKth: the period.
+  uint64_t n = 1;
+  /// kProbability: chance each evaluation fires, in [0, 1].
+  double probability = 0.0;
+  /// kProbability: seed of the per-point RNG (deterministic replay).
+  uint64_t seed = 0x5eedfa17ULL;
+  /// kLatency: how long Evaluate sleeps when firing.
+  int64_t latency_us = 0;
+  /// kTruncate: bytes of the faulted chunk the site should still write.
+  uint64_t truncate_at = 0;
+  /// Stop firing after this many triggers; -1 = unlimited. (kNthHit
+  /// fires at most once regardless.)
+  int64_t max_triggers = -1;
+};
+
+/// The outcome of evaluating a fault point. Default-constructed = not
+/// fired (the unarmed fast path and the NSC_FAULTS=0 expansion).
+struct FaultHit {
+  bool fired = false;
+  FaultAction action = FaultAction::kError;
+  uint64_t truncate_at = 0;
+
+  /// True when the site should fail (kError fired).
+  bool error() const { return fired && action == FaultAction::kError; }
+  /// True when the site should tear its write at truncate_at bytes.
+  bool truncated() const {
+    return fired && action == FaultAction::kTruncate;
+  }
+};
+
+/// Per-point evaluation counters, for assertions and bench reporting.
+struct FaultPointStats {
+  uint64_t hits = 0;      ///< Evaluations while armed.
+  uint64_t triggers = 0;  ///< Evaluations that fired.
+};
+
+/// Process-wide registry of armed fault points. Thread-safe. Use through
+/// FaultRegistry::Global() and the NSC_FAULT_POINT macro.
+class FaultRegistry {
+ public:
+  static FaultRegistry& Global();
+
+  /// Arms (or re-arms, resetting counters) `point` with `spec`.
+  void Arm(const std::string& point, const FaultSpec& spec)
+      NSC_EXCLUDES(mu_);
+
+  /// Disarms `point`; evaluations go back to the one-atomic fast path.
+  void Disarm(const std::string& point) NSC_EXCLUDES(mu_);
+
+  /// Disarms everything (test teardown).
+  void DisarmAll() NSC_EXCLUDES(mu_);
+
+  /// Evaluates the point. Unarmed registry: one relaxed atomic load.
+  /// kLatency sleeps and kAbort aborts in here; kError/kTruncate are
+  /// returned for the site to act on.
+  FaultHit Evaluate(const char* point) NSC_EXCLUDES(mu_) {
+    if (armed_points_.load(std::memory_order_relaxed) == 0) {
+      return FaultHit{};
+    }
+    return EvaluateSlow(point);
+  }
+
+  /// Counters of `point` since it was (re-)armed; zeros when unarmed.
+  FaultPointStats stats(const std::string& point) const NSC_EXCLUDES(mu_);
+
+ private:
+  struct ArmedPoint {
+    FaultSpec spec;
+    FaultPointStats counters;
+    Rng rng{0};  // Re-seeded from spec.seed at Arm.
+  };
+
+  FaultRegistry() = default;
+
+  FaultHit EvaluateSlow(const char* point) NSC_EXCLUDES(mu_);
+
+  /// Number of currently armed points — the unarmed fast-path gate.
+  std::atomic<int> armed_points_{0};
+
+  mutable Mutex mu_;
+  std::unordered_map<std::string, ArmedPoint> points_ NSC_GUARDED_BY(mu_);
+};
+
+/// RAII arm/disarm for tests: the fault cannot outlive the scope even
+/// when an assertion fails mid-test.
+class ScopedFault {
+ public:
+  ScopedFault(std::string point, const FaultSpec& spec)
+      : point_(std::move(point)) {
+    FaultRegistry::Global().Arm(point_, spec);
+  }
+  ~ScopedFault() { FaultRegistry::Global().Disarm(point_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  const std::string point_;
+};
+
+}  // namespace nsc
+
+#if NSC_FAULTS
+/// Evaluates the named fault point (see FaultRegistry::Evaluate).
+#define NSC_FAULT_POINT(point) ::nsc::FaultRegistry::Global().Evaluate(point)
+#else
+#define NSC_FAULT_POINT(point) (::nsc::FaultHit{})
+#endif
+
+#endif  // NSCACHING_UTIL_FAULT_H_

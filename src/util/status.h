@@ -21,6 +21,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kIOError,
   kInternal,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -59,6 +61,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Transient inability to serve (overload shedding, resource down);
+  /// retryable — see util/backoff.h.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// The caller's deadline expired before the operation ran/finished.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

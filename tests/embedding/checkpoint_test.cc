@@ -93,6 +93,54 @@ TEST(CheckpointTest, TruncatedFileIsInvalidArgument) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointTest, LegacyV1FilesStillLoad) {
+  // A v1 file is a v2 file with the old magic and no CRC trailer. Build
+  // one from fresh v2 bytes so the body layout is provably shared.
+  const std::string path = TempPath("legacy_v1.nsckpt");
+  const KgeModel model = MakeModel("transh");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes.replace(0, 8, "NSCKPT01");
+  bytes.resize(bytes.size() - 4);  // Drop the CRC trailer.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().scorer().name(), "transh");
+  EXPECT_EQ(loaded.value().entity_table().LogicalCopy(),
+            model.entity_table().LogicalCopy());
+  EXPECT_EQ(loaded.value().relation_table().LogicalCopy(),
+            model.relation_table().LogicalCopy());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, SingleBitFlipIsInvalidArgument) {
+  // The CRC trailer turns silent body corruption into a load error.
+  const std::string path = TempPath("bitflip.nsckpt");
+  const KgeModel model = MakeModel("transe");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // Flip one bit deep in the float tables — a spot v1 could not detect.
+  std::string corrupt = bytes;
+  corrupt[bytes.size() / 2] ^= 0x10;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+  }
+  auto loaded = LoadModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointTest, TrailingBytesRejected) {
   const std::string path = TempPath("trailing.nsckpt");
   const KgeModel model = MakeModel("transe");

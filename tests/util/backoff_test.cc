@@ -1,0 +1,159 @@
+#include "util/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nsc {
+namespace {
+
+TEST(BackoffTest, DelaysGrowExponentiallyWithoutJitter) {
+  BackoffOptions options;
+  options.initial_backoff_us = 100;
+  options.multiplier = 2.0;
+  options.max_backoff_us = 100000;
+  options.jitter = 0.0;
+  EXPECT_EQ(BackoffDelayUs(options, 0, nullptr), 100);
+  EXPECT_EQ(BackoffDelayUs(options, 1, nullptr), 200);
+  EXPECT_EQ(BackoffDelayUs(options, 2, nullptr), 400);
+  EXPECT_EQ(BackoffDelayUs(options, 3, nullptr), 800);
+}
+
+TEST(BackoffTest, DelayIsCapped) {
+  BackoffOptions options;
+  options.initial_backoff_us = 100;
+  options.multiplier = 10.0;
+  options.max_backoff_us = 500;
+  options.jitter = 0.0;
+  EXPECT_EQ(BackoffDelayUs(options, 0, nullptr), 100);
+  EXPECT_EQ(BackoffDelayUs(options, 1, nullptr), 500);
+  EXPECT_EQ(BackoffDelayUs(options, 5, nullptr), 500);
+}
+
+TEST(BackoffTest, JitterIsDeterministicAndBounded) {
+  BackoffOptions options;
+  options.initial_backoff_us = 1000;
+  options.multiplier = 1.0;
+  options.max_backoff_us = 10000;
+  options.jitter = 0.2;
+  Rng a(options.seed);
+  Rng b(options.seed);
+  for (int retry = 0; retry < 10; ++retry) {
+    const int64_t first = BackoffDelayUs(options, retry, &a);
+    const int64_t second = BackoffDelayUs(options, retry, &b);
+    EXPECT_EQ(first, second) << retry;
+    EXPECT_GE(first, 800) << retry;   // 1000 * (1 - 0.2)
+    EXPECT_LE(first, 1200) << retry;  // 1000 * (1 + 0.2)
+  }
+}
+
+TEST(BackoffTest, RetryableCodes) {
+  EXPECT_TRUE(IsRetryableCode(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetryableCode(StatusCode::kIOError));
+  EXPECT_TRUE(IsRetryableCode(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kInternal));
+  EXPECT_FALSE(IsRetryableCode(StatusCode::kOk));
+}
+
+TEST(BackoffTest, SucceedsFirstTryWithoutSleeping) {
+  BackoffOptions options;
+  int calls = 0;
+  int sleeps = 0;
+  const Status status = RetryWithBackoff(
+      options,
+      [&] {
+        ++calls;
+        return Status::OK();
+      },
+      [&](int64_t) {
+        ++sleeps;
+        return true;
+      });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(sleeps, 0);
+}
+
+TEST(BackoffTest, RetriesTransientFailuresUntilSuccess) {
+  BackoffOptions options;
+  options.max_attempts = 5;
+  int calls = 0;
+  std::vector<int64_t> sleeps;
+  std::vector<int> observed_attempts;
+  const Status status = RetryWithBackoff(
+      options,
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::IOError("disk hiccup") : Status::OK();
+      },
+      [&](int64_t us) {
+        sleeps.push_back(us);
+        return true;
+      },
+      [&](const Status& failure, int attempt) {
+        EXPECT_EQ(failure.code(), StatusCode::kIOError);
+        observed_attempts.push_back(attempt);
+      });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(sleeps.size(), 2u);
+  EXPECT_EQ(observed_attempts, (std::vector<int>{0, 1}));
+}
+
+TEST(BackoffTest, NonRetryableFailsFast) {
+  BackoffOptions options;
+  options.max_attempts = 5;
+  int calls = 0;
+  int sleeps = 0;
+  const Status status = RetryWithBackoff(
+      options,
+      [&] {
+        ++calls;
+        return Status::InvalidArgument("permanently wrong");
+      },
+      [&](int64_t) {
+        ++sleeps;
+        return true;
+      });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(sleeps, 0);
+}
+
+TEST(BackoffTest, ExhaustsMaxAttempts) {
+  BackoffOptions options;
+  options.max_attempts = 3;
+  int calls = 0;
+  int failures = 0;
+  const Status status = RetryWithBackoff(
+      options,
+      [&] {
+        ++calls;
+        return Status::Unavailable("still down");
+      },
+      [](int64_t) { return true; },
+      [&](const Status&, int) { ++failures; });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+  // The observer sees every failed attempt, the final one included.
+  EXPECT_EQ(failures, 3);
+}
+
+TEST(BackoffTest, SleepCancellationStopsRetrying) {
+  BackoffOptions options;
+  options.max_attempts = 10;
+  int calls = 0;
+  const Status status = RetryWithBackoff(
+      options,
+      [&] {
+        ++calls;
+        return Status::IOError("down");
+      },
+      [](int64_t) { return false; });  // Shutdown observed mid-sleep.
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace nsc

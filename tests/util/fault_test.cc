@@ -1,0 +1,170 @@
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace nsc {
+namespace {
+
+// Every test arms through ScopedFault (or calls DisarmAll in a guard), so
+// an assertion failure cannot leak an armed fault into later tests — the
+// registry is process-global.
+
+#if NSC_FAULTS
+
+TEST(FaultTest, UnarmedPointNeverFires) {
+  const FaultHit hit = NSC_FAULT_POINT("fault_test.unarmed");
+  EXPECT_FALSE(hit.fired);
+  EXPECT_FALSE(hit.error());
+  EXPECT_FALSE(hit.truncated());
+}
+
+TEST(FaultTest, AlwaysTriggerFiresEveryEvaluation) {
+  FaultSpec spec;
+  spec.action = FaultAction::kError;
+  ScopedFault fault("fault_test.always", spec);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(NSC_FAULT_POINT("fault_test.always").error()) << i;
+  }
+  const FaultPointStats stats =
+      FaultRegistry::Global().stats("fault_test.always");
+  EXPECT_EQ(stats.hits, 5u);
+  EXPECT_EQ(stats.triggers, 5u);
+}
+
+TEST(FaultTest, NthHitFiresExactlyOnce) {
+  FaultSpec spec;
+  spec.trigger = FaultTrigger::kNthHit;
+  spec.n = 3;
+  ScopedFault fault("fault_test.nth", spec);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(NSC_FAULT_POINT("fault_test.nth").error());
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+}
+
+TEST(FaultTest, EveryKthFiresPeriodically) {
+  FaultSpec spec;
+  spec.trigger = FaultTrigger::kEveryKth;
+  spec.n = 2;
+  ScopedFault fault("fault_test.kth", spec);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(NSC_FAULT_POINT("fault_test.kth").error());
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true, false,
+                                      true}));
+}
+
+TEST(FaultTest, ProbabilityIsDeterministicPerSeed) {
+  FaultSpec spec;
+  spec.trigger = FaultTrigger::kProbability;
+  spec.probability = 0.5;
+  spec.seed = 1234;
+  std::vector<bool> first;
+  {
+    ScopedFault fault("fault_test.prob", spec);
+    for (int i = 0; i < 64; ++i) {
+      first.push_back(NSC_FAULT_POINT("fault_test.prob").error());
+    }
+  }
+  // Re-arming with the same seed replays the identical firing sequence.
+  std::vector<bool> second;
+  {
+    ScopedFault fault("fault_test.prob", spec);
+    for (int i = 0; i < 64; ++i) {
+      second.push_back(NSC_FAULT_POINT("fault_test.prob").error());
+    }
+  }
+  EXPECT_EQ(first, second);
+  // And p = 0.5 over 64 draws fires at least once each way.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+}
+
+TEST(FaultTest, MaxTriggersStopsFiring) {
+  FaultSpec spec;
+  spec.action = FaultAction::kError;
+  spec.max_triggers = 2;
+  ScopedFault fault("fault_test.capped", spec);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (NSC_FAULT_POINT("fault_test.capped").error()) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(FaultTest, TruncateCarriesByteCount) {
+  FaultSpec spec;
+  spec.action = FaultAction::kTruncate;
+  spec.truncate_at = 7;
+  ScopedFault fault("fault_test.trunc", spec);
+  const FaultHit hit = NSC_FAULT_POINT("fault_test.trunc");
+  EXPECT_TRUE(hit.truncated());
+  EXPECT_FALSE(hit.error());
+  EXPECT_EQ(hit.truncate_at, 7u);
+}
+
+TEST(FaultTest, DisarmRestoresFastPath) {
+  FaultSpec spec;
+  FaultRegistry::Global().Arm("fault_test.disarm", spec);
+  EXPECT_TRUE(NSC_FAULT_POINT("fault_test.disarm").error());
+  FaultRegistry::Global().Disarm("fault_test.disarm");
+  EXPECT_FALSE(NSC_FAULT_POINT("fault_test.disarm").error());
+  // Counters are gone with the arm.
+  EXPECT_EQ(FaultRegistry::Global().stats("fault_test.disarm").hits, 0u);
+}
+
+TEST(FaultTest, ArmedPointDoesNotAffectOtherPoints) {
+  FaultSpec spec;
+  ScopedFault fault("fault_test.one", spec);
+  EXPECT_FALSE(NSC_FAULT_POINT("fault_test.other").error());
+  EXPECT_TRUE(NSC_FAULT_POINT("fault_test.one").error());
+}
+
+TEST(FaultTest, ConcurrentEvaluationIsSafe) {
+  FaultSpec spec;
+  spec.trigger = FaultTrigger::kEveryKth;
+  spec.n = 2;
+  ScopedFault fault("fault_test.mt", spec);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (NSC_FAULT_POINT("fault_test.mt").error()) {
+          fired.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Exactly every 2nd of the 4000 total hits fires, whatever the
+  // interleaving: the hit counter is serialized under the registry lock.
+  EXPECT_EQ(fired.load(), kThreads * kPerThread / 2);
+  const FaultPointStats stats = FaultRegistry::Global().stats("fault_test.mt");
+  EXPECT_EQ(stats.hits, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.triggers, static_cast<uint64_t>(kThreads * kPerThread / 2));
+}
+
+#else  // !NSC_FAULTS
+
+TEST(FaultTest, CompiledOutPointsNeverFire) {
+  // Arm aggressively; the macro still expands to an empty FaultHit.
+  FaultSpec spec;
+  ScopedFault fault("fault_test.compiled_out", spec);
+  EXPECT_FALSE(NSC_FAULT_POINT("fault_test.compiled_out").fired);
+}
+
+#endif  // NSC_FAULTS
+
+}  // namespace
+}  // namespace nsc

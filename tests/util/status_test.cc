@@ -21,6 +21,9 @@ TEST(StatusTest, FactoryConstructors) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(StatusTest, MessagePreserved) {
@@ -33,6 +36,9 @@ TEST(StatusTest, MessagePreserved) {
 TEST(StatusTest, CodeNames) {
   EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
 }
 
 TEST(StatusTest, ReturnIfErrorPropagates) {

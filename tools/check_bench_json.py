@@ -24,6 +24,14 @@ def positive(v):
     return None if v > 0 else "must be > 0"
 
 
+def non_negative(v):
+    return None if v >= 0 else "must be >= 0"
+
+
+def rate(v):
+    return None if 0 <= v <= 1 else "must be in [0, 1]"
+
+
 # (field, type, validator or None) per run entry, keyed by suite.
 # Validators get the parsed value and return an error string or None.
 SUITE_RUN_FIELDS = {
@@ -81,6 +89,17 @@ SUITE_RUN_FIELDS = {
          lambda v: None if len(v) == 8 and all(
              isinstance(x, int) and not isinstance(x, bool) and x >= 0
              for x in v) else "must be 8 non-negative ints"),
+        # Robustness fields (bench_serving --inject), present on EVERY
+        # run so the injected and clean regimes share one schema:
+        # "injected" marks the regime, deadline_us the per-request budget
+        # (0 when none), and the rates the fraction of requests shed by
+        # the engine (kDeadlineExceeded, never executed) vs answered OK
+        # but past budget.
+        ("injected", str,
+         lambda v: None if v in ("on", "off") else "must be 'on' or 'off'"),
+        ("deadline_us", int, non_negative),
+        ("deadline_miss_rate", (int, float), rate),
+        ("shed_rate", (int, float), rate),
     ],
 }
 
